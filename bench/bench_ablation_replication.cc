@@ -1,0 +1,64 @@
+// Ablation A2: replication factor. With 2f+1 replicas, CPC's fast-path
+// quorum is ceil(3f/2)+1: for f=1 that is *all three* replicas, for f=2
+// it is 4 of 5. Higher f costs more replication traffic and makes the
+// supermajority geographically wider, lengthening both paths.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace carousel;
+  using namespace carousel::bench;
+
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = FastMode() ? 1'000'000 : 10'000'000;
+  workload::DriverOptions dopts;
+  dopts.target_tps = 200;
+  dopts.duration = (FastMode() ? 20 : 45) * kMicrosPerSecond;
+  dopts.warmup = (FastMode() ? 4 : 10) * kMicrosPerSecond;
+  dopts.cooldown = (FastMode() ? 4 : 10) * kMicrosPerSecond;
+
+  std::printf("== Ablation: replication factor (EC2, Retwis, 200 tps, "
+              "Carousel Fast) ==\n\n");
+  std::printf("%-14s %6s %12s %9s %9s %8s\n", "replication", "f",
+              "fast quorum", "p50(ms)", "p99(ms)", "abort%");
+
+  for (int replication : {3, 5}) {
+    Histogram latency;
+    double abort_rate = 0;
+    for (int rep = 0; rep < Repeats(); ++rep) {
+      Topology topo = Topology::PaperEc2();
+      topo.PlacePartitions(5, replication);
+      for (DcId dc = 0; dc < 5; ++dc) {
+        for (int i = 0; i < 20; ++i) topo.AddClient(dc);
+      }
+      core::CarouselOptions options;
+      options.fast_path = true;
+      options.local_reads = true;
+      core::Cluster cluster(std::move(topo), options, sim::NetworkOptions{},
+                            4000 + rep);
+      cluster.Start();
+      auto adapter = workload::MakeCarouselAdapter(&cluster, "fast");
+      auto generator = workload::MakeRetwisGenerator(wopts);
+      workload::DriverOptions seeded = dopts;
+      seeded.seed = 4000 + rep;
+      const workload::RunResult result =
+          workload::RunWorkload(adapter.get(), generator.get(), seeded);
+      latency.Merge(result.latency);
+      abort_rate += result.AbortRate() / Repeats();
+    }
+    std::printf("%-14d %6d %12d %9.0f %9.0f %7.2f%%\n", replication,
+                (replication - 1) / 2,
+                core::CarouselServer::SupermajorityFor(replication),
+                latency.Quantile(0.5) / 1000.0,
+                latency.Quantile(0.99) / 1000.0, 100 * abort_rate);
+  }
+  std::printf("\nreading: with 5 DCs, f=2 fully replicates every partition, "
+              "so every read is local and the 4-of-5 fast quorum can skip "
+              "the farthest region - lower latency, but at 5/3 the storage "
+              "and replication traffic, which is exactly the cost the paper "
+              "argues against for larger deployments (\"not cost-effective\", "
+              "SS3.1)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 5: committed throughput versus target throughput on the local
+// cluster (§6.4.1).
+//
+// Paper setup: 15 servers across 5 simulated DCs with 5 ms inter-DC RTT,
+// Retwis workload, open-loop target throughput swept to 10,000 tps.
+// Paper result: all three systems satisfy ~5,000 tps; past that TAPIR's
+// committed throughput drops precipitously (queueing of pending
+// transactions); Carousel Basic keeps climbing and only falls below the
+// target around 8,000 tps; Carousel Fast levels off around 8,000 tps
+// because it sends more messages per transaction than Basic.
+
+#include <cstdio>
+
+#include "bench/sweep.h"
+
+int main() {
+  using namespace carousel;
+  using namespace carousel::bench;
+
+  std::printf("== Figure 5: committed vs target throughput (tps), local "
+              "cluster, Retwis ==\n\n");
+  std::printf("%-10s %16s %16s %16s\n", "target", "TAPIR", "Carousel Basic",
+              "Carousel Fast");
+
+  auto tapir = ThroughputSweep(SystemKind::kTapir);
+  auto basic = ThroughputSweep(SystemKind::kCarouselBasic);
+  auto fast = ThroughputSweep(SystemKind::kCarouselFast);
+
+  double tapir_peak = 0, basic_peak = 0, fast_peak = 0;
+  for (size_t i = 0; i < tapir.size(); ++i) {
+    std::printf("%-10.0f %16.0f %16.0f %16.0f\n", tapir[i].target_tps,
+                tapir[i].committed_tps, basic[i].committed_tps,
+                fast[i].committed_tps);
+    tapir_peak = std::max(tapir_peak, tapir[i].committed_tps);
+    basic_peak = std::max(basic_peak, basic[i].committed_tps);
+    fast_peak = std::max(fast_peak, fast[i].committed_tps);
+  }
+
+  std::printf("\npeaks: TAPIR %.0f, Carousel Basic %.0f, Carousel Fast %.0f "
+              "(paper: ~5000 / >8000 / ~8000)\n",
+              tapir_peak, basic_peak, fast_peak);
+  const bool tapir_collapses =
+      tapir.back().committed_tps < 0.8 * tapir_peak ||
+      tapir_peak < 0.75 * basic_peak;
+  std::printf("shape check: TAPIR saturates first: %s; Carousel Basic peak "
+              ">= Fast peak: %s\n",
+              tapir_collapses && tapir_peak < basic_peak ? "YES" : "NO",
+              basic_peak >= 0.95 * fast_peak ? "YES" : "NO");
+  return 0;
+}

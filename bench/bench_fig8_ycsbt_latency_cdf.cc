@@ -1,0 +1,83 @@
+// Figure 8: latency CDF for the YCSB+T workload (4 read-modify-writes per
+// transaction) on the EC2 topology at 200 tps.
+//
+// Paper result (§6.5): Carousel Fast is fastest across the distribution
+// (median 259 ms). With no read-only transactions, Carousel Basic loses
+// its read-only optimization and always needs two WANRTs (median 400 ms);
+// TAPIR's fast path gives it a lower median than Basic (337 ms) but worse
+// tail latencies (slow-path fallback needs three WANRTs).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace carousel;
+  using namespace carousel::bench;
+
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = FastMode() ? 1'000'000 : 10'000'000;
+
+  workload::DriverOptions dopts;
+  dopts.target_tps = 200;
+  if (FastMode()) {
+    dopts.duration = 30 * kMicrosPerSecond;
+    dopts.warmup = 5 * kMicrosPerSecond;
+    dopts.cooldown = 5 * kMicrosPerSecond;
+  } else {
+    // Paper proportions (90/30/30) at 60 s; the distribution is
+    // stationary so the quantiles are unchanged.
+    dopts.duration = 60 * kMicrosPerSecond;
+    dopts.warmup = 20 * kMicrosPerSecond;
+    dopts.cooldown = 20 * kMicrosPerSecond;
+  }
+
+  std::printf("== Figure 8: YCSB+T latency CDF, EC2 topology, 200 tps ==\n");
+  std::printf("paper medians: Carousel Basic 400 ms, TAPIR 337 ms, "
+              "Carousel Fast 259 ms\n\n");
+
+  struct Line {
+    SystemKind kind;
+    Histogram latency;
+  };
+  Line lines[] = {{SystemKind::kTapir, {}},
+                  {SystemKind::kCarouselBasic, {}},
+                  {SystemKind::kCarouselFast, {}}};
+
+  for (Line& line : lines) {
+    for (int rep = 0; rep < Repeats(); ++rep) {
+      auto generator = workload::MakeYcsbTGenerator(wopts);
+      BenchRun run = RunSystem(line.kind, Ec2Topology(20), generator.get(),
+                               dopts, core::ServerCostModel{},
+                               /*seed=*/2000 + rep);
+      line.latency.Merge(run.result.latency);
+    }
+  }
+
+  std::printf("%-16s %9s %9s %9s %9s %9s\n", "system", "p50(ms)", "p75(ms)",
+              "p90(ms)", "p95(ms)", "p99(ms)");
+  for (const Line& line : lines) {
+    std::printf("%-16s %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                SystemName(line.kind), line.latency.Quantile(0.5) / 1000.0,
+                line.latency.Quantile(0.75) / 1000.0,
+                line.latency.Quantile(0.9) / 1000.0,
+                line.latency.Quantile(0.95) / 1000.0,
+                line.latency.Quantile(0.99) / 1000.0);
+  }
+  std::printf("\n");
+  for (const Line& line : lines) {
+    PrintCdf(SystemName(line.kind), line.latency);
+  }
+
+  const double tapir_p50 = lines[0].latency.Quantile(0.5);
+  const double tapir_p95 = lines[0].latency.Quantile(0.95);
+  const double basic_p50 = lines[1].latency.Quantile(0.5);
+  const double basic_p95 = lines[1].latency.Quantile(0.95);
+  const double fast_p50 = lines[2].latency.Quantile(0.5);
+  std::printf("\nshape check: fast median lowest: %s; tapir median < basic "
+              "median: %s; tapir tail (p95) > basic tail: %s\n",
+              (fast_p50 < basic_p50 && fast_p50 < tapir_p50) ? "YES" : "NO",
+              tapir_p50 < basic_p50 ? "YES" : "NO",
+              tapir_p95 > basic_p95 ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the hot data structures under
+// the protocols: pending-list OCC checks, the versioned store, workload
+// generation, and the simulator core. Not a paper artifact; used to keep
+// the simulation fast enough for the throughput sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "common/consistent_hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/zipfian.h"
+#include "kv/pending_list.h"
+#include "kv/versioned_store.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace carousel {
+namespace {
+
+void BM_PendingListConflictCheck(benchmark::State& state) {
+  kv::PendingList list;
+  const int pending = static_cast<int>(state.range(0));
+  for (int i = 0; i < pending; ++i) {
+    kv::PendingTxn txn;
+    txn.tid = {1, static_cast<uint64_t>(i)};
+    txn.read_keys = {"r" + std::to_string(i)};
+    txn.write_keys = {"w" + std::to_string(i)};
+    list.Add(std::move(txn)).ok();
+  }
+  const KeyList reads = {"rx", "ry"};
+  const KeyList writes = {"wx"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.HasConflict(reads, writes));
+  }
+}
+BENCHMARK(BM_PendingListConflictCheck)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PendingListAddRemove(benchmark::State& state) {
+  kv::PendingList list;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    kv::PendingTxn txn;
+    txn.tid = {1, i++};
+    txn.read_keys = {"a", "b"};
+    txn.write_keys = {"c"};
+    list.Add(std::move(txn)).ok();
+    list.Remove({1, i - 1});
+  }
+}
+BENCHMARK(BM_PendingListAddRemove);
+
+void BM_VersionedStoreApply(benchmark::State& state) {
+  kv::VersionedStore store;
+  Rng rng(1);
+  for (auto _ : state) {
+    store.Apply("k" + std::to_string(rng.NextU64() % 100000), "value");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStoreApply);
+
+void BM_VersionedStoreGet(benchmark::State& state) {
+  kv::VersionedStore store;
+  for (int i = 0; i < 100000; ++i) {
+    store.Apply("k" + std::to_string(i), "value");
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Get("k" + std::to_string(rng.NextU64() % 100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStoreGet);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator zipf(10'000'000, 0.75);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_RetwisGenerate(benchmark::State& state) {
+  workload::WorkloadOptions options;
+  options.num_keys = 1'000'000;
+  auto generator = workload::MakeRetwisGenerator(options);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator->Next(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RetwisGenerate);
+
+void BM_ConsistentHashLookup(benchmark::State& state) {
+  ConsistentHashRing ring(5, 64);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.PartitionFor("key" + std::to_string(rng.NextU64() % 1000000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsistentHashLookup);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(6);
+  for (auto _ : state) {
+    histogram.Record(static_cast<int64_t>(rng.NextU64() % 1000000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [] {});
+    }
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+}  // namespace
+}  // namespace carousel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table 1: roundtrip network latencies between datacenters.
+//
+// The paper measured these on EC2; here they are the simulator's input.
+// This harness verifies the simulation substrate reproduces them: it
+// echoes a ping between every DC pair and reports measured vs configured
+// RTT (the small excess is jitter, which deliveries also experience).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace carousel {
+namespace {
+
+struct PingMsg final : sim::Message {
+  bool is_reply = false;
+  int type() const override { return sim::kPing; }
+  size_t SizeBytes() const override { return 64; }
+};
+
+class EchoNode : public sim::Node {
+ public:
+  EchoNode(NodeId id, DcId dc) : sim::Node(id, dc) {}
+  void HandleMessage(NodeId from, const sim::MessagePtr& msg) override {
+    const auto& ping = sim::As<PingMsg>(*msg);
+    if (ping.is_reply) {
+      rtt_sum += simulator()->now() - sent_at;
+      replies++;
+      return;
+    }
+    auto reply = std::make_shared<PingMsg>();
+    reply->is_reply = true;
+    network()->Send(id(), from, std::move(reply));
+  }
+  SimTime sent_at = 0;
+  SimTime rtt_sum = 0;
+  int replies = 0;
+};
+
+}  // namespace
+}  // namespace carousel
+
+int main() {
+  using namespace carousel;
+  std::printf("== Table 1: roundtrip latencies between datacenters (ms) ==\n");
+  Topology topo = Topology::PaperEc2();
+  topo.PlacePartitions(5, 1);  // One echo node per DC.
+
+  std::printf("%-12s", "");
+  for (DcId b = 1; b < 5; ++b) std::printf("%12s", topo.dc_name(b).c_str());
+  std::printf("\n");
+
+  const int kPings = 20;
+  for (DcId a = 0; a < 4; ++a) {
+    std::printf("%-12s", topo.dc_name(a).c_str());
+    for (DcId b = 1; b < 5; ++b) {
+      if (b <= a) {
+        std::printf("%12s", "-");
+        continue;
+      }
+      sim::Simulator sim(1);
+      sim::Network net(&sim, &topo, sim::NetworkOptions{});
+      std::vector<std::unique_ptr<EchoNode>> nodes;
+      for (const NodeInfo& info : topo.nodes()) {
+        nodes.push_back(std::make_unique<EchoNode>(info.id, info.dc));
+        net.Register(nodes.back().get());
+      }
+      EchoNode* src = nodes[a].get();
+      for (int i = 0; i < kPings; ++i) {
+        sim.Schedule(i * 1000, [&net, src, b]() {
+          src->sent_at = src->simulator()->now();
+          net.Send(src->id(), b, std::make_shared<PingMsg>());
+        });
+        sim.RunFor(1000 * 1000);
+      }
+      const double measured_ms =
+          src->replies > 0
+              ? static_cast<double>(src->rtt_sum) / src->replies / 1000.0
+              : 0.0;
+      const double configured_ms =
+          static_cast<double>(topo.RttMicros(a, b)) / 1000.0;
+      std::printf("  %5.0f/%4.0f", measured_ms, configured_ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("(cells: measured / configured; paper Table 1 values are the "
+              "configured ones)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 2: transaction profile for Retwis (from TAPIR).
+//
+// Regenerates the table by sampling the workload generator and reporting
+// the observed mix and operation counts next to the paper's numbers.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace carousel;
+  workload::WorkloadOptions options;
+  options.num_keys = 1'000'000;
+  auto generator = workload::MakeRetwisGenerator(options);
+  Rng rng(1);
+
+  const int kDraws = bench::FastMode() ? 100000 : 1000000;
+  std::map<std::string, int> mix;
+  std::map<std::string, long long> gets, puts;
+  std::map<std::string, int> min_gets, max_gets;
+  long long total_keys = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const workload::TxnSpec spec = generator->Next(&rng);
+    mix[spec.type]++;
+    gets[spec.type] += spec.reads.size();
+    puts[spec.type] += spec.writes.size();
+    std::set<Key> distinct(spec.reads.begin(), spec.reads.end());
+    distinct.insert(spec.writes.begin(), spec.writes.end());
+    total_keys += distinct.size();
+    auto [it, inserted] = min_gets.try_emplace(spec.type, 1 << 30);
+    it->second = std::min<int>(it->second, spec.reads.size());
+    max_gets[spec.type] =
+        std::max<int>(max_gets[spec.type], spec.reads.size());
+  }
+
+  std::printf("== Table 2: transaction profile for Retwis (%d samples) ==\n",
+              kDraws);
+  std::printf("%-18s %10s %10s %12s %12s\n", "Transaction Type", "# gets",
+              "# puts", "measured %", "paper %");
+  struct Row {
+    const char* key;
+    const char* name;
+    const char* gets;
+    const char* puts;
+    double paper;
+  };
+  const Row rows[] = {
+      {"add_user", "Add User", "1", "3", 5.0},
+      {"follow", "Follow/Unfollow", "2", "2", 15.0},
+      {"post_tweet", "Post Tweet", "3", "5", 30.0},
+      {"load_timeline", "Load Timeline", "rand(1,10)", "0", 50.0},
+  };
+  for (const Row& row : rows) {
+    const int n = mix[row.key];
+    std::printf("%-18s %10s %10s %11.2f%% %11.1f%%\n", row.name, row.gets,
+                row.puts, 100.0 * n / kDraws, row.paper);
+    // Sanity: measured per-type op counts match the declared ones.
+    if (std::string(row.key) == "load_timeline") {
+      std::printf("%-18s   measured gets: min=%d max=%d avg=%.2f\n", "",
+                  min_gets[row.key], max_gets[row.key],
+                  static_cast<double>(gets[row.key]) / n);
+    } else {
+      std::printf("%-18s   measured gets=%.2f puts=%.2f\n", "",
+                  static_cast<double>(gets[row.key]) / n,
+                  static_cast<double>(puts[row.key]) / n);
+    }
+  }
+  std::printf("average distinct keys per transaction: %.2f "
+              "(paper: ~4.5)\n",
+              static_cast<double>(total_keys) / kDraws);
+  return 0;
+}

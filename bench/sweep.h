@@ -1,0 +1,61 @@
+#ifndef CAROUSEL_BENCH_SWEEP_H_
+#define CAROUSEL_BENCH_SWEEP_H_
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace carousel::bench {
+
+/// One point of the local-cluster throughput sweep (Figures 5 and 6).
+struct SweepPoint {
+  double target_tps = 0;
+  double committed_tps = 0;
+  double abort_rate = 0;
+  double dropped_tps = 0;
+  int64_t p50_us = 0;
+};
+
+/// The target-throughput axis of Figures 5 and 6.
+inline std::vector<double> SweepTargets() {
+  if (FastMode()) return {1000, 4000, 8000};
+  return {500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000};
+}
+
+/// Runs the paper's local-cluster experiment (§6.4) for one system across
+/// the target-throughput sweep: 5 DCs at 5 ms RTT, Retwis over 10 M keys,
+/// the calibrated server CPU model, open-loop arrivals.
+inline std::vector<SweepPoint> ThroughputSweep(SystemKind kind,
+                                               uint64_t seed = 77) {
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = FastMode() ? 1'000'000 : 10'000'000;
+
+  std::vector<SweepPoint> points;
+  for (double target : SweepTargets()) {
+    workload::DriverOptions dopts;
+    dopts.target_tps = target;
+    dopts.duration = (FastMode() ? 10 : 16) * kMicrosPerSecond;
+    dopts.warmup = (FastMode() ? 2 : 4) * kMicrosPerSecond;
+    dopts.cooldown = (FastMode() ? 2 : 4) * kMicrosPerSecond;
+
+    auto generator = workload::MakeRetwisGenerator(wopts);
+    // Paper: up to 8 client machines per DC; we provision enough client
+    // slots that the client pool is not the bottleneck below saturation.
+    BenchRun run = RunSystem(kind, LocalClusterTopology(/*clients_per_dc=*/120),
+                             generator.get(), dopts, ThroughputCostModel(),
+                             seed);
+    SweepPoint point;
+    point.target_tps = target;
+    point.committed_tps = run.result.CommittedTps();
+    point.abort_rate = run.result.AbortRate();
+    point.dropped_tps =
+        static_cast<double>(run.result.dropped) / run.result.window_seconds;
+    point.p50_us = run.result.latency.Quantile(0.5);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace carousel::bench
+
+#endif  // CAROUSEL_BENCH_SWEEP_H_

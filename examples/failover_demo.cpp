@@ -1,0 +1,115 @@
+// Failover demo: Carousel keeps committing through a participant-leader
+// crash. The demo drives a steady stream of transactions against one
+// partition, kills the partition's Raft leader mid-stream, and shows (a)
+// the election + CPC recovery on the new leader, (b) the client-side
+// retransmissions masking the failure, and (c) that no committed write is
+// lost and no pending transaction leaks.
+//
+// Run:  ./build/examples/failover_demo
+
+#include <cstdio>
+#include <vector>
+
+#include "carousel/cluster.h"
+
+using namespace carousel;
+
+int main() {
+  Topology topology = Topology::Uniform(/*num_dcs=*/3, /*rtt_ms=*/20);
+  topology.PlacePartitions(3, 3);
+  topology.AddClient(0);
+
+  core::CarouselOptions options;
+  options.fast_path = true;
+  options.local_reads = true;
+  // Small timers so the demo fails over quickly.
+  options.raft.election_timeout_min = 300'000;
+  options.raft.election_timeout_max = 600'000;
+  options.raft.heartbeat_interval = 60'000;
+  options.client_retry_timeout = 1'000'000;
+  options.coordinator_retry_interval = 1'000'000;
+
+  core::Cluster cluster(std::move(topology), options, sim::NetworkOptions{},
+                        /*seed=*/3);
+  cluster.Start();
+
+  // Find a key in partition 1 (whose leader we will crash).
+  Key key;
+  for (int i = 0;; ++i) {
+    key = "counter" + std::to_string(i);
+    if (cluster.directory().PartitionFor(key) == 1) break;
+  }
+  const NodeId doomed = cluster.topology().InitialLeader(1);
+  std::printf("target key '%s' on partition 1; leader is node %d (DC%d)\n",
+              key.c_str(), doomed, cluster.topology().DcOf(doomed));
+
+  // Issue 12 sequential increments, one every 400 ms; crash the leader
+  // while transaction #4 is in flight, recover it at 8 s.
+  core::CarouselClient* client = cluster.client(0);
+  int committed = 0, failed = 0;
+  std::vector<double> latencies;
+
+  for (int i = 0; i < 12; ++i) {
+    cluster.sim().ScheduleAt(
+        cluster.sim().now() + 400 * kMicrosPerMilli * (i + 1), [&, i]() {
+          const TxnId tid = client->Begin();
+          const SimTime start = cluster.sim().now();
+          client->ReadAndPrepare(
+              tid, {key}, {key},
+              [&, tid, start, i](Status status,
+                                 const core::CarouselClient::ReadResults& r) {
+                if (!status.ok()) {
+                  std::printf("txn %2d: read failed: %s\n", i,
+                              status.ToString().c_str());
+                  failed++;
+                  return;
+                }
+                const int value =
+                    r.at(key).value.empty() ? 0 : std::stoi(r.at(key).value);
+                client->Write(tid, key, std::to_string(value + 1));
+                client->Commit(tid, [&, start, i, value](Status s) {
+                  const double ms =
+                      (cluster.sim().now() - start) / 1000.0;
+                  latencies.push_back(ms);
+                  std::printf("txn %2d: %-7s (%2d -> %2d) in %7.1f ms%s\n", i,
+                              s.ok() ? "COMMIT" : "ABORT", value, value + 1,
+                              ms, ms > 500 ? "   <-- failover window" : "");
+                  if (s.ok()) {
+                    committed++;
+                  } else {
+                    failed++;
+                  }
+                });
+              });
+        });
+  }
+  cluster.sim().Schedule(1'700 * kMicrosPerMilli, [&]() {
+    std::printf("*** crashing node %d (partition 1 leader) ***\n", doomed);
+    cluster.Crash(doomed);
+  });
+  cluster.sim().Schedule(8 * kMicrosPerSecond, [&]() {
+    std::printf("*** recovering node %d ***\n", doomed);
+    cluster.Recover(doomed);
+  });
+
+  cluster.sim().RunFor(20 * kMicrosPerSecond);
+
+  core::CarouselServer* leader = cluster.LeaderOf(1);
+  std::printf("\nafter the run: partition 1 leader is node %d (%s)\n",
+              leader->id(),
+              leader->id() == doomed ? "recovered original" : "new leader");
+  const int final_value = std::stoi(leader->store().Get(key).value);
+  std::printf("committed=%d failed=%d, final counter=%d, version=%llu\n",
+              committed, failed, final_value,
+              static_cast<unsigned long long>(
+                  leader->store().Get(key).version));
+  std::printf("pending entries leaked: %zu\n", leader->pending().size());
+
+  const bool consistent =
+      final_value == committed &&
+      leader->store().Get(key).version == static_cast<Version>(committed);
+  std::printf("%s\n", consistent
+                          ? "CONSISTENT: every commit applied exactly once"
+                          : "INCONSISTENT!");
+  return consistent ? 0 : 1;
+}

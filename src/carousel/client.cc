@@ -1,0 +1,340 @@
+#include "carousel/client.h"
+
+#include <memory>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace carousel::core {
+
+CarouselClient::CarouselClient(NodeId id, DcId dc, ClientId client_id,
+                               const Directory* directory,
+                               const CarouselOptions& options)
+    : sim::Node(id, dc),
+      client_id_(client_id),
+      directory_(directory),
+      options_(options) {}
+
+TxnId CarouselClient::Begin() {
+  return TxnId{client_id_, ++next_counter_};
+}
+
+void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
+                                    KeyList writes, ReadCallback callback) {
+  ActiveTxn& txn = txns_[tid];
+  txn.tid = tid;
+  txn.read_cb = std::move(callback);
+  txn.read_only = writes.empty();
+  txn.read_started_at = simulator()->now();
+
+  for (Key& k : reads) {
+    txn.keys[directory_->PartitionFor(k)].reads.push_back(std::move(k));
+  }
+  for (Key& k : writes) {
+    txn.keys[directory_->PartitionFor(k)].writes.push_back(std::move(k));
+  }
+
+  bool all_local = true;
+  for (const auto& [p, rw] : txn.keys) {
+    if (!rw.reads.empty()) txn.awaiting_data.insert(p);
+    if (directory_->LocalReplica(p, dc()) == kInvalidNode) all_local = false;
+  }
+  if (!all_local) rpt_count_++;
+
+  if (!txn.read_only) {
+    std::set<PartitionId> participants;
+    for (const auto& [p, rw] : txn.keys) participants.insert(p);
+    txn.coordinator = directory_->CoordinatorFor(dc(), participants);
+
+    auto notify = std::make_shared<CoordPrepareMsg>();
+    notify->tid = tid;
+    notify->client = id();
+    notify->fast_path = options_.fast_path;
+    notify->keys = txn.keys;
+    network()->Send(id(), txn.coordinator, std::move(notify));
+    ArmHeartbeat(tid);
+  }
+
+  SendReadPrepares(txn, /*retry=*/false);
+  ArmRetryTimer(tid);
+
+  if (txn.awaiting_data.empty()) MaybeFinishReads(txn);
+}
+
+void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
+  for (const auto& [p, rw] : txn.keys) {
+    const bool need_data = txn.awaiting_data.count(p) > 0;
+    auto make_msg = [&](bool want_data) {
+      auto msg = std::make_shared<ReadPrepareMsg>();
+      msg->tid = txn.tid;
+      msg->partition = p;
+      msg->client = id();
+      msg->coordinator = txn.coordinator;
+      msg->read_keys = rw.reads;
+      msg->write_keys = rw.writes;
+      msg->read_only = txn.read_only;
+      msg->fast_path = options_.fast_path && !txn.read_only;
+      msg->want_data = want_data;
+      msg->is_retry = retry;
+      return msg;
+    };
+
+    if (retry) {
+      // Leader unknown after a failure: ask the whole group; only the
+      // leader acts (and replies with data).
+      if (!need_data && txn.read_only) continue;
+      for (NodeId replica : directory_->Replicas(p)) {
+        network()->Send(id(), replica, make_msg(need_data));
+      }
+      continue;
+    }
+
+    const NodeId leader = directory_->CachedLeader(p);
+    if (txn.read_only) {
+      network()->Send(id(), leader, make_msg(true));
+      continue;
+    }
+    if (options_.fast_path) {
+      // CPC: prepare goes to every replica; data comes from the leader
+      // and, with the local-read optimization, the replica in our DC (or
+      // the closest one, when enabled and none is local).
+      NodeId extra = options_.local_reads
+                         ? directory_->LocalReplica(p, dc())
+                         : kInvalidNode;
+      if (extra == kInvalidNode && options_.local_reads &&
+          options_.closest_reads) {
+        const Topology& topo = directory_->topology();
+        SimTime best_rtt = 0;
+        for (NodeId replica : directory_->Replicas(p)) {
+          const SimTime rtt = topo.RttMicros(dc(), topo.DcOf(replica));
+          if (extra == kInvalidNode || rtt < best_rtt) {
+            extra = replica;
+            best_rtt = rtt;
+          }
+        }
+      }
+      for (NodeId replica : directory_->Replicas(p)) {
+        const bool want_data =
+            need_data && (replica == leader || replica == extra);
+        network()->Send(id(), replica, make_msg(want_data));
+      }
+    } else {
+      network()->Send(id(), leader, make_msg(need_data));
+    }
+  }
+}
+
+void CarouselClient::Write(const TxnId& tid, Key key, Value value) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  it->second.writes[std::move(key)] = std::move(value);
+}
+
+void CarouselClient::Commit(const TxnId& tid, CommitCallback callback) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    callback(Status::InvalidArgument("unknown transaction"));
+    return;
+  }
+  ActiveTxn& txn = it->second;
+  txn.commit_cb = std::move(callback);
+  if (txn.read_only) {
+    // Read-only transactions completed at the read callback.
+    FinishCommit(tid, !txn.ro_failed, txn.ro_failed ? "read-only conflict" : "");
+    return;
+  }
+  if (txn.have_early_response) {
+    FinishCommit(tid, txn.early_committed, txn.early_reason);
+    return;
+  }
+  txn.commit_sent = true;
+  txn.commit_started_at = simulator()->now();
+  txn.hb_gen++;  // Commit supersedes heartbeats.
+  txn.retries = 0;
+  SendCommit(txn, /*broadcast=*/false);
+  ArmRetryTimer(tid);
+}
+
+void CarouselClient::SendCommit(ActiveTxn& txn, bool broadcast) {
+  auto msg = std::make_shared<CommitRequestMsg>();
+  msg->tid = txn.tid;
+  msg->client = id();
+  msg->writes = txn.writes;
+  msg->read_versions = txn.versions_used;
+  msg->keys = txn.keys;
+  if (broadcast) {
+    const PartitionId p =
+        directory_->topology().node(txn.coordinator).partition;
+    for (NodeId replica : directory_->Replicas(p)) {
+      network()->Send(id(), replica, msg);
+    }
+  } else {
+    network()->Send(id(), txn.coordinator, std::move(msg));
+  }
+}
+
+void CarouselClient::Abort(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  ActiveTxn& txn = it->second;
+  if (!txn.read_only && txn.coordinator != kInvalidNode) {
+    auto msg = std::make_shared<AbortRequestMsg>();
+    msg->tid = tid;
+    msg->client = id();
+    network()->Send(id(), txn.coordinator, std::move(msg));
+  }
+  txns_.erase(it);
+}
+
+void CarouselClient::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
+  (void)from;
+  switch (msg->type()) {
+    case sim::kCarouselReadResponse: {
+      const auto& m = sim::As<ReadResponseMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end()) return;
+      ActiveTxn& txn = it->second;
+      if (txn.reads_done) return;
+      if (txn.read_only && !m.ok) {
+        txn.ro_failed = true;
+        txn.awaiting_data.erase(m.partition);
+        MaybeFinishReads(txn);
+        return;
+      }
+      // First response per partition wins (leader or local replica).
+      if (txn.awaiting_data.erase(m.partition) == 0) return;
+      for (const auto& [k, vv] : m.reads) {
+        txn.results[k] = vv;
+        txn.versions_used[k] = vv.version;
+      }
+      MaybeFinishReads(txn);
+      return;
+    }
+    case sim::kCarouselCommitResponse: {
+      const auto& m = sim::As<CommitResponseMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end()) return;
+      ActiveTxn& txn = it->second;
+      if (!txn.commit_sent && !txn.commit_cb) {
+        // Early decision (e.g., abort on prepare conflict) before the
+        // application called Commit; remember it.
+        txn.have_early_response = true;
+        txn.early_committed = m.committed;
+        txn.early_reason = m.reason;
+        return;
+      }
+      FinishCommit(m.tid, m.committed, m.reason);
+      return;
+    }
+    case sim::kCarouselNotLeader: {
+      const auto& m = sim::As<NotLeaderMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end()) return;
+      ActiveTxn& txn = it->second;
+      if (txn.commit_sent && m.leader_hint != kInvalidNode &&
+          m.leader_hint != txn.coordinator) {
+        txn.coordinator = m.leader_hint;
+        SendCommit(txn, /*broadcast=*/false);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
+  if (txn.reads_done || !txn.awaiting_data.empty()) return;
+  txn.reads_done = true;
+  if (!txn.read_only) {
+    read_phase_.Record(simulator()->now() - txn.read_started_at);
+  }
+  const TxnId tid = txn.tid;
+  if (txn.read_only) {
+    txn.hb_gen++;
+    txn.retry_gen++;
+    ReadCallback cb = std::move(txn.read_cb);
+    const bool failed = txn.ro_failed;
+    ReadResults results = std::move(txn.results);
+    txns_.erase(tid);
+    if (cb) {
+      cb(failed ? Status::Aborted("read-only conflict") : Status::OK(),
+         results);
+    }
+    return;
+  }
+  if (txn.read_cb) {
+    ReadCallback cb = std::move(txn.read_cb);
+    cb(Status::OK(), txn.results);
+    // Note: the callback may have called Commit()/Abort() re-entrantly;
+    // `txn` may be invalid past this point.
+  }
+}
+
+void CarouselClient::FinishCommit(const TxnId& tid, bool committed,
+                                  const std::string& reason) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  if (committed && it->second.commit_started_at > 0) {
+    commit_phase_.Record(simulator()->now() - it->second.commit_started_at);
+  }
+  CommitCallback cb = std::move(it->second.commit_cb);
+  it->second.hb_gen++;
+  it->second.retry_gen++;
+  txns_.erase(it);
+  if (cb) {
+    cb(committed ? Status::OK() : Status::Aborted(reason));
+  }
+}
+
+void CarouselClient::ArmHeartbeat(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  const uint64_t gen = it->second.hb_gen;
+  simulator()->Schedule(options_.heartbeat_interval, [this, tid, gen]() {
+    if (!alive()) return;
+    auto it = txns_.find(tid);
+    if (it == txns_.end() || it->second.hb_gen != gen) return;
+    ActiveTxn& txn = it->second;
+    if (txn.commit_sent) return;
+    auto msg = std::make_shared<HeartbeatMsg>();
+    msg->tid = tid;
+    msg->client = id();
+    network()->Send(id(), txn.coordinator, msg);
+    ArmHeartbeat(tid);
+  });
+}
+
+void CarouselClient::ArmRetryTimer(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  const uint64_t gen = ++it->second.retry_gen;
+  simulator()->Schedule(options_.client_retry_timeout, [this, tid, gen]() {
+    if (!alive()) return;
+    auto it = txns_.find(tid);
+    if (it == txns_.end() || it->second.retry_gen != gen) return;
+    ActiveTxn& txn = it->second;
+    if (txn.reads_done && !txn.commit_sent) {
+      // Between phases (application is deciding); nothing to retransmit.
+      ArmRetryTimer(tid);
+      return;
+    }
+    if (++txn.retries > kMaxRetries) {
+      const bool in_commit = txn.commit_sent;
+      CommitCallback ccb = std::move(txn.commit_cb);
+      ReadCallback rcb = txn.reads_done ? nullptr : std::move(txn.read_cb);
+      txns_.erase(it);
+      if (rcb) rcb(Status::TimedOut("read phase"), {});
+      if (in_commit && ccb) ccb(Status::TimedOut("commit"));
+      return;
+    }
+    if (txn.commit_sent) {
+      SendCommit(txn, /*broadcast=*/true);
+    } else if (!txn.reads_done) {
+      SendReadPrepares(txn, /*retry=*/true);
+    }
+    ArmRetryTimer(tid);
+  });
+}
+
+}  // namespace carousel::core

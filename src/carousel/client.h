@@ -1,0 +1,125 @@
+#ifndef CAROUSEL_CAROUSEL_CLIENT_H_
+#define CAROUSEL_CAROUSEL_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "carousel/directory.h"
+#include "carousel/messages.h"
+#include "carousel/options.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace carousel::core {
+
+/// Carousel's client-side library (paper Fig. 1). One instance runs inside
+/// each application server; transactions follow the 2FI model: Begin ->
+/// ReadAndPrepare (all read/write keys up front) -> Write (buffered) ->
+/// Commit or Abort. Completion is delivered through callbacks because the
+/// client is an actor in the simulated cluster.
+///
+/// The library piggybacks prepare requests on reads, notifies the
+/// coordinator, heartbeats until Commit, uses local replicas when
+/// configured (Carousel Fast), and masks leader failures by retransmitting
+/// to whole consensus groups.
+class CarouselClient : public sim::Node {
+ public:
+  using ReadResults = std::map<Key, VersionedValue>;
+  /// Status is OK, Aborted (read-only validation failure) or TimedOut.
+  using ReadCallback = std::function<void(Status, const ReadResults&)>;
+  /// Status is OK (committed), Aborted (with reason) or TimedOut.
+  using CommitCallback = std::function<void(Status)>;
+
+  CarouselClient(NodeId id, DcId dc, ClientId client_id,
+                 const Directory* directory, const CarouselOptions& options);
+
+  /// Starts a transaction and returns its id.
+  TxnId Begin();
+
+  /// Issues the single read round and, unless the write set is empty,
+  /// initiates the concurrent Prepare phase. An empty `writes` makes this
+  /// a read-only transaction (one roundtrip, no coordinator, §4.4.2),
+  /// which completes at the callback.
+  void ReadAndPrepare(const TxnId& tid, KeyList reads, KeyList writes,
+                      ReadCallback callback);
+
+  /// Buffers a write; `key` must be in the write set given to
+  /// ReadAndPrepare. Unwritten write-set keys simply keep their old value.
+  void Write(const TxnId& tid, Key key, Value value);
+
+  /// Commits the transaction; the callback reports the outcome.
+  void Commit(const TxnId& tid, CommitCallback callback);
+
+  /// Aborts the transaction (fire and forget).
+  void Abort(const TxnId& tid);
+
+  /// Number of transactions with no local replica for some participant
+  /// partition (Remote-Partition Transactions); for experiment reporting.
+  uint64_t rpt_count() const { return rpt_count_; }
+
+  /// Phase latency breakdown over committed read-write transactions:
+  /// Read phase (ReadAndPrepare -> read callback) and Commit phase
+  /// (Commit -> response). The concurrent Prepare phase has no
+  /// client-visible end; its latency is what the commit phase absorbs
+  /// when it exceeds Read + Commit (paper Fig. 2).
+  const Histogram& read_phase_latency() const { return read_phase_; }
+  const Histogram& commit_phase_latency() const { return commit_phase_; }
+
+  // sim::Node interface.
+  void HandleMessage(NodeId from, const sim::MessagePtr& msg) override;
+
+ private:
+  struct ActiveTxn {
+    TxnId tid;
+    bool read_only = false;
+    std::map<PartitionId, RwKeys> keys;
+    NodeId coordinator = kInvalidNode;
+    std::set<PartitionId> awaiting_data;
+    ReadResults results;
+    ReadVersionMap versions_used;
+    ReadCallback read_cb;
+    bool reads_done = false;
+    bool ro_failed = false;
+    WriteSet writes;
+    bool commit_sent = false;
+    CommitCallback commit_cb;
+    /// Coordinator decided before we asked (e.g., early abort on a prepare
+    /// conflict).
+    bool have_early_response = false;
+    bool early_committed = false;
+    std::string early_reason;
+    uint64_t hb_gen = 0;
+    uint64_t retry_gen = 0;
+    int retries = 0;
+    SimTime read_started_at = 0;
+    SimTime commit_started_at = 0;
+  };
+
+  void SendReadPrepares(ActiveTxn& txn, bool retry);
+  void SendCommit(ActiveTxn& txn, bool broadcast);
+  void MaybeFinishReads(ActiveTxn& txn);
+  void FinishCommit(const TxnId& tid, bool committed,
+                    const std::string& reason);
+  void ArmHeartbeat(const TxnId& tid);
+  void ArmRetryTimer(const TxnId& tid);
+
+  ClientId client_id_;
+  const Directory* directory_;
+  CarouselOptions options_;
+  uint64_t next_counter_ = 0;
+  std::unordered_map<TxnId, ActiveTxn, TxnIdHash> txns_;
+  uint64_t rpt_count_ = 0;
+  Histogram read_phase_;
+  Histogram commit_phase_;
+  static constexpr int kMaxRetries = 10;
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_CLIENT_H_

@@ -1,0 +1,53 @@
+#include "carousel/cluster.h"
+
+namespace carousel::core {
+
+Cluster::Cluster(Topology topology, CarouselOptions options,
+                 sim::NetworkOptions net_options, uint64_t seed)
+    : topology_(std::move(topology)), sim_(seed) {
+  directory_ = std::make_unique<Directory>(&topology_);
+  network_ = std::make_unique<sim::Network>(&sim_, &topology_, net_options);
+
+  ClientId next_client_id = 0;
+  for (const NodeInfo& info : topology_.nodes()) {
+    if (info.is_client) {
+      auto client = std::make_unique<CarouselClient>(
+          info.id, info.dc, next_client_id++, directory_.get(), options);
+      network_->Register(client.get());
+      client_ptrs_.push_back(client.get());
+      clients_.push_back(std::move(client));
+    } else {
+      auto server = std::make_unique<CarouselServer>(info, directory_.get(),
+                                                     &sim_, options);
+      network_->Register(server.get());
+      servers_.emplace(info.id, std::move(server));
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::Start() {
+  for (auto& [id, server] : servers_) server->Start();
+  // Settle until every bootstrap leader has committed its initial no-op
+  // (up to one WAN roundtrip) and is serving, so measurements start from
+  // a steady state.
+  for (int rounds = 0; rounds < 1000; ++rounds) {
+    bool all_serving = true;
+    for (auto& [id, server] : servers_) {
+      if (!server->serving()) all_serving = false;
+    }
+    if (all_serving && rounds > 0) break;
+    sim_.RunFor(10 * kMicrosPerMilli);
+  }
+}
+
+CarouselServer* Cluster::LeaderOf(PartitionId p) {
+  for (NodeId id : topology_.Replicas(p)) {
+    CarouselServer* server = servers_.at(id).get();
+    if (server->alive() && server->raft()->is_leader()) return server;
+  }
+  return nullptr;
+}
+
+}  // namespace carousel::core

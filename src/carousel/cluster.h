@@ -1,0 +1,64 @@
+#ifndef CAROUSEL_CAROUSEL_CLUSTER_H_
+#define CAROUSEL_CAROUSEL_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "carousel/client.h"
+#include "carousel/directory.h"
+#include "carousel/options.h"
+#include "carousel/server.h"
+#include "common/topology.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace carousel::core {
+
+/// Owns a complete simulated Carousel deployment: the simulator, network,
+/// directory, one CarouselServer per partition replica, and one
+/// CarouselClient per client slot in the topology. Tests, examples, and
+/// benches build deployments exclusively through this class.
+class Cluster {
+ public:
+  /// `topology` must already have partitions placed and clients added.
+  Cluster(Topology topology, CarouselOptions options,
+          sim::NetworkOptions net_options = {}, uint64_t seed = 1);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts every server (replica 0 of each partition bootstraps as
+  /// leader) and settles the initial heartbeats.
+  void Start();
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const Directory& directory() const { return *directory_; }
+  const Topology& topology() const { return topology_; }
+
+  CarouselServer* server(NodeId id) { return servers_.at(id).get(); }
+  const std::vector<CarouselClient*>& clients() { return client_ptrs_; }
+  CarouselClient* client(int index) { return client_ptrs_.at(index); }
+
+  /// The current leader of a partition (by asking the replicas), or
+  /// nullptr during an election.
+  CarouselServer* LeaderOf(PartitionId p);
+
+  /// Crashes / recovers a node by id (failure injection passthrough).
+  void Crash(NodeId id) { network_->Crash(id); }
+  void Recover(NodeId id) { network_->Recover(id); }
+
+ private:
+  Topology topology_;
+  sim::Simulator sim_;
+  std::unique_ptr<Directory> directory_;
+  std::unique_ptr<sim::Network> network_;
+  std::unordered_map<NodeId, std::unique_ptr<CarouselServer>> servers_;
+  std::vector<std::unique_ptr<CarouselClient>> clients_;
+  std::vector<CarouselClient*> client_ptrs_;
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_CLUSTER_H_

@@ -1,0 +1,68 @@
+#ifndef CAROUSEL_CAROUSEL_DIRECTORY_H_
+#define CAROUSEL_CAROUSEL_DIRECTORY_H_
+
+#include <set>
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/topology.h"
+#include "common/types.h"
+
+namespace carousel::core {
+
+/// The directory service from paper §3.3 (the role Chubby/ZooKeeper plays
+/// in a real deployment): maps keys to partitions via consistent hashing
+/// and partitions to server locations. Client libraries hold a pointer to
+/// it and treat leader information as a cache — it records the *initial*
+/// leaders; after a failover clients discover the new leader by
+/// retransmitting to the whole consensus group.
+class Directory {
+ public:
+  Directory(const Topology* topology, int virtual_nodes = 64)
+      : topology_(topology),
+        ring_(topology->num_partitions(), virtual_nodes) {}
+
+  const Topology& topology() const { return *topology_; }
+
+  /// Partition owning `key`.
+  PartitionId PartitionFor(const Key& key) const {
+    return ring_.PartitionFor(key);
+  }
+
+  /// All replicas of a partition's consensus group.
+  const std::vector<NodeId>& Replicas(PartitionId p) const {
+    return topology_->Replicas(p);
+  }
+
+  /// The cached (initial) leader of a partition.
+  NodeId CachedLeader(PartitionId p) const {
+    return topology_->InitialLeader(p);
+  }
+
+  /// The replica of `p` in `dc`, or kInvalidNode.
+  NodeId LocalReplica(PartitionId p, DcId dc) const {
+    return topology_->ReplicaIn(p, dc);
+  }
+
+  /// Picks a coordinator for a transaction issued from `dc` touching
+  /// `participants`: a local participant leader when one exists, otherwise
+  /// any local consensus group leader (paper §3.3).
+  NodeId CoordinatorFor(DcId dc, const std::set<PartitionId>& participants) const {
+    for (PartitionId p : participants) {
+      const NodeId leader = CachedLeader(p);
+      if (topology_->DcOf(leader) == dc) return leader;
+    }
+    const PartitionId home = topology_->HomePartitionOf(dc);
+    if (home != kInvalidPartition) return CachedLeader(home);
+    // No local leader at all: fall back to the first partition's leader.
+    return CachedLeader(0);
+  }
+
+ private:
+  const Topology* topology_;
+  ConsistentHashRing ring_;
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_DIRECTORY_H_

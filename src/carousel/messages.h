@@ -1,0 +1,298 @@
+#ifndef CAROUSEL_CAROUSEL_MESSAGES_H_
+#define CAROUSEL_CAROUSEL_MESSAGES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace carousel::core {
+
+/// Read and write key sets of a transaction restricted to one partition.
+struct RwKeys {
+  KeyList reads;
+  KeyList writes;
+};
+
+/// Byte-size helpers for bandwidth accounting.
+size_t SizeOfKeys(const KeyList& keys);
+size_t SizeOfWrites(const WriteSet& writes);
+size_t SizeOfVersions(const ReadVersionMap& versions);
+size_t SizeOfReads(const std::map<Key, VersionedValue>& reads);
+
+/// Client -> participant replica. Carries the read request and the
+/// piggybacked prepare request (paper §4.1.4). In Basic mode it goes to the
+/// participant leader only; with CPC (fast_path) it goes to every replica
+/// of the partition (§4.2). For read-only transactions it goes to the
+/// leader only and carries no prepare (§4.4.2).
+struct ReadPrepareMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId client = kInvalidNode;
+  NodeId coordinator = kInvalidNode;
+  KeyList read_keys;
+  KeyList write_keys;
+  bool read_only = false;
+  bool fast_path = false;
+  /// Whether this recipient should return read values to the client
+  /// (leader always; with the local-read optimization also the replica in
+  /// the client's DC).
+  bool want_data = false;
+  /// True when this is a recovery re-send (coordinator QueryPrepare or
+  /// client retry); recipients must answer idempotently.
+  bool is_retry = false;
+
+  int type() const override { return sim::kCarouselReadPrepare; }
+  size_t SizeBytes() const override {
+    return 48 + SizeOfKeys(read_keys) + SizeOfKeys(write_keys);
+  }
+};
+
+/// Participant replica -> client: read values (and read-only validation
+/// outcome).
+struct ReadResponseMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  /// False only for read-only transactions that failed OCC validation.
+  bool ok = true;
+  bool from_leader = true;
+  std::map<Key, VersionedValue> reads;
+
+  int type() const override { return sim::kCarouselReadResponse; }
+  size_t SizeBytes() const override { return 32 + SizeOfReads(reads); }
+};
+
+/// Participant replica -> coordinator: a prepare decision. Sent directly
+/// by every replica on the CPC fast path (via_fast_path = true) and by the
+/// leader after its decision is replicated on the slow path.
+struct PrepareDecisionMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId replica = kInvalidNode;
+  bool is_leader = false;
+  bool via_fast_path = false;
+  bool prepared = false;
+  /// Data versions this replica used to prepare (CPC up-to-date check and
+  /// the coordinator's staleness validation, §4.4.1).
+  ReadVersionMap read_versions;
+  /// Raft term the replica was in (CPC up-to-date check).
+  uint64_t term = 0;
+
+  int type() const override { return sim::kCarouselPrepareDecision; }
+  size_t SizeBytes() const override {
+    return 48 + SizeOfVersions(read_versions);
+  }
+};
+
+/// Client -> coordinator, sent together with the read/prepare round:
+/// announces the transaction and its full key sets so the coordinator can
+/// replicate them to its consensus group (making the coordinator fault
+/// tolerant, unlike client-coordinated protocols).
+struct CoordPrepareMsg final : sim::Message {
+  TxnId tid;
+  NodeId client = kInvalidNode;
+  bool fast_path = false;
+  std::map<PartitionId, RwKeys> keys;
+
+  int type() const override { return sim::kCarouselCoordPrepare; }
+  size_t SizeBytes() const override {
+    size_t sz = 32;
+    for (const auto& [p, rw] : keys) {
+      sz += 8 + SizeOfKeys(rw.reads) + SizeOfKeys(rw.writes);
+    }
+    return sz;
+  }
+};
+
+/// Client -> coordinator: commit with buffered writes and the versions the
+/// client actually read (for the staleness check).
+struct CommitRequestMsg final : sim::Message {
+  TxnId tid;
+  NodeId client = kInvalidNode;
+  WriteSet writes;
+  ReadVersionMap read_versions;
+  /// The transaction's key sets, repeated from the prepare notification so
+  /// a coordinator that lost the notification (crash + failover) can still
+  /// finish the transaction.
+  std::map<PartitionId, RwKeys> keys;
+
+  int type() const override { return sim::kCarouselCommitRequest; }
+  size_t SizeBytes() const override {
+    size_t sz = 32 + SizeOfWrites(writes) + SizeOfVersions(read_versions);
+    for (const auto& [p, rw] : keys) {
+      sz += 8 + SizeOfKeys(rw.reads) + SizeOfKeys(rw.writes);
+    }
+    return sz;
+  }
+};
+
+/// Client -> coordinator: application-initiated abort.
+struct AbortRequestMsg final : sim::Message {
+  TxnId tid;
+  NodeId client = kInvalidNode;
+
+  int type() const override { return sim::kCarouselAbortRequest; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+/// Coordinator -> client: transaction outcome.
+struct CommitResponseMsg final : sim::Message {
+  TxnId tid;
+  bool committed = false;
+  /// Short reason for aborts ("conflict", "stale read", ...).
+  std::string reason;
+
+  int type() const override { return sim::kCarouselCommitResponse; }
+  size_t SizeBytes() const override { return 24 + reason.size(); }
+};
+
+/// Coordinator -> participant leader (Writeback phase): the commit
+/// decision and, on commit, the updates for that partition.
+struct WritebackMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId coordinator = kInvalidNode;
+  bool commit = false;
+  WriteSet writes;
+
+  int type() const override { return sim::kCarouselWriteback; }
+  size_t SizeBytes() const override { return 32 + SizeOfWrites(writes); }
+};
+
+/// Participant leader -> coordinator: writeback durably replicated.
+struct WritebackAckMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+
+  int type() const override { return sim::kCarouselWritebackAck; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+/// Client -> coordinator: liveness heartbeat while a transaction is in its
+/// Read phase (paper §4.3.1).
+struct HeartbeatMsg final : sim::Message {
+  TxnId tid;
+  NodeId client = kInvalidNode;
+
+  int type() const override { return sim::kCarouselHeartbeat; }
+  size_t SizeBytes() const override { return 20; }
+};
+
+/// (Recovered) coordinator -> participant replicas: re-acquire a prepare
+/// decision (paper §4.3.3, coordinator failure). Includes the key sets so
+/// a participant that lost the transaction can prepare it afresh.
+struct QueryPrepareMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId coordinator = kInvalidNode;
+  KeyList read_keys;
+  KeyList write_keys;
+
+  int type() const override { return sim::kCarouselQueryPrepare; }
+  size_t SizeBytes() const override {
+    return 40 + SizeOfKeys(read_keys) + SizeOfKeys(write_keys);
+  }
+};
+
+/// Participant leader -> coordinator: 2PC termination probe for a pending
+/// transaction whose writeback never arrived (e.g., the coordinator and
+/// client both failed). The coordinator answers with a WritebackMsg; an
+/// unknown transaction is fenced as aborted, which is safe because commits
+/// are always durably logged in the coordinator's group first.
+struct QueryDecisionMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+
+  int type() const override { return sim::kCarouselQueryDecision; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+/// Any replica -> client: redirect to the current group leader.
+struct NotLeaderMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId leader_hint = kInvalidNode;
+
+  int type() const override { return sim::kCarouselNotLeader; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+// ---------------------------------------------------------------------------
+// Raft log payloads (replicated, never sent standalone).
+// ---------------------------------------------------------------------------
+
+/// Coordinator group: the transaction's participants and key sets,
+/// replicated when the coordinator receives the prepare notification.
+struct LogTxnInfo final : sim::Message {
+  TxnId tid;
+  NodeId client = kInvalidNode;
+  bool fast_path = false;
+  std::map<PartitionId, RwKeys> keys;
+
+  int type() const override { return sim::kLogTxnInfo; }
+  size_t SizeBytes() const override {
+    size_t sz = 32;
+    for (const auto& [p, rw] : keys) {
+      sz += 8 + SizeOfKeys(rw.reads) + SizeOfKeys(rw.writes);
+    }
+    return sz;
+  }
+};
+
+/// Coordinator group: the client's writes + observed read versions,
+/// replicated on Commit before answering the client.
+struct LogWriteData final : sim::Message {
+  TxnId tid;
+  WriteSet writes;
+  ReadVersionMap client_versions;
+
+  int type() const override { return sim::kLogWriteData; }
+  size_t SizeBytes() const override {
+    return 24 + SizeOfWrites(writes) + SizeOfVersions(client_versions);
+  }
+};
+
+/// Coordinator group: the final decision (Writeback phase).
+struct LogDecision final : sim::Message {
+  TxnId tid;
+  bool commit = false;
+
+  int type() const override { return sim::kLogDecision; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+/// Participant group: the leader's prepare decision with read/write sets,
+/// read versions and term (paper §4.1.4).
+struct LogPrepareResult final : sim::Message {
+  TxnId tid;
+  NodeId coordinator = kInvalidNode;
+  bool prepared = false;
+  KeyList read_keys;
+  KeyList write_keys;
+  ReadVersionMap read_versions;
+  uint64_t term = 0;
+
+  int type() const override { return sim::kLogPrepareResult; }
+  size_t SizeBytes() const override {
+    return 48 + SizeOfKeys(read_keys) + SizeOfKeys(write_keys) +
+           SizeOfVersions(read_versions);
+  }
+};
+
+/// Participant group: the commit decision plus this partition's updates
+/// (Writeback phase).
+struct LogCommit final : sim::Message {
+  TxnId tid;
+  NodeId coordinator = kInvalidNode;
+  bool commit = false;
+  WriteSet writes;
+
+  int type() const override { return sim::kLogCommit; }
+  size_t SizeBytes() const override { return 32 + SizeOfWrites(writes); }
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_MESSAGES_H_

@@ -1,0 +1,62 @@
+#ifndef CAROUSEL_CAROUSEL_OPTIONS_H_
+#define CAROUSEL_CAROUSEL_OPTIONS_H_
+
+#include "common/types.h"
+#include "raft/raft_node.h"
+
+namespace carousel::core {
+
+/// Per-message-type CPU costs of a Carousel data server, in microseconds.
+/// Zero (the default) disables the queueing model, which is appropriate for
+/// latency experiments at low load; the throughput benches (Figures 5-7)
+/// set realistic costs so saturation emerges from queueing.
+struct ServerCostModel {
+  SimTime base = 0;             // dispatch overhead per message
+  SimTime per_read_key = 0;     // store lookup per read key
+  SimTime per_occ_key = 0;      // conflict-check per key
+  SimTime per_write_key = 0;    // apply per written key
+  SimTime per_log_entry = 0;    // raft append/apply per entry
+  /// CPU cores per server. Carousel's prototype (Go, goroutine-per-
+  /// request) exploits all cores of the paper's 8-vCPU instances, whereas
+  /// TAPIR's reference implementation processes requests on a single
+  /// event loop; benches model that difference here.
+  int cores = 1;
+};
+
+/// Configuration of a Carousel deployment.
+struct CarouselOptions {
+  /// Use the CPC fast path (Carousel Fast). When false the system is
+  /// Carousel Basic (paper §5).
+  bool fast_path = false;
+  /// Read from a replica in the client's DC when one exists (§4.4.1);
+  /// evaluated only when fast_path is on, matching the paper's "Carousel
+  /// Fast" configuration.
+  bool local_reads = false;
+  /// Extension mentioned in §4.4.1: when no replica is local, also read
+  /// from the *closest* replica (by RTT) instead of only the leader; the
+  /// coordinator's version check still aborts stale reads. Requires
+  /// local_reads.
+  bool closest_reads = false;
+
+  /// Client heartbeat interval and the number of consecutive misses after
+  /// which the coordinator aborts an uncommitted transaction (§4.3.1).
+  SimTime heartbeat_interval = 1'000'000;  // 1 s
+  int heartbeat_misses = 3;
+
+  /// Client-side retransmission timeout for reads/commits (covers leader
+  /// failures) and the coordinator's writeback/query retry interval.
+  SimTime client_retry_timeout = 4'000'000;  // 4 s
+  SimTime coordinator_retry_interval = 4'000'000;
+
+  /// Participant leaders probe the coordinator for pending transactions
+  /// older than this (2PC termination; closes leaks when both the client
+  /// and the coordinator notification are lost).
+  SimTime pending_gc_interval = 20'000'000;  // 20 s
+
+  raft::RaftOptions raft;
+  ServerCostModel cost;
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_OPTIONS_H_

@@ -1,0 +1,103 @@
+#include "carousel/recon.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace carousel::core {
+
+void ReconnaissanceRunner::Run(CarouselClient* client, KeyList recon_reads,
+                               DeriveFn derive, BodyFn body, DoneFn done,
+                               int max_attempts) {
+  Attempt(client, std::move(recon_reads), std::move(derive), std::move(body),
+          std::move(done), 1, max_attempts);
+}
+
+void ReconnaissanceRunner::Attempt(CarouselClient* client,
+                                   KeyList recon_reads, DeriveFn derive,
+                                   BodyFn body, DoneFn done, int attempt,
+                                   int max_attempts) {
+  // Step 1: the reconnaissance transaction — read-only, 2FI by
+  // construction since the reconnaissance keys are known in advance.
+  const TxnId recon_tid = client->Begin();
+  client->ReadAndPrepare(
+      recon_tid, recon_reads, /*writes=*/{},
+      [client, recon_reads, derive, body, done, attempt, max_attempts](
+          Status recon_status, const ReadResults& recon_results) {
+        if (recon_status.code() == StatusCode::kTimedOut) {
+          done(recon_status, attempt);
+          return;
+        }
+        if (!recon_status.ok()) {
+          // Read-only validation conflict: retry the reconnaissance.
+          if (attempt >= max_attempts) {
+            done(Status::Aborted("reconnaissance kept conflicting"), attempt);
+            return;
+          }
+          Attempt(client, recon_reads, derive, body, done, attempt + 1,
+                  max_attempts);
+          return;
+        }
+
+        // Step 2: derive the main transaction; the reconnaissance keys
+        // join its read set so their versions are re-validated.
+        MainTxn main = derive(recon_results);
+        for (const Key& k : recon_reads) {
+          if (std::find(main.reads.begin(), main.reads.end(), k) ==
+              main.reads.end()) {
+            main.reads.push_back(k);
+          }
+        }
+
+        // Step 3: the main transaction (2FI: keys now fixed).
+        const TxnId main_tid = client->Begin();
+        client->ReadAndPrepare(
+            main_tid, main.reads, main.writes,
+            [client, main_tid, recon_reads, recon_results, derive, body,
+             done, attempt, max_attempts](Status main_status,
+                                          const ReadResults& main_reads) {
+              if (!main_status.ok()) {
+                done(main_status, attempt);
+                return;
+              }
+              // Validate: every reconnaissance read must be unchanged,
+              // otherwise the derived keys may be wrong (paper: "check
+              // that the customer's name matches the name used by the
+              // reconnaissance transaction").
+              for (const Key& k : recon_reads) {
+                auto now = main_reads.find(k);
+                auto then = recon_results.find(k);
+                const bool changed =
+                    now == main_reads.end() || then == recon_results.end() ||
+                    now->second.version != then->second.version;
+                if (changed) {
+                  client->Abort(main_tid);
+                  if (attempt >= max_attempts) {
+                    done(Status::Aborted("reconnaissance data kept changing"),
+                         attempt);
+                    return;
+                  }
+                  Attempt(client, recon_reads, derive, body, done,
+                          attempt + 1, max_attempts);
+                  return;
+                }
+              }
+              body(client, main_tid, main_reads);
+              client->Commit(
+                  main_tid,
+                  [client, recon_reads, derive, body, done, attempt,
+                   max_attempts](Status commit_status) {
+                    if (commit_status.ok() ||
+                        commit_status.code() == StatusCode::kTimedOut ||
+                        attempt >= max_attempts) {
+                      done(commit_status, attempt);
+                      return;
+                    }
+                    // OCC conflict: retry the whole sequence.
+                    Attempt(client, recon_reads, derive, body, done,
+                            attempt + 1, max_attempts);
+                  });
+            });
+      });
+}
+
+}  // namespace carousel::core

@@ -1,0 +1,63 @@
+#ifndef CAROUSEL_CAROUSEL_RECON_H_
+#define CAROUSEL_CAROUSEL_RECON_H_
+
+#include <functional>
+
+#include "carousel/client.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace carousel::core {
+
+/// Reconnaissance transactions (paper §3.2).
+///
+/// 2FI transactions cannot perform dependent reads or writes — keys whose
+/// identity depends on the value of an earlier read (e.g., finding a
+/// customer id through a name index, then updating the customer record).
+/// The paper's workaround: first run a read-only *reconnaissance*
+/// transaction to discover the keys, then run the real transaction with
+/// the discovered keys, re-reading the reconnaissance keys and validating
+/// that their values did not change in between; on a mismatch both
+/// transactions retry.
+///
+/// RunWithReconnaissance packages that pattern:
+///   1. a read-only transaction reads `recon_reads`;
+///   2. `derive` turns the reconnaissance results into the main
+///      transaction's key sets (the runner automatically adds the
+///      reconnaissance keys to the main read set for validation);
+///   3. the main transaction runs; if any reconnaissance key's version
+///      changed, it is aborted and the whole sequence retries;
+///   4. `body` issues the writes (it sees the main transaction's reads);
+///   5. `done(status, attempts)` reports the final outcome.
+class ReconnaissanceRunner {
+ public:
+  using ReadResults = CarouselClient::ReadResults;
+
+  /// Key sets of the main transaction, as derived from reconnaissance.
+  struct MainTxn {
+    KeyList reads;
+    KeyList writes;
+  };
+
+  using DeriveFn = std::function<MainTxn(const ReadResults& recon_results)>;
+  /// Issues Write() calls for the main transaction.
+  using BodyFn = std::function<void(CarouselClient* client, const TxnId& tid,
+                                    const ReadResults& main_reads)>;
+  using DoneFn = std::function<void(Status status, int attempts)>;
+
+  /// Runs the two-transaction sequence with up to `max_attempts` tries.
+  /// Completion statuses: OK (committed), Aborted (conflict persisted
+  /// through all attempts), TimedOut (infrastructure failure).
+  static void Run(CarouselClient* client, KeyList recon_reads,
+                  DeriveFn derive, BodyFn body, DoneFn done,
+                  int max_attempts = 5);
+
+ private:
+  static void Attempt(CarouselClient* client, KeyList recon_reads,
+                      DeriveFn derive, BodyFn body, DoneFn done,
+                      int attempt, int max_attempts);
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_RECON_H_

@@ -1,0 +1,46 @@
+#ifndef CAROUSEL_COMMON_CONSISTENT_HASH_H_
+#define CAROUSEL_COMMON_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace carousel {
+
+/// Maps keys to partitions with consistent hashing (paper §3.3): each
+/// partition owns `virtual_nodes` points on a 64-bit ring, and a key maps
+/// to the partition owning the first point clockwise from the key's hash.
+///
+/// Adding or removing a partition only remaps ~1/P of the key space, which
+/// the stability tests assert.
+class ConsistentHashRing {
+ public:
+  /// Builds a ring over partitions [0, num_partitions).
+  explicit ConsistentHashRing(int num_partitions, int virtual_nodes = 64);
+
+  /// Returns the partition responsible for `key`.
+  PartitionId PartitionFor(const Key& key) const;
+
+  /// Adds a new partition id to the ring.
+  void AddPartition(PartitionId partition);
+
+  /// Removes a partition from the ring.
+  void RemovePartition(PartitionId partition);
+
+  int num_partitions() const { return num_partitions_; }
+
+  /// Hashes an arbitrary byte string to a ring position (FNV-1a, exposed
+  /// for tests).
+  static uint64_t HashBytes(const Key& key);
+
+ private:
+  std::map<uint64_t, PartitionId> ring_;
+  int virtual_nodes_;
+  int num_partitions_;
+};
+
+}  // namespace carousel
+
+#endif  // CAROUSEL_COMMON_CONSISTENT_HASH_H_

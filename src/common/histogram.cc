@@ -1,0 +1,106 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace carousel {
+namespace {
+
+// Geometric growth factor for buckets above the linear range.
+constexpr double kGrowth = 1.02;
+
+int NumLinearBuckets() { return 1000 / 25; }
+
+}  // namespace
+
+Histogram::Histogram() {
+  // Enough geometric buckets to cover kMaxValue.
+  int geo = static_cast<int>(
+                std::ceil(std::log(static_cast<double>(kMaxValue) / kLinearLimit) /
+                          std::log(kGrowth))) +
+            2;
+  buckets_.assign(NumLinearBuckets() + geo, 0);
+}
+
+int Histogram::BucketFor(int64_t micros) {
+  if (micros < 0) micros = 0;
+  if (micros < kLinearLimit) return static_cast<int>(micros / kLinearStep);
+  if (micros > kMaxValue) micros = kMaxValue;
+  const double ratio = static_cast<double>(micros) / kLinearLimit;
+  return NumLinearBuckets() +
+         static_cast<int>(std::log(ratio) / std::log(kGrowth));
+}
+
+int64_t Histogram::BucketUpper(int bucket) {
+  if (bucket < NumLinearBuckets()) return (bucket + 1) * kLinearStep;
+  const int geo = bucket - NumLinearBuckets();
+  return static_cast<int64_t>(kLinearLimit * std::pow(kGrowth, geo + 1));
+}
+
+void Histogram::Record(int64_t micros) {
+  int b = BucketFor(micros);
+  if (b >= static_cast<int>(buckets_.size())) b = buckets_.size() - 1;
+  buckets_[b]++;
+  if (count_ == 0 || micros < min_) min_ = micros;
+  if (count_ == 0 || micros > max_) max_ = micros;
+  sum_ += static_cast<double>(micros);
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t target = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpper(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> Histogram::CdfPoints() const {
+  std::vector<std::pair<double, double>> points;
+  if (count_ == 0) return points;
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    points.emplace_back(
+        static_cast<double>(BucketUpper(static_cast<int>(i))) / 1000.0,
+        static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return points;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms",
+                static_cast<long long>(count_), Mean() / 1000.0,
+                Quantile(0.5) / 1000.0, Quantile(0.95) / 1000.0,
+                Quantile(0.99) / 1000.0, static_cast<double>(max()) / 1000.0);
+  return buf;
+}
+
+}  // namespace carousel

@@ -1,0 +1,60 @@
+#ifndef CAROUSEL_COMMON_HISTOGRAM_H_
+#define CAROUSEL_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace carousel {
+
+/// Latency histogram with hybrid linear/log bucketing, supporting quantile
+/// queries and CDF export. Values are recorded in microseconds.
+///
+/// Buckets: [0, kLinearLimit) in kLinearStep-wide bins, then geometric bins
+/// growing by ~2% up to kMaxValue, so quantile error stays below ~2%.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (clamped to the representable range).
+  void Record(int64_t micros);
+
+  /// Merges `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  int64_t Quantile(double q) const;
+
+  /// Median (p50) in microseconds.
+  int64_t Median() const { return Quantile(0.5); }
+
+  /// Returns (latency_ms, cumulative_fraction) points suitable for plotting
+  /// a CDF, with one point per non-empty bucket.
+  std::vector<std::pair<double, double>> CdfPoints() const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max in milliseconds.
+  std::string Summary() const;
+
+ private:
+  static constexpr int64_t kLinearLimit = 1000;  // 1 ms.
+  static constexpr int64_t kLinearStep = 25;     // 25 us bins below 1 ms.
+  static constexpr int64_t kMaxValue = 600LL * 1000 * 1000;  // 10 min.
+
+  static int BucketFor(int64_t micros);
+  static int64_t BucketUpper(int bucket);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace carousel
+
+#endif  // CAROUSEL_COMMON_HISTOGRAM_H_

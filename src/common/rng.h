@@ -1,0 +1,43 @@
+#ifndef CAROUSEL_COMMON_RNG_H_
+#define CAROUSEL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace carousel {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. Every stochastic component of the simulator draws from an
+/// Rng so that a run is fully reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0); used for
+  /// Poisson arrival processes.
+  double Exponential(double mean);
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Forks an independent stream; children of distinct calls never collide.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace carousel
+
+#endif  // CAROUSEL_COMMON_RNG_H_

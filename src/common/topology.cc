@@ -1,0 +1,83 @@
+#include "common/topology.h"
+
+namespace carousel {
+
+Topology Topology::PaperEc2() {
+  Topology t;
+  t.dc_names_ = {"US-West", "US-East", "Europe", "Asia", "Australia"};
+  const int n = 5;
+  t.rtt_ms_.assign(n, std::vector<double>(n, 0.0));
+  auto set = [&t](int a, int b, double ms) {
+    t.rtt_ms_[a][b] = ms;
+    t.rtt_ms_[b][a] = ms;
+  };
+  // Paper Table 1 (ms).
+  set(0, 1, 73);   // US-West <-> US-East
+  set(0, 2, 166);  // US-West <-> Europe
+  set(0, 3, 102);  // US-West <-> Asia
+  set(0, 4, 161);  // US-West <-> Australia
+  set(1, 2, 88);   // US-East <-> Europe
+  set(1, 3, 172);  // US-East <-> Asia
+  set(1, 4, 205);  // US-East <-> Australia
+  set(2, 3, 235);  // Europe <-> Asia
+  set(2, 4, 290);  // Europe <-> Australia
+  set(3, 4, 115);  // Asia <-> Australia
+  return t;
+}
+
+Topology Topology::Uniform(int num_dcs, double inter_dc_rtt_ms) {
+  Topology t;
+  for (int i = 0; i < num_dcs; ++i) t.dc_names_.push_back("DC" + std::to_string(i));
+  t.rtt_ms_.assign(num_dcs, std::vector<double>(num_dcs, inter_dc_rtt_ms));
+  for (int i = 0; i < num_dcs; ++i) t.rtt_ms_[i][i] = 0.0;
+  return t;
+}
+
+SimTime Topology::RttMicros(DcId a, DcId b) const {
+  if (a == b) return intra_dc_rtt_micros_;
+  return static_cast<SimTime>(rtt_ms_[a][b] * kMicrosPerMilli);
+}
+
+void Topology::PlacePartitions(int num_partitions, int replication_factor) {
+  num_partitions_ = num_partitions;
+  replication_factor_ = replication_factor;
+  replicas_.assign(num_partitions, {});
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    for (int r = 0; r < replication_factor; ++r) {
+      NodeInfo info;
+      info.id = static_cast<NodeId>(nodes_.size());
+      info.dc = (p + r) % num_dcs();
+      info.is_client = false;
+      info.partition = p;
+      info.replica_index = r;
+      nodes_.push_back(info);
+      replicas_[p].push_back(info.id);
+    }
+  }
+}
+
+NodeId Topology::AddClient(DcId dc) {
+  NodeInfo info;
+  info.id = static_cast<NodeId>(nodes_.size());
+  info.dc = dc;
+  info.is_client = true;
+  nodes_.push_back(info);
+  clients_.push_back(info.id);
+  return info.id;
+}
+
+NodeId Topology::ReplicaIn(PartitionId p, DcId dc) const {
+  for (NodeId id : replicas_[p]) {
+    if (nodes_[id].dc == dc) return id;
+  }
+  return kInvalidNode;
+}
+
+PartitionId Topology::HomePartitionOf(DcId dc) const {
+  for (PartitionId p = 0; p < num_partitions_; ++p) {
+    if (nodes_[replicas_[p][0]].dc == dc) return p;
+  }
+  return kInvalidPartition;
+}
+
+}  // namespace carousel

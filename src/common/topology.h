@@ -1,0 +1,102 @@
+#ifndef CAROUSEL_COMMON_TOPOLOGY_H_
+#define CAROUSEL_COMMON_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace carousel {
+
+/// Role and placement of one node in a deployment.
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  DcId dc = 0;
+  bool is_client = false;
+  /// Servers only: the partition whose replica this node hosts.
+  PartitionId partition = kInvalidPartition;
+  /// Servers only: replica index within the partition's consensus group;
+  /// replica 0 is the initial leader.
+  int replica_index = -1;
+};
+
+/// Describes a geo-distributed deployment: datacenters, the inter-DC RTT
+/// matrix, and the placement of partition replicas and clients.
+///
+/// Placement follows the paper's EC2 setup (§6.1): replica r of partition p
+/// lives in DC (p + r) mod num_dcs, so each DC hosts at most one replica
+/// per partition, each DC hosts replication_factor partitions, and each DC
+/// is home (initial leader) to partition p == dc when num_partitions ==
+/// num_dcs.
+class Topology {
+ public:
+  /// The paper's 5-region Amazon EC2 deployment with Table 1 roundtrip
+  /// latencies. DC ids: 0=US-West, 1=US-East, 2=Europe, 3=Asia,
+  /// 4=Australia.
+  static Topology PaperEc2();
+
+  /// A "local cluster" style deployment with `num_dcs` simulated
+  /// datacenters and a uniform inter-DC RTT (paper §6.4 uses 5 ms).
+  static Topology Uniform(int num_dcs, double inter_dc_rtt_ms);
+
+  /// Places `num_partitions` partitions, each replicated on
+  /// `replication_factor` (= 2f+1) servers. Must be called once before
+  /// adding clients.
+  void PlacePartitions(int num_partitions, int replication_factor);
+
+  /// Adds a client (application server) node in `dc`; returns its id.
+  NodeId AddClient(DcId dc);
+
+  int num_dcs() const { return static_cast<int>(dc_names_.size()); }
+  int num_partitions() const { return num_partitions_; }
+  int replication_factor() const { return replication_factor_; }
+  /// f: the number of simultaneous replica failures tolerated.
+  int max_failures() const { return (replication_factor_ - 1) / 2; }
+
+  const std::string& dc_name(DcId dc) const { return dc_names_[dc]; }
+
+  /// Round-trip time between two DCs in microseconds; intra-DC RTT when
+  /// a == b.
+  SimTime RttMicros(DcId a, DcId b) const;
+  SimTime intra_dc_rtt_micros() const { return intra_dc_rtt_micros_; }
+  void set_intra_dc_rtt_micros(SimTime rtt) { intra_dc_rtt_micros_ = rtt; }
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  const NodeInfo& node(NodeId id) const { return nodes_[id]; }
+  DcId DcOf(NodeId id) const { return nodes_[id].dc; }
+
+  /// All replica node ids of a partition, ordered by replica index.
+  const std::vector<NodeId>& Replicas(PartitionId p) const {
+    return replicas_[p];
+  }
+
+  /// The initial leader (replica 0) of a partition.
+  NodeId InitialLeader(PartitionId p) const { return replicas_[p][0]; }
+
+  /// The replica of partition `p` located in `dc`, or kInvalidNode.
+  NodeId ReplicaIn(PartitionId p, DcId dc) const;
+
+  /// The partition whose initial leader lives in `dc`, or
+  /// kInvalidPartition. Used by clients to pick a local coordinator.
+  PartitionId HomePartitionOf(DcId dc) const;
+
+  /// All client node ids.
+  const std::vector<NodeId>& clients() const { return clients_; }
+
+ private:
+  std::vector<std::string> dc_names_;
+  /// rtt_ms_[a][b]: inter-DC RTT in milliseconds.
+  std::vector<std::vector<double>> rtt_ms_;
+  SimTime intra_dc_rtt_micros_ = 500;  // 0.5 ms within a DC.
+
+  int num_partitions_ = 0;
+  int replication_factor_ = 0;
+  std::vector<NodeInfo> nodes_;
+  std::vector<std::vector<NodeId>> replicas_;  // [partition] -> node ids.
+  std::vector<NodeId> clients_;
+};
+
+}  // namespace carousel
+
+#endif  // CAROUSEL_COMMON_TOPOLOGY_H_

@@ -1,0 +1,42 @@
+#ifndef CAROUSEL_COMMON_ZIPFIAN_H_
+#define CAROUSEL_COMMON_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace carousel {
+
+/// Zipfian-distributed integer generator over [0, n), YCSB-style.
+///
+/// Item 0 is the most popular. The paper's workloads use a Zipfian key
+/// popularity distribution with coefficient 0.75 over 10 million keys
+/// (paper §6.2); we default to the same coefficient.
+class ZipfianGenerator {
+ public:
+  /// `n` is the number of items (> 0); `theta` the skew in [0, 1).
+  ZipfianGenerator(uint64_t n, double theta = 0.75);
+
+  /// Draws the next item rank in [0, n).
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Bijectively scrambles `rank` into [0, n) so that popular items are
+/// scattered across the key space (YCSB's "scrambled zipfian"). Without
+/// scrambling the hottest keys would be adjacent and land in one partition.
+uint64_t ScrambleRank(uint64_t rank, uint64_t n);
+
+}  // namespace carousel
+
+#endif  // CAROUSEL_COMMON_ZIPFIAN_H_

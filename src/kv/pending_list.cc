@@ -1,0 +1,61 @@
+#include "kv/pending_list.h"
+
+namespace carousel::kv {
+
+bool PendingList::HasConflict(const KeyList& reads,
+                              const KeyList& writes) const {
+  for (const Key& k : reads) {
+    if (writers_.count(k) > 0) return true;  // read-write
+  }
+  for (const Key& k : writes) {
+    if (writers_.count(k) > 0) return true;  // write-write
+    if (readers_.count(k) > 0) return true;  // write-read
+  }
+  return false;
+}
+
+bool PendingList::HasPendingWriter(const KeyList& reads) const {
+  for (const Key& k : reads) {
+    if (writers_.count(k) > 0) return true;
+  }
+  return false;
+}
+
+Status PendingList::Add(PendingTxn txn) {
+  if (txns_.count(txn.tid) > 0) {
+    return Status::InvalidArgument("txn " + txn.tid.ToString() +
+                                   " already pending");
+  }
+  for (const Key& k : txn.read_keys) readers_[k]++;
+  for (const Key& k : txn.write_keys) writers_[k]++;
+  txns_.emplace(txn.tid, std::move(txn));
+  return Status::OK();
+}
+
+const PendingTxn* PendingList::Find(const TxnId& tid) const {
+  auto it = txns_.find(tid);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+void PendingList::Remove(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  for (const Key& k : it->second.read_keys) {
+    auto rit = readers_.find(k);
+    if (rit != readers_.end() && --rit->second == 0) readers_.erase(rit);
+  }
+  for (const Key& k : it->second.write_keys) {
+    auto wit = writers_.find(k);
+    if (wit != writers_.end() && --wit->second == 0) writers_.erase(wit);
+  }
+  txns_.erase(it);
+}
+
+std::vector<PendingTxn> PendingList::Snapshot() const {
+  std::vector<PendingTxn> out;
+  out.reserve(txns_.size());
+  for (const auto& [tid, txn] : txns_) out.push_back(txn);
+  return out;
+}
+
+}  // namespace carousel::kv

@@ -1,0 +1,77 @@
+#ifndef CAROUSEL_KV_PENDING_LIST_H_
+#define CAROUSEL_KV_PENDING_LIST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace carousel::kv {
+
+/// One entry in a pending-transaction list: a transaction that has been
+/// prepared on this replica but not yet committed or aborted (paper
+/// §4.1.4 / §4.2). Key sets are restricted to the replica's partition.
+struct PendingTxn {
+  TxnId tid;
+  KeyList read_keys;
+  KeyList write_keys;
+  /// Versions the preparing replica used for the read keys; compared
+  /// against the leader's versions by the CPC fast path and by recovery.
+  ReadVersionMap read_versions;
+  /// Raft term the replica was in when it prepared the transaction.
+  uint64_t term = 0;
+  /// Transaction coordinator, so a newly elected leader can notify it
+  /// after failure recovery.
+  NodeId coordinator = kInvalidNode;
+  /// When the entry was created (microseconds of simulated time); drives
+  /// the pending-entry garbage-collection probe.
+  int64_t prepared_at_micros = 0;
+};
+
+/// The pending-transaction list a Carousel replica maintains, with the OCC
+/// conflict checks from the paper: a new transaction conflicts with the
+/// pending set if any of its reads hits a pending write (read-write), or
+/// any of its writes hits a pending read (write-read) or a pending write
+/// (write-write). Conflicts fail the prepare; there is no waiting.
+class PendingList {
+ public:
+  PendingList() = default;
+
+  /// True if (reads, writes) conflicts with any pending transaction.
+  bool HasConflict(const KeyList& reads, const KeyList& writes) const;
+
+  /// True if any of `reads` has a pending writer. Used by the read-only
+  /// transaction optimization (paper §4.4.2).
+  bool HasPendingWriter(const KeyList& reads) const;
+
+  /// Adds a prepared transaction. Fails with InvalidArgument if the tid is
+  /// already pending.
+  Status Add(PendingTxn txn);
+
+  bool Contains(const TxnId& tid) const { return txns_.count(tid) > 0; }
+
+  /// The pending entry for `tid`, or nullptr.
+  const PendingTxn* Find(const TxnId& tid) const;
+
+  /// Removes `tid` (no-op if absent), e.g., when the commit decision
+  /// arrives in the Writeback phase.
+  void Remove(const TxnId& tid);
+
+  /// Copy of all pending entries; piggybacked on Raft vote messages for
+  /// CPC leader-failure recovery (paper §4.3.3 step 1).
+  std::vector<PendingTxn> Snapshot() const;
+
+  size_t size() const { return txns_.size(); }
+
+ private:
+  std::unordered_map<TxnId, PendingTxn, TxnIdHash> txns_;
+  /// Key -> number of pending transactions reading / writing it, so the
+  /// conflict check is O(|keys|) instead of O(|pending| * |keys|).
+  std::unordered_map<Key, int> readers_;
+  std::unordered_map<Key, int> writers_;
+};
+
+}  // namespace carousel::kv
+
+#endif  // CAROUSEL_KV_PENDING_LIST_H_

@@ -1,0 +1,53 @@
+#ifndef CAROUSEL_KV_VERSIONED_STORE_H_
+#define CAROUSEL_KV_VERSIONED_STORE_H_
+
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace carousel::kv {
+
+/// In-memory key-value store where each record carries a version number
+/// that monotonically increases with transactional writes (paper §3.3).
+/// Replicas applying the same writes in the same (Raft log) order compute
+/// identical versions, which is what makes version comparison a valid
+/// staleness check for local-replica reads.
+///
+/// The store materializes lazily: a key that has never been written reads
+/// as (empty value, version 0). This keeps a 10-million-key workload space
+/// memory-free until written, without changing conflict behaviour.
+class VersionedStore {
+ public:
+  VersionedStore() = default;
+
+  /// Latest committed value + version of `key`.
+  VersionedValue Get(const Key& key) const {
+    auto it = records_.find(key);
+    if (it == records_.end()) return VersionedValue{};
+    return it->second;
+  }
+
+  /// Latest committed version of `key` (0 if never written).
+  Version GetVersion(const Key& key) const {
+    auto it = records_.find(key);
+    return it == records_.end() ? 0 : it->second.version;
+  }
+
+  /// Applies a committed write; returns the new version (old + 1).
+  Version Apply(const Key& key, Value value) {
+    VersionedValue& rec = records_[key];
+    rec.value = std::move(value);
+    rec.version++;
+    return rec.version;
+  }
+
+  /// Number of materialized (written at least once) keys.
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::unordered_map<Key, VersionedValue> records_;
+};
+
+}  // namespace carousel::kv
+
+#endif  // CAROUSEL_KV_VERSIONED_STORE_H_

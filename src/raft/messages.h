@@ -1,0 +1,94 @@
+#ifndef CAROUSEL_RAFT_MESSAGES_H_
+#define CAROUSEL_RAFT_MESSAGES_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "kv/pending_list.h"
+#include "sim/message.h"
+
+namespace carousel::raft {
+
+/// One replicated log slot: the leader's term when appended plus an opaque
+/// payload (a sim::Message subclass defined by the layer above Raft).
+struct LogEntry {
+  uint64_t term = 0;
+  sim::MessagePtr payload;
+};
+
+/// No-op entry a new leader appends to commit entries from prior terms
+/// (Raft §5.4.2 commit rule) and to detect when its log is fully
+/// replicated.
+struct NoopPayload final : sim::Message {
+  int type() const override { return sim::kLogNoop; }
+  size_t SizeBytes() const override { return 8; }
+};
+
+/// Approximate wire size of a pending-transaction list entry, for vote
+/// message accounting.
+size_t PendingTxnWireSize(const kv::PendingTxn& txn);
+
+struct RequestVoteMsg final : sim::Message {
+  PartitionId group = kInvalidPartition;
+  uint64_t term = 0;
+  NodeId candidate = kInvalidNode;
+  uint64_t last_log_index = 0;
+  uint64_t last_log_term = 0;
+
+  int type() const override { return sim::kRaftRequestVote; }
+  size_t SizeBytes() const override { return 40; }
+};
+
+/// Vote response. Carousel extension (paper §4.3.3 step 1): when the vote
+/// is granted, the voter piggybacks its pending-transaction list so the
+/// new leader can reconstruct fast-path prepare decisions.
+struct VoteResponseMsg final : sim::Message {
+  PartitionId group = kInvalidPartition;
+  uint64_t term = 0;
+  bool granted = false;
+  NodeId voter = kInvalidNode;
+  std::vector<kv::PendingTxn> pending_list;
+
+  int type() const override { return sim::kRaftVoteResponse; }
+  size_t SizeBytes() const override {
+    size_t sz = 24;
+    for (const auto& txn : pending_list) sz += PendingTxnWireSize(txn);
+    return sz;
+  }
+};
+
+struct AppendEntriesMsg final : sim::Message {
+  PartitionId group = kInvalidPartition;
+  uint64_t term = 0;
+  NodeId leader = kInvalidNode;
+  uint64_t prev_log_index = 0;
+  uint64_t prev_log_term = 0;
+  uint64_t leader_commit = 0;
+  std::vector<LogEntry> entries;
+
+  int type() const override { return sim::kRaftAppendEntries; }
+  size_t SizeBytes() const override {
+    size_t sz = 48;
+    for (const auto& e : entries) {
+      sz += 16 + (e.payload ? e.payload->SizeBytes() : 0);
+    }
+    return sz;
+  }
+};
+
+struct AppendResponseMsg final : sim::Message {
+  PartitionId group = kInvalidPartition;
+  uint64_t term = 0;
+  bool success = false;
+  NodeId follower = kInvalidNode;
+  /// On success: highest index known replicated on the follower. On
+  /// failure: a hint for the leader's next_index backoff.
+  uint64_t match_index = 0;
+
+  int type() const override { return sim::kRaftAppendResponse; }
+  size_t SizeBytes() const override { return 32; }
+};
+
+}  // namespace carousel::raft
+
+#endif  // CAROUSEL_RAFT_MESSAGES_H_

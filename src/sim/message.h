@@ -1,0 +1,86 @@
+#ifndef CAROUSEL_SIM_MESSAGE_H_
+#define CAROUSEL_SIM_MESSAGE_H_
+
+#include <memory>
+
+namespace carousel::sim {
+
+/// Message type tags. Each protocol module owns a numeric range so that a
+/// receiving node can dispatch on type() and static_cast to the concrete
+/// struct. Keeping one flat enum makes traffic accounting by type trivial.
+enum MessageType : int {
+  kInvalidMessage = 0,
+
+  // sim/test messages: 1..99
+  kPing = 1,
+  kPong = 2,
+
+  // raft: 100..199
+  kRaftRequestVote = 100,
+  kRaftVoteResponse = 101,
+  kRaftAppendEntries = 102,
+  kRaftAppendResponse = 103,
+
+  // carousel: 200..299
+  kCarouselReadPrepare = 200,
+  kCarouselReadResponse = 201,
+  kCarouselPrepareDecision = 202,
+  kCarouselCoordPrepare = 203,
+  kCarouselCommitRequest = 204,
+  kCarouselAbortRequest = 205,
+  kCarouselCommitResponse = 206,
+  kCarouselWriteback = 207,
+  kCarouselWritebackAck = 208,
+  kCarouselHeartbeat = 209,
+  kCarouselQueryPrepare = 210,
+  kCarouselNotLeader = 211,
+  kCarouselQueryDecision = 212,
+
+  // carousel raft log payloads (never sent alone; carried in AppendEntries):
+  // 250..269
+  kLogTxnInfo = 250,
+  kLogWriteData = 251,
+  kLogDecision = 252,
+  kLogPrepareResult = 253,
+  kLogCommit = 254,
+  kLogNoop = 255,
+
+  // tapir: 300..399
+  kTapirRead = 300,
+  kTapirReadReply = 301,
+  kTapirPrepare = 302,
+  kTapirPrepareReply = 303,
+  kTapirFinalize = 304,
+  kTapirFinalizeReply = 305,
+  kTapirDecide = 306,
+  kTapirDecideAck = 307,
+};
+
+/// Base class for every message exchanged through the simulated network
+/// and for every replicated log payload. Concrete messages are plain
+/// structs with public fields (they are wire DTOs, not objects with
+/// invariants).
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// The MessageType tag of the concrete struct.
+  virtual int type() const = 0;
+
+  /// Approximate serialized size in bytes (payload only; the network adds
+  /// per-message header overhead). Used for Figure 7 bandwidth accounting.
+  virtual size_t SizeBytes() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Downcasts a message to its concrete type; callers must have checked
+/// type() first.
+template <typename T>
+const T& As(const Message& msg) {
+  return static_cast<const T&>(msg);
+}
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_MESSAGE_H_

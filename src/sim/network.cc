@@ -1,0 +1,127 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace carousel::sim {
+
+Network::Network(Simulator* sim, const Topology* topology,
+                 NetworkOptions options)
+    : sim_(sim),
+      topology_(topology),
+      options_(options),
+      rng_(sim->rng()->Fork()) {}
+
+void Network::Register(Node* node) {
+  assert(node->id() == static_cast<NodeId>(nodes_.size()) &&
+         "register nodes in id order");
+  node->network_ = this;
+  node->simulator_ = sim_;
+  nodes_.push_back(node);
+  traffic_.emplace_back();
+  last_arrival_.emplace_back();  // lazily sized in Send.
+}
+
+SimTime Network::OneWayLatency(NodeId from, NodeId to) {
+  if (from == to) return options_.loopback_micros;
+  const SimTime rtt = topology_->RttMicros(topology_->DcOf(from),
+                                           topology_->DcOf(to));
+  const double jitter = 1.0 + options_.jitter_fraction * rng_.NextDouble();
+  return static_cast<SimTime>(static_cast<double>(rtt) / 2.0 * jitter);
+}
+
+void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
+  Node* sender = nodes_[from];
+  if (!sender->alive()) return;
+  if (blocked_.count({std::min(from, to), std::max(from, to)}) > 0) {
+    // Partitioned: bytes still leave the sender's NIC but never arrive.
+    traffic_[from].bytes_sent += msg->SizeBytes() + options_.header_bytes;
+    traffic_[from].msgs_sent++;
+    return;
+  }
+
+  const size_t wire_bytes = msg->SizeBytes() + options_.header_bytes;
+  traffic_[from].bytes_sent += wire_bytes;
+  traffic_[from].msgs_sent++;
+  sent_by_type_[msg->type()]++;
+
+  if (options_.loss_fraction > 0 && from != to &&
+      rng_.Bernoulli(options_.loss_fraction)) {
+    return;  // Dropped in flight.
+  }
+
+  SimTime arrival = sim_->now() + OneWayLatency(from, to);
+  if (options_.fifo_pairs) {
+    auto& row = last_arrival_[from];
+    if (row.size() <= static_cast<size_t>(to)) row.resize(to + 1, 0);
+    if (arrival < row[to]) arrival = row[to];
+    row[to] = arrival;
+  }
+
+  sim_->ScheduleAt(arrival, [this, from, to, msg = std::move(msg)]() {
+    Deliver(from, to, std::move(msg));
+  });
+}
+
+void Network::Deliver(NodeId from, NodeId to, MessagePtr msg) {
+  Node* receiver = nodes_[to];
+  if (!receiver->alive()) return;  // Dropped at a dead host.
+
+  traffic_[to].bytes_received += msg->SizeBytes() + options_.header_bytes;
+  traffic_[to].msgs_received++;
+
+  const SimTime cost = receiver->ServiceCost(*msg);
+  if (cost <= 0) {
+    messages_delivered_++;
+    receiver->HandleMessage(from, msg);
+    return;
+  }
+  // FIFO processing on the receiver's core pool: the message waits for
+  // the earliest-free core, occupies it for `cost`, and the handler runs
+  // at completion.
+  auto& cores = receiver->core_busy_until_;
+  if (cores.size() != static_cast<size_t>(receiver->cores())) {
+    cores.assign(receiver->cores(), 0);
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < cores.size(); ++i) {
+    if (cores[i] < cores[best]) best = i;
+  }
+  const SimTime start = std::max(sim_->now(), cores[best]);
+  const SimTime done = start + cost;
+  cores[best] = done;
+  sim_->ScheduleAt(done, [this, from, to, msg = std::move(msg)]() {
+    Node* r = nodes_[to];
+    if (!r->alive()) return;  // Crashed while queued.
+    messages_delivered_++;
+    r->HandleMessage(from, msg);
+  });
+}
+
+void Network::Crash(NodeId id) {
+  Node* node = nodes_[id];
+  if (!node->alive()) return;
+  node->alive_ = false;
+  node->OnCrash();
+}
+
+void Network::Recover(NodeId id) {
+  Node* node = nodes_[id];
+  if (node->alive()) return;
+  node->alive_ = true;
+  node->core_busy_until_.clear();
+  node->OnRecover();
+}
+
+void Network::BlockPair(NodeId a, NodeId b) {
+  blocked_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::UnblockPair(NodeId a, NodeId b) {
+  blocked_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::ResetTraffic() {
+  for (auto& t : traffic_) t = Traffic{};
+}
+
+}  // namespace carousel::sim

@@ -1,0 +1,115 @@
+#ifndef CAROUSEL_SIM_NETWORK_H_
+#define CAROUSEL_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/topology.h"
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace carousel::sim {
+
+/// Tuning knobs for the simulated network.
+struct NetworkOptions {
+  /// Per-message framing/header overhead added to Message::SizeBytes() for
+  /// bandwidth accounting (rough TCP/IP + RPC framing cost).
+  size_t header_bytes = 80;
+  /// One-way latency jitter: each delivery is scaled by a factor drawn
+  /// uniformly from [1, 1 + jitter_fraction].
+  double jitter_fraction = 0.05;
+  /// Latency for a node messaging itself (in-process handoff).
+  SimTime loopback_micros = 5;
+  /// When true, deliveries between each ordered node pair preserve send
+  /// order (TCP/gRPC semantics, which the paper's prototype uses). When
+  /// false messages may reorder (UDP semantics, as assumed by TAPIR's IR).
+  bool fifo_pairs = true;
+  /// Probability that an inter-node message is silently dropped
+  /// (loopback is exempt). The asynchronous-network model of §3.1:
+  /// protocols must stay correct; timers and retransmissions mask it.
+  double loss_fraction = 0.0;
+};
+
+/// Per-node traffic counters for Figure 7 bandwidth accounting.
+struct Traffic {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+};
+
+/// Routes messages between nodes with topology-derived latencies, models
+/// per-node serial processing (service times -> queueing), accounts
+/// traffic, and injects failures.
+class Network {
+ public:
+  Network(Simulator* sim, const Topology* topology, NetworkOptions options);
+
+  /// Registers a node; nodes must be registered in id order and outlive
+  /// the network.
+  void Register(Node* node);
+
+  Node* node(NodeId id) const { return nodes_[id]; }
+  const Topology& topology() const { return *topology_; }
+  Simulator* simulator() const { return sim_; }
+
+  /// Sends `msg` from `from` to `to`. Delivery happens after the one-way
+  /// latency (RTT/2 + jitter) plus queueing for the receiver's CPU. Drops
+  /// silently if either endpoint is crashed or the pair is partitioned
+  /// (fail-stop + asynchronous network model, paper §3.1).
+  void Send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// ---- Failure injection ----
+
+  /// Crashes a node: in-flight messages to it are dropped, its timers stop
+  /// firing (nodes check alive()), and sends from it are suppressed.
+  void Crash(NodeId id);
+
+  /// Recovers a crashed node with its state intact (a process pause, not a
+  /// disk wipe; Raft state is assumed durable).
+  void Recover(NodeId id);
+
+  /// Drops all traffic between `a` and `b` until unblocked.
+  void BlockPair(NodeId a, NodeId b);
+  void UnblockPair(NodeId a, NodeId b);
+
+  bool IsAlive(NodeId id) const { return nodes_[id]->alive(); }
+
+  /// ---- Traffic accounting ----
+
+  const Traffic& traffic(NodeId id) const { return traffic_[id]; }
+  /// Zeroes all counters (called at the start of a measurement window).
+  void ResetTraffic();
+
+  /// Total messages delivered (for tests).
+  uint64_t messages_delivered() const { return messages_delivered_; }
+
+  /// Messages sent per message type (diagnostics / traffic breakdowns).
+  const std::map<int, uint64_t>& sent_by_type() const { return sent_by_type_; }
+
+ private:
+  SimTime OneWayLatency(NodeId from, NodeId to);
+  void Deliver(NodeId from, NodeId to, MessagePtr msg);
+
+  Simulator* sim_;
+  const Topology* topology_;
+  NetworkOptions options_;
+  carousel::Rng rng_;
+  std::vector<Node*> nodes_;
+  std::vector<Traffic> traffic_;
+  /// Last scheduled arrival per (from, to), for fifo_pairs.
+  std::vector<std::vector<SimTime>> last_arrival_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  uint64_t messages_delivered_ = 0;
+  std::map<int, uint64_t> sent_by_type_;
+};
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_NETWORK_H_

@@ -1,0 +1,69 @@
+#ifndef CAROUSEL_SIM_NODE_H_
+#define CAROUSEL_SIM_NODE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace carousel::sim {
+
+class Network;
+class Simulator;
+
+/// An actor in the simulation: a server process or a client library
+/// instance. Nodes receive messages via HandleMessage and send through the
+/// network; they never share state directly.
+class Node {
+ public:
+  Node(NodeId id, DcId dc) : id_(id), dc_(dc) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  DcId dc() const { return dc_; }
+  bool alive() const { return alive_; }
+
+  /// Delivers a message; `from` is the sender's node id.
+  virtual void HandleMessage(NodeId from, const MessagePtr& msg) = 0;
+
+  /// CPU time (microseconds) this node spends processing `msg`. Nodes
+  /// process messages serially (single-core FIFO), which is what produces
+  /// queueing and saturation in the throughput experiments. Clients return
+  /// 0 by default.
+  virtual SimTime ServiceCost(const Message& msg) const {
+    (void)msg;
+    return 0;
+  }
+
+  /// Called by the failure injector when the node crashes / recovers.
+  virtual void OnCrash() {}
+  virtual void OnRecover() {}
+
+  Network* network() const { return network_; }
+  Simulator* simulator() const { return simulator_; }
+
+  /// Number of CPU cores processing messages in parallel. Message costs
+  /// (ServiceCost) occupy one core each; more cores means proportionally
+  /// more capacity before queueing sets in.
+  int cores() const { return cores_; }
+  void set_cores(int cores) { cores_ = cores < 1 ? 1 : cores; }
+
+ private:
+  friend class Network;
+
+  NodeId id_;
+  DcId dc_;
+  bool alive_ = true;
+  int cores_ = 1;
+  /// Per-core completion times (lazily sized to cores_ by the network).
+  std::vector<SimTime> core_busy_until_;
+  Network* network_ = nullptr;
+  Simulator* simulator_ = nullptr;
+};
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_NODE_H_

@@ -1,0 +1,29 @@
+#include "sim/simulator.h"
+
+namespace carousel::sim {
+
+bool Simulator::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  events_processed_++;
+  ev.fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunOne();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::RunToCompletion() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace carousel::sim

@@ -1,0 +1,81 @@
+#ifndef CAROUSEL_SIM_SIMULATOR_H_
+#define CAROUSEL_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace carousel::sim {
+
+/// Deterministic discrete-event simulator: a virtual clock plus an event
+/// queue. All components (network delivery, protocol timers, workload
+/// arrivals) run as scheduled callbacks, so a whole "distributed" run is a
+/// single-threaded, reproducible computation.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in microseconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (clamped to >= 0).
+  /// Events with equal times run in scheduling order.
+  void Schedule(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t` (clamped to >= now).
+  void ScheduleAt(SimTime t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs the earliest event; returns false if the queue is empty.
+  bool RunOne();
+
+  /// Runs events until the virtual clock reaches `t` (events at exactly
+  /// `t` are executed) or the queue empties.
+  void RunUntil(SimTime t);
+
+  /// Runs events for `d` microseconds of virtual time from now.
+  void RunFor(SimTime d) { RunUntil(now_ + d); }
+
+  /// Runs until the event queue is empty.
+  void RunToCompletion();
+
+  /// Simulator-global RNG; components should Fork() their own streams.
+  carousel::Rng* rng() { return &rng_; }
+
+  /// Total events executed so far (for perf reporting).
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  carousel::Rng rng_;
+};
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_SIMULATOR_H_

@@ -1,0 +1,384 @@
+#include "tapir/client.h"
+
+#include <memory>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace carousel::tapir {
+
+TapirClient::TapirClient(NodeId id, DcId dc, ClientId client_id,
+                         const core::Directory* directory,
+                         const TapirOptions& options)
+    : sim::Node(id, dc),
+      client_id_(client_id),
+      directory_(directory),
+      options_(options) {}
+
+TxnId TapirClient::Begin() { return TxnId{client_id_, ++next_counter_}; }
+
+int TapirClient::FaultThresholdFor(PartitionId p) const {
+  return (static_cast<int>(directory_->Replicas(p).size()) - 1) / 2;
+}
+
+int TapirClient::SupermajorityFor(PartitionId p) const {
+  const int f = FaultThresholdFor(p);
+  return (3 * f + 1) / 2 + 1;
+}
+
+NodeId TapirClient::ClosestReplica(PartitionId p) const {
+  const Topology& topo = directory_->topology();
+  NodeId best = kInvalidNode;
+  SimTime best_rtt = 0;
+  for (NodeId replica : directory_->Replicas(p)) {
+    const SimTime rtt = topo.RttMicros(dc(), topo.DcOf(replica));
+    if (best == kInvalidNode || rtt < best_rtt) {
+      best = replica;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+bool TapirClient::ConflictsWithInflight(const KeyList& reads,
+                                        const KeyList& writes) const {
+  for (const auto& [tid, keys] : blocked_keys_) {
+    for (const Key& k : reads) {
+      if (keys.count(k) > 0) return true;
+    }
+    for (const Key& k : writes) {
+      if (keys.count(k) > 0) return true;
+    }
+  }
+  return false;
+}
+
+void TapirClient::Read(const TxnId& tid, KeyList reads, KeyList writes,
+                       ReadCallback callback) {
+  if (ConflictsWithInflight(reads, writes)) {
+    start_queue_.push_back(
+        QueuedStart{tid, std::move(reads), std::move(writes),
+                    std::move(callback)});
+    return;
+  }
+  ActiveTxn& txn = txns_[tid];
+  txn.tid = tid;
+  txn.read_cb = std::move(callback);
+  for (Key& k : reads) {
+    txn.all_keys.insert(k);
+    txn.keys[directory_->PartitionFor(k)].reads.push_back(std::move(k));
+  }
+  for (Key& k : writes) {
+    txn.all_keys.insert(k);
+    txn.keys[directory_->PartitionFor(k)].writes.push_back(std::move(k));
+  }
+  StartReads(txn);
+}
+
+void TapirClient::StartReads(ActiveTxn& txn) {
+  for (const auto& [p, rw] : txn.keys) {
+    if (rw.reads.empty()) continue;
+    txn.awaiting_data.insert(p);
+  }
+  if (txn.awaiting_data.empty()) {
+    txn.reads_done = true;
+    if (txn.read_cb) {
+      ReadCallback cb = std::move(txn.read_cb);
+      cb(Status::OK(), txn.results);
+    }
+    return;
+  }
+  for (const auto& [p, rw] : txn.keys) {
+    if (rw.reads.empty()) continue;
+    auto msg = std::make_shared<TapirReadMsg>();
+    msg->tid = txn.tid;
+    msg->partition = p;
+    msg->client = id();
+    msg->keys = rw.reads;
+    network()->Send(id(), ClosestReplica(p), std::move(msg));
+  }
+}
+
+void TapirClient::Write(const TxnId& tid, Key key, Value value) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  it->second.writes[std::move(key)] = std::move(value);
+}
+
+void TapirClient::Commit(const TxnId& tid, CommitCallback callback) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) {
+    callback(Status::InvalidArgument("unknown transaction"));
+    return;
+  }
+  ActiveTxn& txn = it->second;
+  txn.commit_cb = std::move(callback);
+  txn.preparing = true;
+  // Proposed commit timestamp: client clock with client-id tiebreak.
+  txn.timestamp =
+      static_cast<uint64_t>(simulator()->now()) * 1024 +
+      static_cast<uint64_t>(client_id_ % 1024);
+
+  for (const auto& [p, rw] : txn.keys) {
+    auto msg = std::make_shared<TapirPrepareMsg>();
+    msg->tid = tid;
+    msg->partition = p;
+    msg->client = id();
+    msg->timestamp = txn.timestamp;
+    for (const Key& k : rw.reads) {
+      auto v = txn.versions_used.find(k);
+      msg->read_versions[k] = v == txn.versions_used.end() ? 0 : v->second;
+    }
+    for (const Key& k : rw.writes) {
+      auto w = txn.writes.find(k);
+      if (w != txn.writes.end()) msg->writes[k] = w->second;
+    }
+    for (NodeId replica : directory_->Replicas(p)) {
+      network()->Send(id(), replica, msg);
+    }
+    txn.parts[p];  // Materialize the vote tracker.
+  }
+  if (txn.parts.empty()) {
+    Decide(txn, true);  // Touched nothing: trivially committed.
+    return;
+  }
+  ArmFastPathTimer(tid);
+}
+
+void TapirClient::Abort(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  ActiveTxn& txn = it->second;
+  if (txn.preparing && !txn.decided) {
+    Decide(txn, false);
+    return;
+  }
+  txns_.erase(it);
+}
+
+void TapirClient::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
+  (void)from;
+  switch (msg->type()) {
+    case sim::kTapirReadReply: {
+      const auto& m = sim::As<TapirReadReplyMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end()) return;
+      ActiveTxn& txn = it->second;
+      if (txn.awaiting_data.erase(m.partition) == 0) return;
+      for (const auto& [k, vv] : m.reads) {
+        txn.results[k] = vv;
+        txn.versions_used[k] = vv.version;
+      }
+      if (!txn.reads_done && txn.awaiting_data.empty()) {
+        txn.reads_done = true;
+        if (txn.read_cb) {
+          ReadCallback cb = std::move(txn.read_cb);
+          cb(Status::OK(), txn.results);
+        }
+      }
+      return;
+    }
+    case sim::kTapirPrepareReply: {
+      const auto& m = sim::As<TapirPrepareReplyMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end() || !it->second.preparing) return;
+      ActiveTxn& txn = it->second;
+      if (txn.decided) return;
+      PartPrepare& part = txn.parts[m.partition];
+      part.votes[m.replica] = m.vote;
+      EvaluatePartition(txn, m.partition);
+      MaybeDecide(txn);
+      return;
+    }
+    case sim::kTapirFinalizeReply: {
+      const auto& m = sim::As<TapirFinalizeReplyMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end() || it->second.decided) return;
+      ActiveTxn& txn = it->second;
+      PartPrepare& part = txn.parts[m.partition];
+      if (!part.finalizing || part.decided) return;
+      part.finalize_acks++;
+      if (part.finalize_acks >= FaultThresholdFor(m.partition) + 1) {
+        part.decided = true;
+        part.ok = true;  // Only OK results are finalized; others abort.
+      }
+      MaybeDecide(txn);
+      return;
+    }
+    case sim::kTapirDecideAck: {
+      const auto& m = sim::As<TapirDecideAckMsg>(*msg);
+      auto it = txns_.find(m.tid);
+      if (it == txns_.end() || !it->second.decided) return;
+      it->second.parts[m.partition].decide_acks++;
+      FinishIfFullyCommitted(m.tid);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void TapirClient::EvaluatePartition(ActiveTxn& txn, PartitionId p) {
+  PartPrepare& part = txn.parts[p];
+  if (part.decided || part.finalizing) return;
+
+  int ok = 0;
+  int abort = 0;
+  for (const auto& [node, vote] : part.votes) {
+    if (vote == Vote::kOk) ok++;
+    if (vote == Vote::kAbort) abort++;
+  }
+  // A single ABORT (stale read) is final: some replica has already
+  // committed a conflicting write.
+  if (abort > 0) {
+    part.decided = true;
+    part.ok = false;
+    return;
+  }
+  if (ok >= SupermajorityFor(p)) {
+    part.decided = true;  // Fast path.
+    part.ok = true;
+    return;
+  }
+  const int replicas = static_cast<int>(directory_->Replicas(p).size());
+  if (options_.slow_path_waits_for_timeout) {
+    return;  // The fast-path timeout drives the slow-path fallback.
+  }
+  if (static_cast<int>(part.votes.size()) == replicas) {
+    // Everyone answered and the fast quorum failed: take IR's slow path
+    // immediately. A majority of OK can be finalized; anything less
+    // aborts.
+    if (ok >= FaultThresholdFor(p) + 1) {
+      part.finalizing = true;
+      slow_path_count_++;
+      auto msg = std::make_shared<TapirFinalizeMsg>();
+      msg->tid = txn.tid;
+      msg->partition = p;
+      msg->vote = Vote::kOk;
+      for (NodeId replica : directory_->Replicas(p)) {
+        network()->Send(id(), replica, msg);
+      }
+    } else {
+      part.decided = true;
+      part.ok = false;
+    }
+  }
+}
+
+void TapirClient::MaybeDecide(ActiveTxn& txn) {
+  if (txn.decided) return;
+  bool all_ok = true;
+  for (auto& [p, part] : txn.parts) {
+    if (part.decided && !part.ok) {
+      Decide(txn, false);  // Any partition abort aborts the transaction.
+      return;
+    }
+    if (!part.decided) all_ok = false;
+  }
+  if (all_ok) Decide(txn, true);
+}
+
+void TapirClient::Decide(ActiveTxn& txn, bool commit) {
+  txn.decided = true;
+  txn.committed = commit;
+  txn.timer_gen++;
+
+  for (const auto& [p, rw] : txn.keys) {
+    auto msg = std::make_shared<TapirDecideMsg>();
+    msg->tid = txn.tid;
+    msg->partition = p;
+    msg->commit = commit;
+    msg->timestamp = txn.timestamp;
+    if (commit) {
+      for (const Key& k : rw.writes) {
+        auto w = txn.writes.find(k);
+        if (w != txn.writes.end()) msg->writes[k] = w->second;
+      }
+    }
+    for (NodeId replica : directory_->Replicas(p)) {
+      network()->Send(id(), replica, msg);
+    }
+  }
+
+  // Block this client's conflicting transactions until fully committed.
+  blocked_keys_[txn.tid] = txn.all_keys;
+
+  // TAPIR reports the outcome to the application as soon as it decides.
+  if (txn.commit_cb) {
+    CommitCallback cb = std::move(txn.commit_cb);
+    cb(commit ? Status::OK() : Status::Aborted("prepare failed"));
+  }
+  FinishIfFullyCommitted(txn.tid);
+}
+
+void TapirClient::FinishIfFullyCommitted(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  ActiveTxn& txn = it->second;
+  if (!txn.decided) return;
+  for (const auto& [p, rw] : txn.keys) {
+    const int replicas = static_cast<int>(directory_->Replicas(p).size());
+    if (txn.parts[p].decide_acks < replicas) return;
+  }
+  blocked_keys_.erase(tid);
+  txns_.erase(it);
+  DrainQueue();
+}
+
+void TapirClient::DrainQueue() {
+  bool progressed = true;
+  while (progressed && !start_queue_.empty()) {
+    progressed = false;
+    for (auto it = start_queue_.begin(); it != start_queue_.end(); ++it) {
+      if (!ConflictsWithInflight(it->reads, it->writes)) {
+        QueuedStart queued = std::move(*it);
+        start_queue_.erase(it);
+        Read(queued.tid, std::move(queued.reads), std::move(queued.writes),
+             std::move(queued.callback));
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void TapirClient::ArmFastPathTimer(const TxnId& tid) {
+  auto it = txns_.find(tid);
+  if (it == txns_.end()) return;
+  const uint64_t gen = it->second.timer_gen;
+  simulator()->Schedule(options_.fast_path_timeout, [this, tid, gen]() {
+    if (!alive()) return;
+    auto it = txns_.find(tid);
+    if (it == txns_.end()) return;
+    ActiveTxn& txn = it->second;
+    if (txn.decided || gen != txn.timer_gen) return;
+    // Fast path timed out: push every partition with a majority of
+    // replies onto the slow path.
+    for (auto& [p, part] : txn.parts) {
+      if (part.decided || part.finalizing) continue;
+      int ok = 0;
+      for (const auto& [node, vote] : part.votes) {
+        if (vote == Vote::kOk) ok++;
+      }
+      if (ok >= FaultThresholdFor(p) + 1) {
+        part.finalizing = true;
+        slow_path_count_++;
+        auto msg = std::make_shared<TapirFinalizeMsg>();
+        msg->tid = txn.tid;
+        msg->partition = p;
+        msg->vote = Vote::kOk;
+        for (NodeId replica : directory_->Replicas(p)) {
+          network()->Send(id(), replica, msg);
+        }
+      } else if (static_cast<int>(part.votes.size()) >=
+                 FaultThresholdFor(p) + 1) {
+        part.decided = true;
+        part.ok = false;
+      }
+    }
+    MaybeDecide(txn);
+    if (!txn.decided) ArmFastPathTimer(tid);
+  });
+}
+
+}  // namespace carousel::tapir

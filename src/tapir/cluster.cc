@@ -1,0 +1,30 @@
+#include "tapir/cluster.h"
+
+namespace carousel::tapir {
+
+TapirCluster::TapirCluster(Topology topology, TapirOptions options,
+                           sim::NetworkOptions net_options, uint64_t seed)
+    : topology_(std::move(topology)), sim_(seed) {
+  directory_ = std::make_unique<core::Directory>(&topology_);
+  network_ = std::make_unique<sim::Network>(&sim_, &topology_, net_options);
+
+  ClientId next_client_id = 0;
+  for (const NodeInfo& info : topology_.nodes()) {
+    if (info.is_client) {
+      auto client = std::make_unique<TapirClient>(
+          info.id, info.dc, next_client_id++, directory_.get(), options);
+      network_->Register(client.get());
+      client_ptrs_.push_back(client.get());
+      clients_.push_back(std::move(client));
+    } else {
+      auto server =
+          std::make_unique<TapirServer>(info, &sim_, options.cost);
+      network_->Register(server.get());
+      servers_.emplace(info.id, std::move(server));
+    }
+  }
+}
+
+TapirCluster::~TapirCluster() = default;
+
+}  // namespace carousel::tapir

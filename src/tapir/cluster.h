@@ -1,0 +1,49 @@
+#ifndef CAROUSEL_TAPIR_CLUSTER_H_
+#define CAROUSEL_TAPIR_CLUSTER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "carousel/directory.h"
+#include "common/topology.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "tapir/client.h"
+#include "tapir/server.h"
+
+namespace carousel::tapir {
+
+/// A complete simulated TAPIR deployment (baseline system), mirroring
+/// core::Cluster so benches can swap systems behind one interface.
+class TapirCluster {
+ public:
+  TapirCluster(Topology topology, TapirOptions options,
+               sim::NetworkOptions net_options = {}, uint64_t seed = 1);
+  ~TapirCluster();
+
+  TapirCluster(const TapirCluster&) = delete;
+  TapirCluster& operator=(const TapirCluster&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const core::Directory& directory() const { return *directory_; }
+  const Topology& topology() const { return topology_; }
+
+  TapirServer* server(NodeId id) { return servers_.at(id).get(); }
+  const std::vector<TapirClient*>& clients() { return client_ptrs_; }
+  TapirClient* client(int index) { return client_ptrs_.at(index); }
+
+ private:
+  Topology topology_;
+  sim::Simulator sim_;
+  std::unique_ptr<core::Directory> directory_;
+  std::unique_ptr<sim::Network> network_;
+  std::unordered_map<NodeId, std::unique_ptr<TapirServer>> servers_;
+  std::vector<std::unique_ptr<TapirClient>> clients_;
+  std::vector<TapirClient*> client_ptrs_;
+};
+
+}  // namespace carousel::tapir
+
+#endif  // CAROUSEL_TAPIR_CLUSTER_H_

@@ -1,0 +1,114 @@
+#ifndef CAROUSEL_TAPIR_MESSAGES_H_
+#define CAROUSEL_TAPIR_MESSAGES_H_
+
+#include <map>
+
+#include "carousel/messages.h"  // byte-size helpers
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace carousel::tapir {
+
+/// A replica's OCC validation outcome for a prepare (TAPIR's
+/// PREPARE-OK / ABORT / ABSTAIN result set).
+enum class Vote : int8_t {
+  kOk = 0,      // No conflicts at this replica.
+  kAbort = 1,   // The transaction read stale data; abort is final.
+  kAbstain = 2  // Conflicts with another prepared transaction.
+};
+
+/// Client -> one (closest) replica: read a batch of keys of one partition.
+struct TapirReadMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId client = kInvalidNode;
+  KeyList keys;
+
+  int type() const override { return sim::kTapirRead; }
+  size_t SizeBytes() const override { return 32 + core::SizeOfKeys(keys); }
+};
+
+struct TapirReadReplyMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  std::map<Key, VersionedValue> reads;
+
+  int type() const override { return sim::kTapirReadReply; }
+  size_t SizeBytes() const override { return 24 + core::SizeOfReads(reads); }
+};
+
+/// Client -> every replica of a participant partition (IR consensus
+/// operation): validate and tentatively prepare the transaction.
+struct TapirPrepareMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId client = kInvalidNode;
+  /// Proposed commit timestamp (client clock, tie-broken by client id).
+  uint64_t timestamp = 0;
+  ReadVersionMap read_versions;
+  WriteSet writes;
+
+  int type() const override { return sim::kTapirPrepare; }
+  size_t SizeBytes() const override {
+    return 40 + core::SizeOfVersions(read_versions) +
+           core::SizeOfWrites(writes);
+  }
+};
+
+struct TapirPrepareReplyMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId replica = kInvalidNode;
+  Vote vote = Vote::kAbstain;
+
+  int type() const override { return sim::kTapirPrepareReply; }
+  size_t SizeBytes() const override { return 28; }
+};
+
+/// Client -> every replica (IR slow path): make the chosen prepare result
+/// durable before acting on it.
+struct TapirFinalizeMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  Vote vote = Vote::kAbstain;
+
+  int type() const override { return sim::kTapirFinalize; }
+  size_t SizeBytes() const override { return 28; }
+};
+
+struct TapirFinalizeReplyMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId replica = kInvalidNode;
+
+  int type() const override { return sim::kTapirFinalizeReply; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+/// Client -> every replica: the commit/abort decision (inconsistent
+/// operation; applied on receipt).
+struct TapirDecideMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  bool commit = false;
+  uint64_t timestamp = 0;
+  WriteSet writes;
+
+  int type() const override { return sim::kTapirDecide; }
+  size_t SizeBytes() const override {
+    return 32 + core::SizeOfWrites(writes);
+  }
+};
+
+struct TapirDecideAckMsg final : sim::Message {
+  TxnId tid;
+  PartitionId partition = kInvalidPartition;
+  NodeId replica = kInvalidNode;
+
+  int type() const override { return sim::kTapirDecideAck; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+}  // namespace carousel::tapir
+
+#endif  // CAROUSEL_TAPIR_MESSAGES_H_

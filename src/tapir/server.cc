@@ -1,0 +1,156 @@
+#include "tapir/server.h"
+
+#include <memory>
+
+namespace carousel::tapir {
+
+TapirServer::TapirServer(const NodeInfo& info, sim::Simulator* sim,
+                         const core::ServerCostModel& cost)
+    : sim::Node(info.id, info.dc), partition_(info.partition), cost_(cost) {
+  set_cores(cost.cores);
+  (void)sim;
+}
+
+void TapirServer::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
+  switch (msg->type()) {
+    case sim::kTapirRead:
+      HandleRead(from, sim::As<TapirReadMsg>(*msg));
+      break;
+    case sim::kTapirPrepare:
+      HandlePrepare(from, sim::As<TapirPrepareMsg>(*msg));
+      break;
+    case sim::kTapirFinalize:
+      HandleFinalize(from, sim::As<TapirFinalizeMsg>(*msg));
+      break;
+    case sim::kTapirDecide:
+      HandleDecide(from, sim::As<TapirDecideMsg>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+SimTime TapirServer::ServiceCost(const sim::Message& msg) const {
+  const core::ServerCostModel& c = cost_;
+  if (c.base == 0 && c.per_read_key == 0 && c.per_occ_key == 0 &&
+      c.per_write_key == 0 && c.per_log_entry == 0) {
+    return 0;
+  }
+  switch (msg.type()) {
+    case sim::kTapirRead: {
+      const auto& m = sim::As<TapirReadMsg>(msg);
+      return c.base + c.per_read_key * static_cast<SimTime>(m.keys.size());
+    }
+    case sim::kTapirPrepare: {
+      const auto& m = sim::As<TapirPrepareMsg>(msg);
+      return c.base +
+             c.per_occ_key * static_cast<SimTime>(m.read_versions.size() +
+                                                  m.writes.size());
+    }
+    case sim::kTapirDecide: {
+      const auto& m = sim::As<TapirDecideMsg>(msg);
+      return c.base + c.per_write_key * static_cast<SimTime>(m.writes.size());
+    }
+    default:
+      return c.base;
+  }
+}
+
+void TapirServer::HandleRead(NodeId from, const TapirReadMsg& msg) {
+  (void)from;
+  auto reply = std::make_shared<TapirReadReplyMsg>();
+  reply->tid = msg.tid;
+  reply->partition = partition_;
+  for (const Key& k : msg.keys) reply->reads[k] = store_.Get(k);
+  network()->Send(id(), msg.client, std::move(reply));
+}
+
+Vote TapirServer::Validate(const TapirPrepareMsg& msg) const {
+  // Stale reads are fatal: the value read has already been overwritten.
+  for (const auto& [key, version] : msg.read_versions) {
+    if (store_.GetVersion(key) != version) return Vote::kAbort;
+  }
+  // Conflicts with tentatively prepared transactions are transient.
+  for (const auto& [key, version] : msg.read_versions) {
+    if (prepared_writers_.count(key) > 0) return Vote::kAbstain;
+  }
+  for (const auto& [key, value] : msg.writes) {
+    if (prepared_writers_.count(key) > 0) return Vote::kAbstain;
+    if (prepared_readers_.count(key) > 0) return Vote::kAbstain;
+  }
+  return Vote::kOk;
+}
+
+void TapirServer::HandlePrepare(NodeId from, const TapirPrepareMsg& msg) {
+  (void)from;
+  auto reply = std::make_shared<TapirPrepareReplyMsg>();
+  reply->tid = msg.tid;
+  reply->partition = partition_;
+  reply->replica = id();
+
+  auto done = decided_.find(msg.tid);
+  if (done != decided_.end()) {
+    reply->vote = done->second ? Vote::kOk : Vote::kAbort;
+  } else if (prepared_.count(msg.tid) > 0) {
+    reply->vote = Vote::kOk;  // Duplicate prepare.
+  } else {
+    reply->vote = Validate(msg);
+    if (reply->vote == Vote::kOk) {
+      PreparedTxn txn;
+      txn.timestamp = msg.timestamp;
+      txn.read_versions = msg.read_versions;
+      txn.writes = msg.writes;
+      for (const auto& [k, v] : msg.read_versions) prepared_readers_[k]++;
+      for (const auto& [k, v] : msg.writes) prepared_writers_[k]++;
+      prepared_.emplace(msg.tid, std::move(txn));
+    }
+  }
+  network()->Send(id(), msg.client, std::move(reply));
+}
+
+void TapirServer::HandleFinalize(NodeId from, const TapirFinalizeMsg& msg) {
+  // IR slow path: persist the consensus result. A replica that had voted
+  // differently adopts the finalized result.
+  auto reply = std::make_shared<TapirFinalizeReplyMsg>();
+  reply->tid = msg.tid;
+  reply->partition = partition_;
+  reply->replica = id();
+  network()->Send(id(), from, std::move(reply));
+}
+
+void TapirServer::RemovePrepared(const TxnId& tid) {
+  auto it = prepared_.find(tid);
+  if (it == prepared_.end()) return;
+  for (const auto& [k, v] : it->second.read_versions) {
+    auto rit = prepared_readers_.find(k);
+    if (rit != prepared_readers_.end() && --rit->second == 0) {
+      prepared_readers_.erase(rit);
+    }
+  }
+  for (const auto& [k, v] : it->second.writes) {
+    auto wit = prepared_writers_.find(k);
+    if (wit != prepared_writers_.end() && --wit->second == 0) {
+      prepared_writers_.erase(wit);
+    }
+  }
+  prepared_.erase(it);
+}
+
+void TapirServer::HandleDecide(NodeId from, const TapirDecideMsg& msg) {
+  auto ack = std::make_shared<TapirDecideAckMsg>();
+  ack->tid = msg.tid;
+  ack->partition = partition_;
+  ack->replica = id();
+
+  if (decided_.count(msg.tid) == 0) {
+    RemovePrepared(msg.tid);
+    if (msg.commit) {
+      for (const auto& [k, v] : msg.writes) store_.Apply(k, v);
+      committed_count_++;
+    }
+    decided_[msg.tid] = msg.commit;
+  }
+  network()->Send(id(), from, std::move(ack));
+}
+
+}  // namespace carousel::tapir

@@ -1,0 +1,242 @@
+#include "workload/driver.h"
+
+#include <utility>
+
+namespace carousel::workload {
+namespace {
+
+class CarouselAdapter final : public SystemAdapter {
+ public:
+  CarouselAdapter(core::Cluster* cluster, std::string name)
+      : cluster_(cluster), name_(std::move(name)) {}
+
+  sim::Simulator& sim() override { return cluster_->sim(); }
+  sim::Network& network() override { return cluster_->network(); }
+  int num_clients() const override {
+    return static_cast<int>(cluster_->clients().size());
+  }
+  DcId client_dc(int index) const override {
+    return cluster_->clients()[index]->dc();
+  }
+  std::string name() const override { return name_; }
+
+  void Execute(int index, const TxnSpec& spec, const Value& payload,
+               std::function<void(bool, bool)> done) override {
+    core::CarouselClient* client = cluster_->client(index);
+    const TxnId tid = client->Begin();
+    auto done_ptr = std::make_shared<std::function<void(bool, bool)>>(
+        std::move(done));
+    KeyList writes = spec.writes;
+    client->ReadAndPrepare(
+        tid, spec.reads, spec.writes,
+        [client, tid, writes, payload, done_ptr](
+            Status status, const core::CarouselClient::ReadResults&) {
+          if (writes.empty()) {
+            // Read-only: complete at the read round (§4.4.2).
+            (*done_ptr)(status.ok(), status.code() == StatusCode::kTimedOut);
+            return;
+          }
+          if (!status.ok()) {
+            (*done_ptr)(false, status.code() == StatusCode::kTimedOut);
+            return;
+          }
+          for (const Key& k : writes) client->Write(tid, k, payload);
+          client->Commit(tid, [done_ptr](Status commit_status) {
+            (*done_ptr)(commit_status.ok(),
+                        commit_status.code() == StatusCode::kTimedOut);
+          });
+        });
+  }
+
+ private:
+  core::Cluster* cluster_;
+  std::string name_;
+};
+
+class TapirAdapter final : public SystemAdapter {
+ public:
+  explicit TapirAdapter(tapir::TapirCluster* cluster) : cluster_(cluster) {}
+
+  sim::Simulator& sim() override { return cluster_->sim(); }
+  sim::Network& network() override { return cluster_->network(); }
+  int num_clients() const override {
+    return static_cast<int>(cluster_->clients().size());
+  }
+  DcId client_dc(int index) const override {
+    return cluster_->clients()[index]->dc();
+  }
+  std::string name() const override { return "TAPIR"; }
+
+  void Execute(int index, const TxnSpec& spec, const Value& payload,
+               std::function<void(bool, bool)> done) override {
+    tapir::TapirClient* client = cluster_->client(index);
+    const TxnId tid = client->Begin();
+    auto done_ptr = std::make_shared<std::function<void(bool, bool)>>(
+        std::move(done));
+    KeyList writes = spec.writes;
+    // TAPIR has no read-only fast path: every transaction (including
+    // read-only ones) runs the full prepare/commit protocol.
+    client->Read(tid, spec.reads, spec.writes,
+                 [client, tid, writes, payload, done_ptr](
+                     Status status, const tapir::TapirClient::ReadResults&) {
+                   if (!status.ok()) {
+                     (*done_ptr)(false,
+                                 status.code() == StatusCode::kTimedOut);
+                     return;
+                   }
+                   for (const Key& k : writes) {
+                     client->Write(tid, k, payload);
+                   }
+                   client->Commit(tid, [done_ptr](Status commit_status) {
+                     (*done_ptr)(commit_status.ok(), false);
+                   });
+                 });
+  }
+
+ private:
+  tapir::TapirCluster* cluster_;
+};
+
+/// Driver internals: per-client busy flags, per-DC idle lists and arrival
+/// backlogs, a Poisson arrival process, and window accounting.
+class DriverState {
+ public:
+  DriverState(SystemAdapter* system, Generator* generator,
+              const DriverOptions& options)
+      : system_(system),
+        generator_(generator),
+        options_(options),
+        rng_(options.seed),
+        payload_(options.value_size, 'v') {
+    const int n = system->num_clients();
+    busy_.assign(n, false);
+    for (int i = 0; i < n; ++i) {
+      idle_by_dc_[system->client_dc(i)].push_back(i);
+      clients_per_dc_[system->client_dc(i)]++;
+    }
+    for (const auto& [dc, clients] : idle_by_dc_) dcs_.push_back(dc);
+    window_start_ = options.warmup;
+    window_end_ = options.duration - options.cooldown;
+  }
+
+  RunResult Run() {
+    ScheduleNextArrival();
+    // Run to the end of the load phase, then drain stragglers briefly.
+    system_->sim().RunFor(options_.duration);
+    stopped_ = true;
+    system_->sim().RunFor(5 * kMicrosPerSecond);
+    result_.window_seconds =
+        static_cast<double>(window_end_ - window_start_) / kMicrosPerSecond;
+    return std::move(result_);
+  }
+
+ private:
+  void ScheduleNextArrival() {
+    if (stopped_) return;
+    const double mean_gap = kMicrosPerSecond / options_.target_tps;
+    const SimTime gap =
+        std::max<SimTime>(1, static_cast<SimTime>(rng_.Exponential(mean_gap)));
+    system_->sim().Schedule(gap, [this]() {
+      if (stopped_) return;
+      Arrive();
+      ScheduleNextArrival();
+    });
+  }
+
+  void Arrive() {
+    const SimTime now = system_->sim().now();
+    if (InWindow(now)) result_.arrivals++;
+    const DcId dc = dcs_[rng_.UniformInt(0, dcs_.size() - 1)];
+    auto& idle = idle_by_dc_[dc];
+    if (!idle.empty()) {
+      const int client = idle.back();
+      idle.pop_back();
+      Launch(client);
+      return;
+    }
+    auto& backlog = backlog_by_dc_[dc];
+    const size_t cap = clients_in_dc(dc) *
+                       static_cast<size_t>(options_.backlog_per_client);
+    if (backlog.size() >= cap) {
+      if (InWindow(now)) result_.dropped++;
+      return;
+    }
+    backlog.push_back(now);
+  }
+
+  void Launch(int client) {
+    busy_[client] = true;
+    const TxnSpec spec = generator_->Next(&rng_);
+    const SimTime start = system_->sim().now();
+    system_->Execute(client, spec, payload_,
+                     [this, client, start](bool committed, bool timed_out) {
+                       OnDone(client, start, committed, timed_out);
+                     });
+  }
+
+  void OnDone(int client, SimTime start, bool committed, bool timed_out) {
+    const SimTime now = system_->sim().now();
+    if (InWindow(now)) {
+      if (committed) {
+        result_.committed++;
+        result_.latency.Record(now - start);
+      } else if (timed_out) {
+        result_.timed_out++;
+      } else {
+        result_.aborted++;
+        result_.aborted_latency.Record(now - start);
+      }
+    }
+    busy_[client] = false;
+    const DcId dc = system_->client_dc(client);
+    auto& backlog = backlog_by_dc_[dc];
+    if (!backlog.empty() && !stopped_) {
+      backlog.pop_front();
+      Launch(client);
+    } else {
+      idle_by_dc_[dc].push_back(client);
+    }
+  }
+
+  bool InWindow(SimTime t) const {
+    return t >= window_start_ && t < window_end_;
+  }
+
+  size_t clients_in_dc(DcId dc) {
+    return std::max<size_t>(1, clients_per_dc_[dc]);
+  }
+
+  SystemAdapter* system_;
+  Generator* generator_;
+  DriverOptions options_;
+  Rng rng_;
+  Value payload_;
+  std::vector<bool> busy_;
+  std::map<DcId, size_t> clients_per_dc_;
+  std::map<DcId, std::vector<int>> idle_by_dc_;
+  std::map<DcId, std::deque<SimTime>> backlog_by_dc_;
+  std::vector<DcId> dcs_;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = 0;
+  bool stopped_ = false;
+  RunResult result_;
+};
+
+}  // namespace
+
+std::unique_ptr<SystemAdapter> MakeCarouselAdapter(core::Cluster* cluster,
+                                                   std::string name) {
+  return std::make_unique<CarouselAdapter>(cluster, std::move(name));
+}
+
+std::unique_ptr<SystemAdapter> MakeTapirAdapter(tapir::TapirCluster* cluster) {
+  return std::make_unique<TapirAdapter>(cluster);
+}
+
+RunResult RunWorkload(SystemAdapter* system, Generator* generator,
+                      const DriverOptions& options) {
+  DriverState state(system, generator, options);
+  return state.Run();
+}
+
+}  // namespace carousel::workload

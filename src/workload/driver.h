@@ -1,0 +1,85 @@
+#ifndef CAROUSEL_WORKLOAD_DRIVER_H_
+#define CAROUSEL_WORKLOAD_DRIVER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carousel/cluster.h"
+#include "common/histogram.h"
+#include "common/types.h"
+#include "tapir/cluster.h"
+#include "workload/workload.h"
+
+namespace carousel::workload {
+
+/// Uniform interface over the systems under evaluation, so the driver and
+/// every bench are system-agnostic.
+class SystemAdapter {
+ public:
+  virtual ~SystemAdapter() = default;
+  virtual sim::Simulator& sim() = 0;
+  virtual sim::Network& network() = 0;
+  virtual int num_clients() const = 0;
+  virtual DcId client_dc(int index) const = 0;
+  /// Executes one 2FI transaction end to end on client `index`;
+  /// `done(committed, timed_out)` fires at completion.
+  virtual void Execute(int index, const TxnSpec& spec, const Value& payload,
+                       std::function<void(bool, bool)> done) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Adapter over a Carousel deployment (Basic or Fast, per its options).
+std::unique_ptr<SystemAdapter> MakeCarouselAdapter(core::Cluster* cluster,
+                                                   std::string name);
+/// Adapter over the TAPIR baseline.
+std::unique_ptr<SystemAdapter> MakeTapirAdapter(tapir::TapirCluster* cluster);
+
+/// Open-loop driver configuration (paper §6.2: open arrivals at a target
+/// rate, one outstanding transaction per client, fixed-length run with the
+/// first and last intervals excluded from measurement).
+struct DriverOptions {
+  double target_tps = 200;
+  SimTime duration = 90 * kMicrosPerSecond;
+  SimTime warmup = 30 * kMicrosPerSecond;
+  SimTime cooldown = 30 * kMicrosPerSecond;
+  size_t value_size = 64;
+  /// Max queued arrivals per client before arrivals are dropped (models
+  /// a bounded accept queue under overload).
+  int backlog_per_client = 4;
+  uint64_t seed = 42;
+};
+
+/// Results over the measurement window.
+struct RunResult {
+  uint64_t arrivals = 0;
+  uint64_t dropped = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t timed_out = 0;
+  Histogram latency;          // committed transactions
+  Histogram aborted_latency;  // aborted transactions
+  double window_seconds = 0;
+
+  double CommittedTps() const {
+    return window_seconds > 0 ? static_cast<double>(committed) / window_seconds
+                              : 0;
+  }
+  double AbortRate() const {
+    const uint64_t total = committed + aborted;
+    return total > 0 ? static_cast<double>(aborted) / static_cast<double>(total)
+                     : 0;
+  }
+};
+
+/// Runs `generator`'s transaction mix against `system` and gathers the
+/// measurement-window statistics.
+RunResult RunWorkload(SystemAdapter* system, Generator* generator,
+                      const DriverOptions& options);
+
+}  // namespace carousel::workload
+
+#endif  // CAROUSEL_WORKLOAD_DRIVER_H_

@@ -1,0 +1,114 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/zipfian.h"
+
+namespace carousel::workload {
+
+Key KeyForRank(uint64_t rank) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%015llu",
+                static_cast<unsigned long long>(rank));
+  return Key(buf);
+}
+
+namespace {
+
+/// Shared machinery: distinct Zipfian key draws, scrambled across the key
+/// space so hot keys spread over partitions.
+class ZipfKeyChooser {
+ public:
+  explicit ZipfKeyChooser(const WorkloadOptions& options)
+      : options_(options), zipf_(options.num_keys, options.zipf_theta) {}
+
+  KeyList Distinct(int n, Rng* rng) const {
+    std::set<uint64_t> ranks;
+    while (static_cast<int>(ranks.size()) < n) {
+      ranks.insert(ScrambleRank(zipf_.Next(rng), options_.num_keys));
+    }
+    KeyList keys;
+    keys.reserve(n);
+    for (uint64_t r : ranks) keys.push_back(KeyForRank(r));
+    return keys;
+  }
+
+ private:
+  WorkloadOptions options_;
+  ZipfianGenerator zipf_;
+};
+
+class RetwisGenerator final : public Generator {
+ public:
+  explicit RetwisGenerator(const WorkloadOptions& options)
+      : chooser_(options) {}
+
+  TxnSpec Next(Rng* rng) override {
+    TxnSpec spec;
+    const double p = rng->NextDouble();
+    if (p < 0.05) {
+      // Add User: 1 get, 3 puts.
+      spec.type = "add_user";
+      KeyList keys = chooser_.Distinct(3, rng);
+      spec.reads = {keys[0]};
+      spec.writes = keys;
+    } else if (p < 0.20) {
+      // Follow/Unfollow: 2 gets, 2 puts.
+      spec.type = "follow";
+      KeyList keys = chooser_.Distinct(2, rng);
+      spec.reads = keys;
+      spec.writes = keys;
+    } else if (p < 0.50) {
+      // Post Tweet: 3 gets, 5 puts.
+      spec.type = "post_tweet";
+      KeyList keys = chooser_.Distinct(5, rng);
+      spec.reads = {keys[0], keys[1], keys[2]};
+      spec.writes = keys;
+    } else {
+      // Load Timeline: rand(1, 10) gets, read-only.
+      spec.type = "load_timeline";
+      spec.reads = chooser_.Distinct(
+          static_cast<int>(rng->UniformInt(1, 10)), rng);
+    }
+    return spec;
+  }
+
+  std::string name() const override { return "retwis"; }
+
+ private:
+  ZipfKeyChooser chooser_;
+};
+
+class YcsbTGenerator final : public Generator {
+ public:
+  explicit YcsbTGenerator(const WorkloadOptions& options)
+      : chooser_(options) {}
+
+  TxnSpec Next(Rng* rng) override {
+    TxnSpec spec;
+    spec.type = "rmw4";
+    KeyList keys = chooser_.Distinct(4, rng);
+    spec.reads = keys;
+    spec.writes = keys;
+    return spec;
+  }
+
+  std::string name() const override { return "ycsb+t"; }
+
+ private:
+  ZipfKeyChooser chooser_;
+};
+
+}  // namespace
+
+std::unique_ptr<Generator> MakeRetwisGenerator(const WorkloadOptions& options) {
+  return std::make_unique<RetwisGenerator>(options);
+}
+
+std::unique_ptr<Generator> MakeYcsbTGenerator(const WorkloadOptions& options) {
+  return std::make_unique<YcsbTGenerator>(options);
+}
+
+}  // namespace carousel::workload

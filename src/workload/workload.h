@@ -1,0 +1,54 @@
+#ifndef CAROUSEL_WORKLOAD_WORKLOAD_H_
+#define CAROUSEL_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace carousel::workload {
+
+/// One 2FI transaction to execute: a fixed read set and a fixed write set
+/// (write values are produced later, after the reads, by the driver).
+struct TxnSpec {
+  KeyList reads;
+  KeyList writes;
+  /// Workload-specific label ("add_user", "load_timeline", ...).
+  std::string type;
+
+  bool read_only() const { return writes.empty(); }
+};
+
+/// Workload generation knobs shared by all benchmarks (paper §6.2).
+struct WorkloadOptions {
+  uint64_t num_keys = 10'000'000;
+  double zipf_theta = 0.75;
+  /// Size of each written value in bytes.
+  size_t value_size = 64;
+};
+
+/// Interface of a transaction-mix generator.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  /// Draws the next transaction.
+  virtual TxnSpec Next(Rng* rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Formats key index `rank` as a fixed-width store key.
+Key KeyForRank(uint64_t rank);
+
+/// Retwis transaction mix from paper Table 2: Add User (5%, 1 get /
+/// 3 puts), Follow/Unfollow (15%, 2/2), Post Tweet (30%, 3/5), Load
+/// Timeline (50%, rand(1,10) gets, read-only). Keys are Zipfian(0.75).
+std::unique_ptr<Generator> MakeRetwisGenerator(const WorkloadOptions& options);
+
+/// YCSB+T: every transaction performs 4 read-modify-write operations on
+/// distinct keys (paper §6.2).
+std::unique_ptr<Generator> MakeYcsbTGenerator(const WorkloadOptions& options);
+
+}  // namespace carousel::workload
+
+#endif  // CAROUSEL_WORKLOAD_WORKLOAD_H_

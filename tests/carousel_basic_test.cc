@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "carousel/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselOptions;
+using core::Cluster;
+
+class CarouselBasicTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Cluster> MakeCluster(CarouselOptions options,
+                                       int num_dcs = 3, int partitions = 3) {
+    auto cluster = std::make_unique<Cluster>(
+        SmallTopology(num_dcs, partitions), options, sim::NetworkOptions{},
+        /*seed=*/7);
+    cluster->Start();
+    return cluster;
+  }
+};
+
+TEST_F(CarouselBasicTest, SinglePartitionCommit) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  KeyList keys;
+  // Find two keys in partition 0 for a single-partition transaction.
+  for (int i = 0; keys.size() < 2 && i < 1000; ++i) {
+    Key k = "spc" + std::to_string(i);
+    if (cluster->directory().PartitionFor(k) == 0) keys.push_back(k);
+  }
+  ASSERT_EQ(keys.size(), 2u);
+
+  TxnOutcome out = RunTxn(*cluster, 0, {keys[0]},
+                          {{keys[0], "a"}, {keys[1], "b"}});
+  ASSERT_TRUE(out.commit_done);
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+  EXPECT_EQ(out.reads.at(keys[0]).version, 0u);  // Never written before.
+
+  cluster->sim().RunFor(5 * kMicrosPerSecond);  // Let writeback finish.
+  EXPECT_EQ(LeaderValue(*cluster, keys[0]).value, "a");
+  EXPECT_EQ(LeaderValue(*cluster, keys[1]).value, "b");
+  EXPECT_EQ(LeaderValue(*cluster, keys[0]).version, 1u);
+}
+
+TEST_F(CarouselBasicTest, MultiPartitionCommitAppliesEverywhere) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  // Keys guaranteed to be spread: pick one key per partition.
+  std::map<PartitionId, Key> per_part;
+  for (int i = 0; per_part.size() < 3 && i < 10000; ++i) {
+    Key k = "mp" + std::to_string(i);
+    per_part.emplace(cluster->directory().PartitionFor(k), k);
+  }
+  ASSERT_EQ(per_part.size(), 3u);
+
+  KeyList reads;
+  WriteSet writes;
+  for (const auto& [p, k] : per_part) {
+    reads.push_back(k);
+    writes[k] = "val-" + std::to_string(p);
+  }
+  TxnOutcome out = RunTxn(*cluster, 0, reads, writes);
+  ASSERT_TRUE(out.commit_done);
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  for (const auto& [p, k] : per_part) {
+    EXPECT_EQ(LeaderValue(*cluster, k).value, writes[k]) << "partition " << p;
+    // Writeback replicated to every replica of the group.
+    for (NodeId replica : cluster->topology().Replicas(p)) {
+      EXPECT_EQ(cluster->server(replica)->store().Get(k).value, writes[k]);
+    }
+  }
+}
+
+TEST_F(CarouselBasicTest, ReadYourPreviousCommit) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = "ryw-key";
+  TxnOutcome w1 = RunTxn(*cluster, 0, {k}, {{k, "v1"}});
+  ASSERT_TRUE(w1.commit_status.ok());
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+
+  TxnOutcome r = RunTxn(*cluster, 0, {k}, {});
+  ASSERT_TRUE(r.commit_done);
+  EXPECT_TRUE(r.commit_status.ok());
+  EXPECT_EQ(r.reads.at(k).value, "v1");
+  EXPECT_EQ(r.reads.at(k).version, 1u);
+}
+
+TEST_F(CarouselBasicTest, ReadOnlyTransactionNeedsNoCoordinator) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  TxnOutcome out = RunTxn(*cluster, 0, {"ro1", "ro2", "ro3"}, {});
+  ASSERT_TRUE(out.commit_done);
+  EXPECT_TRUE(out.commit_status.ok());
+  EXPECT_EQ(out.reads.size(), 3u);
+  for (const auto& [k, vv] : out.reads) {
+    EXPECT_EQ(vv.version, 0u);
+    EXPECT_EQ(vv.value, "");
+  }
+}
+
+TEST_F(CarouselBasicTest, BlindWriteTransaction) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  TxnOutcome out = RunTxn(*cluster, 0, {}, {{"bw1", "x"}, {"bw2", "y"}});
+  ASSERT_TRUE(out.commit_done);
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, "bw1").value, "x");
+}
+
+TEST_F(CarouselBasicTest, ConflictingConcurrentTransactionsOneAborts) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = "contended";
+  // Two clients in different DCs write the same key simultaneously.
+  auto out1 = std::make_shared<TxnOutcome>();
+  auto out2 = std::make_shared<TxnOutcome>();
+  auto run = [&](int idx, std::shared_ptr<TxnOutcome> out) {
+    core::CarouselClient* client = cluster->client(idx);
+    const TxnId tid = client->Begin();
+    client->ReadAndPrepare(
+        tid, {k}, {k},
+        [out, client, tid, k](Status status,
+                              const core::CarouselClient::ReadResults&) {
+          out->read_done = true;
+          out->read_status = status;
+          client->Write(tid, k, "w");
+          client->Commit(tid, [out](Status s) {
+            out->commit_done = true;
+            out->commit_status = s;
+          });
+        });
+  };
+  run(0, out1);
+  run(2, out2);  // Client in another DC.
+  cluster->sim().RunFor(30 * kMicrosPerSecond);
+
+  ASSERT_TRUE(out1->commit_done && out2->commit_done);
+  const bool ok1 = out1->commit_status.ok();
+  const bool ok2 = out2->commit_status.ok();
+  EXPECT_TRUE(ok1 != ok2) << "exactly one of two conflicting transactions "
+                             "must commit (got " << ok1 << ", " << ok2 << ")";
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, k).version, 1u);
+}
+
+TEST_F(CarouselBasicTest, SequentialTransactionsBumpVersions) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = "version-counter";
+  for (int i = 1; i <= 5; ++i) {
+    TxnOutcome out = RunTxn(*cluster, i % 6, {k}, {{k, "v" + std::to_string(i)}});
+    ASSERT_TRUE(out.commit_status.ok()) << "iteration " << i;
+    cluster->sim().RunFor(3 * kMicrosPerSecond);
+    EXPECT_EQ(LeaderValue(*cluster, k).version, static_cast<Version>(i));
+  }
+}
+
+TEST_F(CarouselBasicTest, ClientAbortDiscardsWrites) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = "abandoned";
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  bool read_done = false;
+  client->ReadAndPrepare(tid, {k}, {k},
+                         [&](Status, const core::CarouselClient::ReadResults&) {
+                           read_done = true;
+                           client->Write(tid, k, "should-not-appear");
+                           client->Abort(tid);
+                         });
+  cluster->sim().RunFor(10 * kMicrosPerSecond);
+  ASSERT_TRUE(read_done);
+  EXPECT_EQ(LeaderValue(*cluster, k).version, 0u);
+
+  // The pending entry must be cleaned up so later transactions proceed.
+  TxnOutcome out = RunTxn(*cluster, 1, {k}, {{k, "next"}});
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+}
+
+TEST_F(CarouselBasicTest, PendingListsDrainAfterCommit) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  for (int i = 0; i < 10; ++i) {
+    TxnOutcome out =
+        RunTxn(*cluster, i % 6, {"drain" + std::to_string(i)},
+               {{"drain" + std::to_string(i), "v"}});
+    ASSERT_TRUE(out.commit_status.ok());
+  }
+  cluster->sim().RunFor(10 * kMicrosPerSecond);
+  for (const NodeInfo& info : cluster->topology().nodes()) {
+    if (info.is_client) continue;
+    EXPECT_EQ(cluster->server(info.id)->pending().size(), 0u)
+        << "node " << info.id;
+  }
+}
+
+}  // namespace
+}  // namespace carousel::test

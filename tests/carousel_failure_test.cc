@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "carousel/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselOptions;
+using core::Cluster;
+
+CarouselOptions FastOptions() {
+  CarouselOptions options = FastRaftOptions();
+  options.fast_path = true;
+  options.local_reads = true;
+  return options;
+}
+
+std::unique_ptr<Cluster> MakeCluster(CarouselOptions options,
+                                     uint64_t seed = 21) {
+  auto cluster = std::make_unique<Cluster>(SmallTopology(), options,
+                                           sim::NetworkOptions{}, seed);
+  cluster->Start();
+  return cluster;
+}
+
+Key KeyIn(const Cluster& cluster, PartitionId p, const std::string& tag) {
+  for (int i = 0; i < 100000; ++i) {
+    Key k = tag + std::to_string(i);
+    if (cluster.directory().PartitionFor(k) == p) return k;
+  }
+  return "";
+}
+
+/// Crashing f followers of a partition must not block transactions
+/// (paper §4.3.2).
+TEST(CarouselFailureTest, FollowerCrashIsTransparent) {
+  for (bool fast : {false, true}) {
+    auto cluster = MakeCluster(fast ? FastOptions() : FastRaftOptions());
+    const Key k = KeyIn(*cluster, 0, "fct");
+    // Crash one (f=1) follower of partition 0.
+    cluster->Crash(cluster->topology().Replicas(0)[1]);
+    TxnOutcome out = RunTxn(*cluster, 0, {k}, {{k, "v"}});
+    ASSERT_TRUE(out.commit_done) << "fast=" << fast;
+    EXPECT_TRUE(out.commit_status.ok())
+        << "fast=" << fast << ": " << out.commit_status;
+    cluster->sim().RunFor(5 * kMicrosPerSecond);
+    EXPECT_EQ(LeaderValue(*cluster, k).value, "v");
+  }
+}
+
+/// A participant-leader crash during the run: Raft elects a new leader and
+/// subsequent transactions succeed against it.
+TEST(CarouselFailureTest, ParticipantLeaderFailover) {
+  for (bool fast : {false, true}) {
+    auto cluster = MakeCluster(fast ? FastOptions() : FastRaftOptions());
+    const Key k = KeyIn(*cluster, 1, "plf");
+
+    TxnOutcome before = RunTxn(*cluster, 0, {k}, {{k, "v1"}});
+    ASSERT_TRUE(before.commit_status.ok());
+    cluster->sim().RunFor(3 * kMicrosPerSecond);
+
+    const NodeId old_leader = cluster->topology().InitialLeader(1);
+    cluster->Crash(old_leader);
+    cluster->sim().RunFor(3 * kMicrosPerSecond);  // Election + recovery.
+    core::CarouselServer* new_leader = cluster->LeaderOf(1);
+    ASSERT_NE(new_leader, nullptr) << "no leader elected (fast=" << fast << ")";
+    EXPECT_NE(new_leader->id(), old_leader);
+    EXPECT_TRUE(new_leader->serving());
+
+    TxnOutcome after = RunTxn(*cluster, 0, {k}, {{k, "v2"}});
+    ASSERT_TRUE(after.commit_done);
+    EXPECT_TRUE(after.commit_status.ok())
+        << "fast=" << fast << ": " << after.commit_status;
+    EXPECT_EQ(after.reads.at(k).value, "v1") << "lost committed write";
+    cluster->sim().RunFor(5 * kMicrosPerSecond);
+    EXPECT_EQ(LeaderValue(*cluster, k).version, 2u);
+  }
+}
+
+/// A transaction issued while the participant leader is down completes
+/// after failover via client retransmission.
+TEST(CarouselFailureTest, TransactionSurvivesLeaderCrashMidFlight) {
+  auto cluster = MakeCluster(FastOptions());
+  const Key k = KeyIn(*cluster, 1, "mid");
+  // Crash the leader; issue the transaction immediately, before any
+  // election has happened.
+  cluster->Crash(cluster->topology().InitialLeader(1));
+  TxnOutcome out = RunTxn(*cluster, 0, {k}, {{k, "v"}},
+                          /*timeout=*/30 * kMicrosPerSecond);
+  ASSERT_TRUE(out.commit_done) << "transaction never completed";
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, k).value, "v");
+}
+
+/// Coordinator crash after the client received `committed`: the decision
+/// must survive (it is derivable from replicated state), and the
+/// participants must still learn it (writeback completes after failover).
+TEST(CarouselFailureTest, CoordinatorCrashAfterCommitPreservesDecision) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = KeyIn(*cluster, 1, "ccd");
+
+  // Client 0 lives in DC0; its coordinator is partition 0's leader.
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  auto outcome = std::make_shared<TxnOutcome>();
+  client->ReadAndPrepare(
+      tid, {k}, {k},
+      [&, outcome](Status, const core::CarouselClient::ReadResults&) {
+        client->Write(tid, k, "v");
+        client->Commit(tid, [outcome](Status s) {
+          outcome->commit_done = true;
+          outcome->commit_status = s;
+        });
+      });
+  while (!outcome->commit_done) cluster->sim().RunFor(kMicrosPerMilli);
+  ASSERT_TRUE(outcome->commit_status.ok());
+
+  // Crash the coordinator immediately after the client's acknowledgment;
+  // the writeback may not have reached the participant leader yet.
+  const NodeId coordinator = cluster->topology().InitialLeader(0);
+  cluster->Crash(coordinator);
+
+  // After failover, the new coordinator-group leader re-derives the
+  // decision and finishes the writeback.
+  cluster->sim().RunFor(20 * kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, k).value, "v")
+      << "committed write lost after coordinator crash";
+  // Pending entries must not leak at the participant replicas.
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    if (!cluster->network().IsAlive(replica)) continue;
+    EXPECT_EQ(cluster->server(replica)->pending().size(), 0u)
+        << "replica " << replica;
+  }
+}
+
+/// Coordinator crash before the client commits: the client's commit
+/// retransmission reaches the new leader, which finishes the transaction.
+TEST(CarouselFailureTest, CoordinatorCrashBeforeCommit) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = KeyIn(*cluster, 1, "ccb");
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  auto outcome = std::make_shared<TxnOutcome>();
+  bool crashed = false;
+
+  client->ReadAndPrepare(
+      tid, {k}, {k},
+      [&, outcome](Status, const core::CarouselClient::ReadResults&) {
+        // Crash the coordinator before sending commit.
+        cluster->Crash(cluster->topology().InitialLeader(0));
+        crashed = true;
+        client->Write(tid, k, "v");
+        client->Commit(tid, [outcome](Status s) {
+          outcome->commit_done = true;
+          outcome->commit_status = s;
+        });
+      });
+  const SimTime deadline = cluster->sim().now() + 60 * kMicrosPerSecond;
+  while (!outcome->commit_done && cluster->sim().now() < deadline) {
+    cluster->sim().RunFor(kMicrosPerMilli);
+  }
+  ASSERT_TRUE(crashed);
+  ASSERT_TRUE(outcome->commit_done) << "commit never completed after "
+                                       "coordinator failover";
+  // Either outcome is acceptable (commit or abort), but it must be
+  // consistent with the stored state.
+  cluster->sim().RunFor(20 * kMicrosPerSecond);
+  const Version v = LeaderValue(*cluster, k).version;
+  if (outcome->commit_status.ok()) {
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(LeaderValue(*cluster, k).value, "v");
+  } else {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+/// Client crash before commit: the coordinator misses h heartbeats and
+/// aborts, releasing the pending entries at the participants (§4.3.1).
+TEST(CarouselFailureTest, ClientCrashTriggersHeartbeatAbort) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = KeyIn(*cluster, 1, "cch");
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  bool read_done = false;
+  client->ReadAndPrepare(tid, {k}, {k},
+                         [&](Status, const core::CarouselClient::ReadResults&) {
+                           read_done = true;
+                           // Crash instead of committing.
+                           cluster->Crash(client->id());
+                         });
+  cluster->sim().RunFor(2 * kMicrosPerSecond);
+  ASSERT_TRUE(read_done);
+
+  // The prepare is pending at partition 1's leader until the abort.
+  cluster->sim().RunFor(20 * kMicrosPerSecond);
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    EXPECT_EQ(cluster->server(replica)->pending().size(), 0u)
+        << "pending entry leaked on replica " << replica;
+  }
+  EXPECT_EQ(LeaderValue(*cluster, k).version, 0u) << "aborted write applied";
+
+  // The key is usable by other clients afterwards.
+  TxnOutcome out = RunTxn(*cluster, 1, {k}, {{k, "next"}});
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+}
+
+/// CPC leader-failure recovery (§4.3.3): the leader crashes after exposing
+/// a fast-path prepare to the coordinator but before replicating it. The
+/// new leader must reconstruct the same prepare decision from the
+/// pending-transaction lists piggybacked on votes.
+TEST(CarouselFailureTest, FastPathDecisionSurvivesLeaderCrash) {
+  CarouselOptions options = FastOptions();
+  auto cluster = MakeCluster(options);
+  const Key k = KeyIn(*cluster, 1, "fpd");
+  const NodeId leader = cluster->topology().InitialLeader(1);
+
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  auto outcome = std::make_shared<TxnOutcome>();
+  client->ReadAndPrepare(
+      tid, {k}, {k},
+      [&, outcome](Status, const core::CarouselClient::ReadResults&) {
+        client->Write(tid, k, "v");
+        client->Commit(tid, [outcome](Status s) {
+          outcome->commit_done = true;
+          outcome->commit_status = s;
+        });
+      });
+
+  // Let the prepare reach all replicas (fast path fires) and crash the
+  // leader right around replication time.
+  cluster->sim().RunFor(45 * kMicrosPerMilli);
+  cluster->Crash(leader);
+
+  const SimTime deadline = cluster->sim().now() + 60 * kMicrosPerSecond;
+  while (!outcome->commit_done && cluster->sim().now() < deadline) {
+    cluster->sim().RunFor(kMicrosPerMilli);
+  }
+  ASSERT_TRUE(outcome->commit_done);
+  cluster->sim().RunFor(20 * kMicrosPerSecond);
+  const Version v = LeaderValue(*cluster, k).version;
+  if (outcome->commit_status.ok()) {
+    EXPECT_EQ(LeaderValue(*cluster, k).value, "v");
+    EXPECT_EQ(v, 1u);
+  } else {
+    EXPECT_EQ(v, 0u);
+  }
+  // No replica may be left with a dangling pending entry.
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    if (!cluster->network().IsAlive(replica)) continue;
+    EXPECT_EQ(cluster->server(replica)->pending().size(), 0u);
+  }
+}
+
+/// Recovered crashed nodes rejoin and catch up.
+TEST(CarouselFailureTest, CrashedFollowerRecoversAndCatchesUp) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  const Key k = KeyIn(*cluster, 0, "rec");
+  const NodeId follower = cluster->topology().Replicas(0)[2];
+  cluster->Crash(follower);
+
+  TxnOutcome out = RunTxn(*cluster, 0, {k}, {{k, "while-down"}});
+  ASSERT_TRUE(out.commit_status.ok());
+  cluster->sim().RunFor(2 * kMicrosPerSecond);
+  EXPECT_EQ(cluster->server(follower)->store().GetVersion(k), 0u);
+
+  cluster->Recover(follower);
+  cluster->sim().RunFor(5 * kMicrosPerSecond);  // Heartbeats resync the log.
+  EXPECT_EQ(cluster->server(follower)->store().Get(k).value, "while-down");
+}
+
+/// With both the client and the coordinator notification gone, the
+/// participant's 2PC termination probe (QueryDecision) must clear the
+/// pending entry instead of blocking the key forever.
+TEST(CarouselFailureTest, OrphanedPendingEntryIsGarbageCollected) {
+  CarouselOptions options = FastRaftOptions();
+  options.pending_gc_interval = 3 * kMicrosPerSecond;
+  auto cluster = MakeCluster(options);
+  const Key k = KeyIn(*cluster, 1, "gc");
+
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  client->ReadAndPrepare(tid, {k}, {k},
+                         [&](Status, const core::CarouselClient::ReadResults&) {
+                           cluster->Crash(client->id());
+                         });
+  // Crash the coordinator too, then bring it back: its in-memory txn
+  // tracking resumes, but suppose the heartbeat record was disrupted.
+  cluster->sim().RunFor(200 * kMicrosPerMilli);
+  const NodeId coordinator = cluster->topology().InitialLeader(0);
+  cluster->Crash(coordinator);
+  cluster->sim().RunFor(30 * kMicrosPerSecond);
+
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    if (!cluster->network().IsAlive(replica)) continue;
+    EXPECT_EQ(cluster->server(replica)->pending().size(), 0u)
+        << "replica " << replica << " leaked a pending entry";
+  }
+  EXPECT_EQ(LeaderValue(*cluster, k).version, 0u);
+}
+
+}  // namespace
+}  // namespace carousel::test

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "carousel/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselClient;
+using core::CarouselOptions;
+using core::Cluster;
+
+/// Property sweep over deployment shapes: (fast path on/off, number of
+/// partitions, inter-DC RTT, seed). For each configuration a batch of
+/// randomized read-modify-write transactions runs concurrently and the
+/// suite checks the protocol-independent invariants:
+///   * every transaction completes (no hangs, no lost callbacks);
+///   * per-key version == number of commits that wrote the key
+///     (serializability: no lost or phantom update);
+///   * replicas converge (writebacks drain; pending lists empty);
+///   * transaction latency at idle is bounded by a small number of WAN
+///     roundtrips (the paper's headline property).
+struct PropertyParam {
+  bool fast = false;
+  int partitions = 3;
+  double rtt_ms = 20;
+  uint64_t seed = 1;
+};
+
+class CarouselPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(CarouselPropertyTest, InvariantsHoldUnderRandomConcurrentLoad) {
+  const PropertyParam& param = GetParam();
+  CarouselOptions options = FastRaftOptions();
+  options.fast_path = param.fast;
+  options.local_reads = param.fast;
+
+  Topology topo = Topology::Uniform(3, param.rtt_ms);
+  topo.PlacePartitions(param.partitions, 3);
+  for (DcId dc = 0; dc < 3; ++dc) {
+    for (int i = 0; i < 2; ++i) topo.AddClient(dc);
+  }
+  Cluster cluster(std::move(topo), options, sim::NetworkOptions{}, param.seed);
+  cluster.Start();
+
+  const int kTxns = 80;
+  const int kKeys = 24;
+  Rng rng(param.seed * 1337);
+  int done = 0, committed = 0;
+  std::map<Key, int> commits_per_key;
+
+  for (int i = 0; i < kTxns; ++i) {
+    const SimTime at =
+        cluster.sim().now() + rng.UniformInt(0, 8 * kMicrosPerSecond);
+    const int client_index =
+        static_cast<int>(rng.UniformInt(0, cluster.clients().size() - 1));
+    KeyList keys;
+    const int n = static_cast<int>(rng.UniformInt(1, 3));
+    while (static_cast<int>(keys.size()) < n) {
+      Key k = "pk" + std::to_string(rng.UniformInt(0, kKeys - 1));
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    cluster.sim().ScheduleAt(at, [&, client_index, keys]() {
+      CarouselClient* client = cluster.client(client_index);
+      const TxnId tid = client->Begin();
+      client->ReadAndPrepare(
+          tid, keys, keys,
+          [&, client, tid, keys](Status status,
+                                 const CarouselClient::ReadResults& reads) {
+            if (!status.ok()) {
+              done++;
+              return;
+            }
+            for (const Key& k : keys) {
+              const int old = reads.at(k).value.empty()
+                                  ? 0
+                                  : std::stoi(reads.at(k).value);
+              client->Write(tid, k, std::to_string(old + 1));
+            }
+            client->Commit(tid, [&, keys](Status s) {
+              done++;
+              if (s.ok()) {
+                committed++;
+                for (const Key& k : keys) commits_per_key[k]++;
+              }
+            });
+          });
+    });
+  }
+  cluster.sim().RunFor(40 * kMicrosPerSecond);
+
+  EXPECT_EQ(done, kTxns) << "transactions hung";
+  EXPECT_GT(committed, 0);
+
+  cluster.sim().RunFor(20 * kMicrosPerSecond);  // Drain writebacks.
+  for (int i = 0; i < kKeys; ++i) {
+    const Key k = "pk" + std::to_string(i);
+    const VersionedValue vv = LeaderValue(cluster, k);
+    EXPECT_EQ(static_cast<int>(vv.version), commits_per_key[k])
+        << "key " << k;
+    if (commits_per_key[k] > 0) {
+      EXPECT_EQ(std::stoi(vv.value), commits_per_key[k]) << "key " << k;
+    }
+    // All replicas converge to the same value.
+    const PartitionId p = cluster.directory().PartitionFor(k);
+    for (NodeId replica : cluster.topology().Replicas(p)) {
+      EXPECT_EQ(cluster.server(replica)->store().Get(k).version, vv.version)
+          << "key " << k << " replica " << replica;
+    }
+  }
+  for (const NodeInfo& info : cluster.topology().nodes()) {
+    if (info.is_client) continue;
+    EXPECT_EQ(cluster.server(info.id)->pending().size(), 0u)
+        << "node " << info.id;
+  }
+}
+
+std::vector<PropertyParam> AllParams() {
+  std::vector<PropertyParam> params;
+  for (bool fast : {false, true}) {
+    for (int partitions : {1, 3, 5}) {
+      for (double rtt : {5.0, 60.0}) {
+        for (uint64_t seed : {11u, 22u}) {
+          params.push_back({fast, partitions, rtt, seed});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CarouselPropertyTest, ::testing::ValuesIn(AllParams()),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      const PropertyParam& p = info.param;
+      return std::string(p.fast ? "fast" : "basic") + "_p" +
+             std::to_string(p.partitions) + "_rtt" +
+             std::to_string(static_cast<int>(p.rtt_ms)) + "_s" +
+             std::to_string(p.seed);
+    });
+
+/// Idle-latency property: at zero load a read-write transaction finishes
+/// within ~2 WANRTs (Basic) and a read-only one within ~1 WANRT,
+/// whatever the RTT (the paper's roundtrip guarantees, parameterized).
+class LatencyBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyBoundTest, RoundtripBudgetsScaleWithRtt) {
+  const double rtt_ms = GetParam();
+  CarouselOptions options = FastRaftOptions();
+  Topology topo = Topology::Uniform(3, rtt_ms);
+  topo.PlacePartitions(3, 3);
+  topo.AddClient(0);
+  Cluster cluster(std::move(topo), options, sim::NetworkOptions{}, 7);
+  cluster.Start();
+
+  const SimTime rtt = static_cast<SimTime>(rtt_ms * kMicrosPerMilli);
+  const SimTime slack = 8 * kMicrosPerMilli + rtt / 4;  // Jitter + intra-DC.
+
+  SimTime start = cluster.sim().now();
+  TxnOutcome rw = RunTxn(cluster, 0, {"lb"}, {{"lb", "v"}});
+  ASSERT_TRUE(rw.commit_status.ok());
+  EXPECT_LE(cluster.sim().now() - start, 2 * rtt + slack)
+      << "read-write exceeded 2 WANRTs at rtt " << rtt_ms;
+
+  // Let the asynchronous Writeback phase clear the pending entry; a
+  // read-only transaction issued inside that window correctly aborts.
+  cluster.sim().RunFor(4 * rtt + kMicrosPerSecond);
+  start = cluster.sim().now();
+  TxnOutcome ro = RunTxn(cluster, 0, {"lb"}, {});
+  ASSERT_TRUE(ro.commit_status.ok());
+  EXPECT_LE(cluster.sim().now() - start, rtt + slack)
+      << "read-only exceeded 1 WANRT at rtt " << rtt_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, LatencyBoundTest,
+                         ::testing::Values(10.0, 50.0, 150.0, 300.0));
+
+}  // namespace
+}  // namespace carousel::test

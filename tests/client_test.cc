@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "carousel/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselClient;
+using core::CarouselOptions;
+using core::Cluster;
+
+std::unique_ptr<Cluster> MakeCluster(CarouselOptions options,
+                                     uint64_t seed = 41) {
+  auto cluster = std::make_unique<Cluster>(SmallTopology(), options,
+                                           sim::NetworkOptions{}, seed);
+  cluster->Start();
+  return cluster;
+}
+
+TEST(ClientTest, BeginAssignsUniqueMonotonicTxnIds) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  CarouselClient* a = cluster->client(0);
+  CarouselClient* b = cluster->client(1);
+  const TxnId a1 = a->Begin();
+  const TxnId a2 = a->Begin();
+  const TxnId b1 = b->Begin();
+  EXPECT_LT(a1, a2);
+  EXPECT_EQ(a1.client, a2.client);
+  EXPECT_NE(a1.client, b1.client);  // Client ids differ.
+}
+
+TEST(ClientTest, CommitWithoutReadAndPrepareFails) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  Status result;
+  cluster->client(0)->Commit(TxnId{0, 99}, [&](Status s) { result = s; });
+  EXPECT_EQ(result.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClientTest, WriteOnUnknownTxnIsIgnored) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  cluster->client(0)->Write(TxnId{0, 99}, "k", "v");  // Must not crash.
+  cluster->sim().RunFor(kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, "k").version, 0u);
+}
+
+TEST(ClientTest, UnwrittenWriteSetKeysKeepTheirValue) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  ASSERT_TRUE(RunTxn(*cluster, 0, {}, {{"kept", "orig"}}).commit_status.ok());
+  cluster->sim().RunFor(3 * kMicrosPerSecond);
+
+  // Declare {kept, other} as write set but only write `other`.
+  CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  auto out = std::make_shared<TxnOutcome>();
+  client->ReadAndPrepare(tid, {}, {"kept", "other"},
+                         [&, out](Status, const CarouselClient::ReadResults&) {
+                           client->Write(tid, "other", "x");
+                           client->Commit(tid, [out](Status s) {
+                             out->commit_done = true;
+                             out->commit_status = s;
+                           });
+                         });
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  ASSERT_TRUE(out->commit_done);
+  EXPECT_TRUE(out->commit_status.ok());
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, "kept").value, "orig");
+  EXPECT_EQ(LeaderValue(*cluster, "kept").version, 1u);
+  EXPECT_EQ(LeaderValue(*cluster, "other").value, "x");
+}
+
+TEST(ClientTest, RptCounterTracksRemotePartitionTransactions) {
+  // 3 DCs, 3 partitions, replication 3 => every partition has a replica
+  // in every DC, so everything is an LRT.
+  auto all_local = MakeCluster(FastRaftOptions());
+  TxnOutcome out = RunTxn(*all_local, 0, {"a"}, {});
+  EXPECT_EQ(all_local->client(0)->rpt_count(), 0u);
+
+  // 5 DCs, replication 3 => some partitions have no local replica.
+  Topology topo = Topology::PaperEc2();
+  topo.PlacePartitions(5, 3);
+  topo.AddClient(0);
+  Cluster cluster(std::move(topo), FastRaftOptions(), sim::NetworkOptions{}, 5);
+  cluster.Start();
+  // Partition 2 has replicas in DCs 2,3,4: remote from DC0.
+  Key remote;
+  for (int i = 0;; ++i) {
+    remote = "r" + std::to_string(i);
+    if (cluster.directory().PartitionFor(remote) == 2) break;
+  }
+  RunTxn(cluster, 0, {remote}, {});
+  EXPECT_EQ(cluster.client(0)->rpt_count(), 1u);
+}
+
+TEST(ClientTest, AbortBeforeCommitIsIdempotent) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  client->ReadAndPrepare(tid, {"z"}, {"z"},
+                         [&](Status, const CarouselClient::ReadResults&) {
+                           client->Abort(tid);
+                           client->Abort(tid);  // Second abort: no-op.
+                         });
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  EXPECT_EQ(LeaderValue(*cluster, "z").version, 0u);
+}
+
+TEST(ClientTest, TimesOutWhenPartitionIsUnavailable) {
+  CarouselOptions options = FastRaftOptions();
+  options.client_retry_timeout = 300'000;
+  auto cluster = MakeCluster(options);
+  // Kill the whole consensus group of partition 1: no quorum, no leader.
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    cluster->Crash(replica);
+  }
+  Key key;
+  for (int i = 0;; ++i) {
+    key = "t" + std::to_string(i);
+    if (cluster->directory().PartitionFor(key) == 1) break;
+  }
+  TxnOutcome out = RunTxn(*cluster, 0, {key}, {{key, "v"}},
+                          /*timeout=*/120 * kMicrosPerSecond);
+  ASSERT_TRUE(out.commit_done) << "expected a timeout completion";
+  EXPECT_EQ(out.commit_status.code(), StatusCode::kTimedOut);
+}
+
+TEST(ClientTest, ConcurrentIndependentTxnsFromOneClient) {
+  // The library supports multiple outstanding transactions per client
+  // object (distinct tids).
+  auto cluster = MakeCluster(FastRaftOptions());
+  CarouselClient* client = cluster->client(0);
+  int committed = 0;
+  for (int i = 0; i < 5; ++i) {
+    const TxnId tid = client->Begin();
+    const Key k = "multi" + std::to_string(i);
+    client->ReadAndPrepare(tid, {k}, {k},
+                           [&, tid, k](Status,
+                                       const CarouselClient::ReadResults&) {
+                             client->Write(tid, k, "v");
+                             client->Commit(tid, [&](Status s) {
+                               if (s.ok()) committed++;
+                             });
+                           });
+  }
+  cluster->sim().RunFor(10 * kMicrosPerSecond);
+  EXPECT_EQ(committed, 5);
+}
+
+TEST(ClientTest, ReadOnlySeesNoCoordinatorTraffic) {
+  auto cluster = MakeCluster(FastRaftOptions());
+  cluster->network().ResetTraffic();
+  TxnOutcome out = RunTxn(*cluster, 0, {"ro-a", "ro-b"}, {});
+  ASSERT_TRUE(out.commit_status.ok());
+  // No CoordPrepare / commit / heartbeat messages were sent: the client
+  // contacted only participant leaders (one request per partition).
+  const auto& sent = cluster->network().sent_by_type();
+  EXPECT_EQ(sent.count(sim::kCarouselCoordPrepare), 0u);
+  EXPECT_EQ(sent.count(sim::kCarouselCommitRequest), 0u);
+  EXPECT_EQ(sent.count(sim::kCarouselHeartbeat), 0u);
+}
+
+TEST(ClientTest, ClosestReadsServeRemotePartitionsFromNearestReplica) {
+  // Client in Europe (DC2); partition 4's replicas are in DCs 4, 0, 1 —
+  // none local. With closest_reads the read comes from US-East (88 ms)
+  // rather than the leader in Australia (290 ms).
+  auto measure = [](bool closest) {
+    Topology topo = Topology::PaperEc2();
+    topo.PlacePartitions(5, 3);
+    topo.AddClient(2);
+    CarouselOptions options;
+    options.fast_path = true;
+    options.local_reads = true;
+    options.closest_reads = closest;
+    Cluster cluster(std::move(topo), options, sim::NetworkOptions{}, 17);
+    cluster.Start();
+    Key key;
+    for (int i = 0;; ++i) {
+      key = "cr" + std::to_string(i);
+      if (cluster.directory().PartitionFor(key) == 4) break;
+    }
+    const SimTime start = cluster.sim().now();
+    TxnOutcome out = RunTxn(cluster, 0, {key}, {{key, "v"}});
+    EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+    return cluster.sim().now() - start;
+  };
+  const SimTime with_closest = measure(true);
+  const SimTime leader_only = measure(false);
+  // Reading from US-East (88 ms) instead of the leader in Australia
+  // (290 ms) lets the commit phase start ~200 ms earlier.
+  EXPECT_LT(with_closest + 150 * kMicrosPerMilli, leader_only);
+  EXPECT_LT(with_closest, 380 * kMicrosPerMilli);
+}
+
+}  // namespace
+}  // namespace carousel::test

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/consistent_hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/topology.h"
+#include "common/types.h"
+#include "common/zipfian.h"
+
+namespace carousel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Aborted("conflict on key x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.message(), "conflict on key x");
+  EXPECT_EQ(s.ToString(), "Aborted: conflict on key x");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kAborted, StatusCode::kNotFound,
+        StatusCode::kInvalidArgument, StatusCode::kUnavailable,
+        StatusCode::kTimedOut, StatusCode::kNotLeader, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::map<int64_t, int> counts;
+  const int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.UniformInt(1, 6)]++;
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, kDraws / 6 * 0.9);
+    EXPECT_LT(c, kDraws / 6 * 1.1);
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(99);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / kDraws, 10.0, 0.2);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  EXPECT_NE(child1.NextU64(), child2.NextU64());
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian
+// ---------------------------------------------------------------------------
+
+TEST(ZipfianTest, RanksWithinRange) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000, 0.75);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(&rng), 1000u);
+}
+
+TEST(ZipfianTest, SkewFavorsLowRanks) {
+  Rng rng(3);
+  ZipfianGenerator zipf(100000, 0.75);
+  int top10 = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(&rng) < 10) top10++;
+  }
+  // With theta=0.75 over 100k items the 10 hottest items draw far more
+  // than their uniform share (0.01%).
+  EXPECT_GT(top10, kDraws / 100);
+}
+
+TEST(ZipfianTest, ZeroThetaIsUniform) {
+  Rng rng(3);
+  ZipfianGenerator zipf(10, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next(&rng)]++;
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, 10000, 1500);
+  }
+}
+
+TEST(ZipfianTest, ScrambleStaysInRange) {
+  for (uint64_t r = 0; r < 1000; ++r) {
+    EXPECT_LT(ScrambleRank(r, 777), 777u);
+  }
+}
+
+TEST(ZipfianTest, ScrambleSpreadsHotRanks) {
+  // The 10 hottest ranks should land far apart after scrambling.
+  std::set<uint64_t> positions;
+  for (uint64_t r = 0; r < 10; ++r) positions.insert(ScrambleRank(r, 1 << 20));
+  EXPECT_EQ(positions.size(), 10u);
+  uint64_t prev = 0;
+  bool contiguous = true;
+  for (uint64_t p : positions) {
+    if (p != prev + 1 && prev != 0) contiguous = false;
+    prev = p;
+  }
+  EXPECT_FALSE(contiguous);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(250);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 250);
+  EXPECT_EQ(h.max(), 250);
+  // Bucketed quantile within one linear bucket (50 us).
+  EXPECT_NEAR(h.Quantile(0.5), 250, 50);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndAccurate) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.Record(i);  // 1 us .. 100 ms
+  const int64_t p50 = h.Quantile(0.50);
+  const int64_t p95 = h.Quantile(0.95);
+  const int64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 50000, 50000 * 0.06);
+  EXPECT_NEAR(static_cast<double>(p95), 95000, 95000 * 0.06);
+  EXPECT_NEAR(static_cast<double>(p99), 99000, 99000 * 0.06);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1000);
+  for (int i = 0; i < 100; ++i) b.Record(9000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 1000);
+  EXPECT_EQ(a.max(), 9000);
+  EXPECT_NEAR(a.Mean(), 5000, 1);
+}
+
+TEST(HistogramTest, CdfPointsAreMonotonic) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) h.Record(rng.UniformInt(100, 400000));
+  auto points = h.CdfPoints();
+  ASSERT_FALSE(points.empty());
+  double prev_x = -1, prev_y = -1;
+  for (const auto& [x, y] : points) {
+    EXPECT_GT(x, prev_x);
+    EXPECT_GE(y, prev_y);
+    prev_x = x;
+    prev_y = y;
+  }
+  EXPECT_NEAR(points.back().second, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, ExtremeValuesClampedNotLost) {
+  Histogram h;
+  h.Record(-5);
+  h.Record(1LL << 60);
+  EXPECT_EQ(h.count(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Consistent hashing
+// ---------------------------------------------------------------------------
+
+TEST(ConsistentHashTest, CoversAllPartitions) {
+  ConsistentHashRing ring(5);
+  std::set<PartitionId> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const PartitionId p = ring.PartitionFor("key" + std::to_string(i));
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 5);
+    seen.insert(p);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ConsistentHashTest, ReasonablyBalanced) {
+  ConsistentHashRing ring(5, 128);
+  std::map<PartitionId, int> counts;
+  const int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) {
+    counts[ring.PartitionFor("key" + std::to_string(i))]++;
+  }
+  for (const auto& [p, c] : counts) {
+    EXPECT_GT(c, kKeys / 5 / 2) << "partition " << p << " underloaded";
+    EXPECT_LT(c, kKeys / 5 * 2) << "partition " << p << " overloaded";
+  }
+}
+
+TEST(ConsistentHashTest, Deterministic) {
+  ConsistentHashRing a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Key k = "det" + std::to_string(i);
+    EXPECT_EQ(a.PartitionFor(k), b.PartitionFor(k));
+  }
+}
+
+TEST(ConsistentHashTest, RemovalOnlyMovesKeysOfRemovedPartition) {
+  ConsistentHashRing ring(5);
+  std::map<Key, PartitionId> before;
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = "mv" + std::to_string(i);
+    before[k] = ring.PartitionFor(k);
+  }
+  ring.RemovePartition(4);
+  for (const auto& [k, p] : before) {
+    const PartitionId now = ring.PartitionFor(k);
+    if (p != 4) {
+      EXPECT_EQ(now, p) << "key " << k << " moved needlessly";
+    } else {
+      EXPECT_NE(now, 4);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, PaperEc2MatchesTable1) {
+  Topology t = Topology::PaperEc2();
+  ASSERT_EQ(t.num_dcs(), 5);
+  // Spot checks against Table 1 (ms -> us).
+  EXPECT_EQ(t.RttMicros(0, 1), 73 * kMicrosPerMilli);   // USW-USE
+  EXPECT_EQ(t.RttMicros(2, 4), 290 * kMicrosPerMilli);  // Euro-Australia
+  EXPECT_EQ(t.RttMicros(3, 4), 115 * kMicrosPerMilli);  // Asia-Australia
+  // Symmetry.
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      EXPECT_EQ(t.RttMicros(a, b), t.RttMicros(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, PlacementOneReplicaPerDcPerPartition) {
+  Topology t = Topology::PaperEc2();
+  t.PlacePartitions(5, 3);
+  EXPECT_EQ(t.max_failures(), 1);
+  for (PartitionId p = 0; p < 5; ++p) {
+    std::set<DcId> dcs;
+    for (NodeId n : t.Replicas(p)) dcs.insert(t.DcOf(n));
+    EXPECT_EQ(dcs.size(), 3u) << "partition " << p;
+  }
+  // Each DC hosts exactly replication-factor replicas and leads one
+  // partition.
+  std::map<DcId, int> per_dc;
+  for (const NodeInfo& n : t.nodes()) per_dc[n.dc]++;
+  for (const auto& [dc, count] : per_dc) EXPECT_EQ(count, 3);
+  for (DcId dc = 0; dc < 5; ++dc) {
+    EXPECT_EQ(t.HomePartitionOf(dc), dc);
+  }
+}
+
+TEST(TopologyTest, ReplicaInFindsLocalReplica) {
+  Topology t = Topology::PaperEc2();
+  t.PlacePartitions(5, 3);
+  // Partition 0 replicas: DCs 0, 1, 2.
+  EXPECT_NE(t.ReplicaIn(0, 0), kInvalidNode);
+  EXPECT_NE(t.ReplicaIn(0, 2), kInvalidNode);
+  EXPECT_EQ(t.ReplicaIn(0, 3), kInvalidNode);
+  EXPECT_EQ(t.ReplicaIn(0, 4), kInvalidNode);
+}
+
+TEST(TopologyTest, ClientsAppendAfterServers) {
+  Topology t = Topology::Uniform(3, 10);
+  t.PlacePartitions(3, 3);
+  const NodeId c = t.AddClient(1);
+  EXPECT_EQ(c, 9);
+  EXPECT_TRUE(t.node(c).is_client);
+  EXPECT_EQ(t.DcOf(c), 1);
+  EXPECT_EQ(t.clients().size(), 1u);
+}
+
+TEST(TxnIdTest, OrderingAndHash) {
+  TxnId a{1, 5}, b{1, 6}, c{2, 1};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (TxnId{1, 5}));
+  TxnIdHash h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(a.ToString(), "1.5");
+}
+
+}  // namespace
+}  // namespace carousel

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "carousel/directory.h"
+#include "common/topology.h"
+
+namespace carousel::core {
+namespace {
+
+Topology Ec2() {
+  Topology topo = Topology::PaperEc2();
+  topo.PlacePartitions(5, 3);
+  return topo;
+}
+
+TEST(DirectoryTest, PartitionMappingIsStableAndInRange) {
+  Topology topo = Ec2();
+  Directory dir(&topo);
+  for (int i = 0; i < 1000; ++i) {
+    const Key k = "key" + std::to_string(i);
+    const PartitionId p = dir.PartitionFor(k);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 5);
+    EXPECT_EQ(dir.PartitionFor(k), p);  // Deterministic.
+  }
+}
+
+TEST(DirectoryTest, CachedLeaderIsReplicaZero) {
+  Topology topo = Ec2();
+  Directory dir(&topo);
+  for (PartitionId p = 0; p < 5; ++p) {
+    EXPECT_EQ(dir.CachedLeader(p), topo.InitialLeader(p));
+    EXPECT_EQ(topo.node(dir.CachedLeader(p)).replica_index, 0);
+  }
+}
+
+TEST(DirectoryTest, CoordinatorPrefersLocalParticipantLeader) {
+  Topology topo = Ec2();
+  Directory dir(&topo);
+  // Client in DC1; participants {1, 3}: partition 1's leader is in DC1.
+  const NodeId coordinator = dir.CoordinatorFor(1, {1, 3});
+  EXPECT_EQ(coordinator, dir.CachedLeader(1));
+  EXPECT_EQ(topo.DcOf(coordinator), 1);
+}
+
+TEST(DirectoryTest, CoordinatorFallsBackToHomePartitionLeader) {
+  Topology topo = Ec2();
+  Directory dir(&topo);
+  // Client in DC0; participants {2, 3}: neither leader is in DC0, so the
+  // home partition of DC0 (partition 0) coordinates.
+  const NodeId coordinator = dir.CoordinatorFor(0, {2, 3});
+  EXPECT_EQ(coordinator, dir.CachedLeader(0));
+  EXPECT_EQ(topo.DcOf(coordinator), 0);
+}
+
+TEST(DirectoryTest, LocalReplicaLookup) {
+  Topology topo = Ec2();
+  Directory dir(&topo);
+  // Partition 3's replicas live in DCs 3, 4, 0.
+  EXPECT_NE(dir.LocalReplica(3, 3), kInvalidNode);
+  EXPECT_NE(dir.LocalReplica(3, 0), kInvalidNode);
+  EXPECT_EQ(dir.LocalReplica(3, 1), kInvalidNode);
+  EXPECT_EQ(dir.LocalReplica(3, 2), kInvalidNode);
+}
+
+TEST(DirectoryTest, EveryPartitionGetsKeys) {
+  Topology topo = Ec2();
+  Directory dir(&topo);
+  std::set<PartitionId> seen;
+  for (int i = 0; i < 20000 && seen.size() < 5; ++i) {
+    seen.insert(dir.PartitionFor("spread" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace carousel::core

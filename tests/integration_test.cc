@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace carousel::test {
+namespace {
+
+using workload::DriverOptions;
+using workload::RunResult;
+using workload::WorkloadOptions;
+
+WorkloadOptions SmallWorkload() {
+  WorkloadOptions options;
+  // Large enough that Zipf(0.75) hot-key contention stays low, as with
+  // the paper's 10 M keys; small enough to keep the test fast.
+  options.num_keys = 2'000'000;
+  return options;
+}
+
+DriverOptions ShortRun(double tps, uint64_t seed) {
+  DriverOptions options;
+  options.target_tps = tps;
+  options.duration = 15 * kMicrosPerSecond;
+  options.warmup = 3 * kMicrosPerSecond;
+  options.cooldown = 3 * kMicrosPerSecond;
+  options.seed = seed;
+  return options;
+}
+
+/// Each system runs the full Retwis mix on the paper's EC2 topology and
+/// sustains a light load with low aborts — the end-to-end smoke of the
+/// Figure 4 configuration.
+class Ec2WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Ec2WorkloadTest, RetwisOnPaperTopology) {
+  const std::string& system = GetParam();
+  Topology topo = Topology::PaperEc2();
+  topo.PlacePartitions(5, 3);
+  for (DcId dc = 0; dc < 5; ++dc) {
+    for (int i = 0; i < 4; ++i) topo.AddClient(dc);
+  }
+
+  auto generator = workload::MakeRetwisGenerator(SmallWorkload());
+  const DriverOptions dopts = ShortRun(50, 91);
+  RunResult result;
+
+  if (system == "tapir") {
+    tapir::TapirOptions options;
+    tapir::TapirCluster cluster(topo, options, sim::NetworkOptions{}, 91);
+    auto adapter = workload::MakeTapirAdapter(&cluster);
+    result = workload::RunWorkload(adapter.get(), generator.get(), dopts);
+  } else {
+    core::CarouselOptions options = FastRaftOptions();
+    if (system == "fast") {
+      options.fast_path = true;
+      options.local_reads = true;
+    }
+    core::Cluster cluster(topo, options, sim::NetworkOptions{}, 91);
+    cluster.Start();
+    auto adapter = workload::MakeCarouselAdapter(&cluster, system);
+    result = workload::RunWorkload(adapter.get(), generator.get(), dopts);
+  }
+
+  EXPECT_GT(result.committed, 200u) << system;
+  EXPECT_EQ(result.timed_out, 0u) << system;
+  EXPECT_LT(result.AbortRate(), 0.05) << system;
+  // Geo latencies: median between 1 and ~3 WANRTs.
+  EXPECT_GT(result.latency.Median(), 30 * kMicrosPerMilli) << system;
+  EXPECT_LT(result.latency.Median(), 600 * kMicrosPerMilli) << system;
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, Ec2WorkloadTest,
+                         ::testing::Values("basic", "fast", "tapir"),
+                         [](const auto& info) { return info.param; });
+
+/// Carousel keeps committing (with a latency blip, not an outage) through
+/// a participant-leader crash and recovery mid-run.
+TEST(IntegrationTest, CarouselSurvivesLeaderCrashMidWorkload) {
+  Topology topo = SmallTopology(3, 3, 3, /*clients_per_dc=*/4);
+  core::CarouselOptions options = FastRaftOptions();
+  options.fast_path = true;
+  options.local_reads = true;
+  core::Cluster cluster(topo, options, sim::NetworkOptions{}, 93);
+  cluster.Start();
+
+  // Crash partition 1's leader a third into the run; recover it later.
+  const NodeId victim = cluster.topology().InitialLeader(1);
+  cluster.sim().Schedule(6 * kMicrosPerSecond,
+                         [&]() { cluster.Crash(victim); });
+  cluster.sim().Schedule(12 * kMicrosPerSecond,
+                         [&]() { cluster.Recover(victim); });
+
+  auto adapter = workload::MakeCarouselAdapter(&cluster, "fast");
+  auto generator = workload::MakeRetwisGenerator(SmallWorkload());
+  DriverOptions dopts;
+  dopts.target_tps = 80;
+  dopts.duration = 20 * kMicrosPerSecond;
+  dopts.warmup = 2 * kMicrosPerSecond;
+  dopts.cooldown = 2 * kMicrosPerSecond;
+  const RunResult result =
+      workload::RunWorkload(adapter.get(), generator.get(), dopts);
+
+  // The vast majority of transactions complete; a handful may time out or
+  // abort around the crash.
+  const double total = static_cast<double>(
+      result.committed + result.aborted + result.timed_out);
+  EXPECT_GT(result.committed / total, 0.90);
+  // The cluster has one leader per partition again.
+  for (PartitionId p = 0; p < 3; ++p) {
+    EXPECT_NE(cluster.LeaderOf(p), nullptr) << "partition " << p;
+  }
+}
+
+/// Identical seeds produce identical results (full determinism of the
+/// simulation), and different seeds differ.
+TEST(IntegrationTest, RunsAreDeterministic) {
+  auto run = [](uint64_t seed) {
+    Topology topo = SmallTopology(3, 3, 3, 3);
+    core::CarouselOptions options = FastRaftOptions();
+    core::Cluster cluster(topo, options, sim::NetworkOptions{}, seed);
+    cluster.Start();
+    auto adapter = workload::MakeCarouselAdapter(&cluster, "basic");
+    auto generator = workload::MakeRetwisGenerator(
+        WorkloadOptions{.num_keys = 50000, .zipf_theta = 0.75});
+    return workload::RunWorkload(adapter.get(), generator.get(),
+                                 ShortRun(60, seed));
+  };
+  const RunResult a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.latency.Median(), b.latency.Median());
+  EXPECT_TRUE(a.committed != c.committed ||
+              a.latency.Median() != c.latency.Median());
+}
+
+/// Store state stays consistent across replicas after a full workload
+/// (writebacks eventually reach every live replica).
+TEST(IntegrationTest, ReplicasConvergeAfterWorkload) {
+  Topology topo = SmallTopology(3, 3, 3, 3);
+  core::CarouselOptions options = FastRaftOptions();
+  core::Cluster cluster(topo, options, sim::NetworkOptions{}, 95);
+  cluster.Start();
+  auto adapter = workload::MakeCarouselAdapter(&cluster, "basic");
+  auto generator = workload::MakeYcsbTGenerator(
+      WorkloadOptions{.num_keys = 500, .zipf_theta = 0.5});
+  workload::RunWorkload(adapter.get(), generator.get(), ShortRun(40, 95));
+  cluster.sim().RunFor(20 * kMicrosPerSecond);  // Drain writebacks.
+
+  for (PartitionId p = 0; p < 3; ++p) {
+    const auto& replicas = cluster.topology().Replicas(p);
+    const auto& reference = cluster.server(replicas[0])->store();
+    for (size_t r = 1; r < replicas.size(); ++r) {
+      EXPECT_EQ(cluster.server(replicas[r])->store().size(), reference.size())
+          << "partition " << p << " replica " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace carousel::test

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "kv/pending_list.h"
+#include "kv/versioned_store.h"
+
+namespace carousel::kv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VersionedStore
+// ---------------------------------------------------------------------------
+
+TEST(VersionedStoreTest, MissingKeyReadsAsVersionZero) {
+  VersionedStore store;
+  const VersionedValue vv = store.Get("nope");
+  EXPECT_EQ(vv.version, 0u);
+  EXPECT_EQ(vv.value, "");
+  EXPECT_EQ(store.GetVersion("nope"), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(VersionedStoreTest, ApplyBumpsVersionMonotonically) {
+  VersionedStore store;
+  EXPECT_EQ(store.Apply("k", "a"), 1u);
+  EXPECT_EQ(store.Apply("k", "b"), 2u);
+  EXPECT_EQ(store.Apply("k", "c"), 3u);
+  EXPECT_EQ(store.Get("k").value, "c");
+  EXPECT_EQ(store.Get("k").version, 3u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(VersionedStoreTest, KeysAreIndependent) {
+  VersionedStore store;
+  store.Apply("a", "1");
+  store.Apply("b", "1");
+  store.Apply("a", "2");
+  EXPECT_EQ(store.GetVersion("a"), 2u);
+  EXPECT_EQ(store.GetVersion("b"), 1u);
+}
+
+TEST(VersionedStoreTest, SameApplyOrderSameVersions) {
+  // Replicas applying the same writes in log order compute identical
+  // versions — the property the staleness check relies on.
+  VersionedStore r1, r2;
+  for (int i = 0; i < 100; ++i) {
+    const Key k = "k" + std::to_string(i % 7);
+    EXPECT_EQ(r1.Apply(k, "v"), r2.Apply(k, "v"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PendingList: the paper's OCC conflict matrix.
+// ---------------------------------------------------------------------------
+
+PendingTxn MakeTxn(TxnId tid, KeyList reads, KeyList writes) {
+  PendingTxn txn;
+  txn.tid = tid;
+  txn.read_keys = std::move(reads);
+  txn.write_keys = std::move(writes);
+  txn.term = 1;
+  return txn;
+}
+
+TEST(PendingListTest, EmptyListHasNoConflicts) {
+  PendingList list;
+  EXPECT_FALSE(list.HasConflict({"a"}, {"b"}));
+  EXPECT_FALSE(list.HasPendingWriter({"a"}));
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(PendingListTest, ReadWriteConflict) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {}, {"x"})).ok());
+  EXPECT_TRUE(list.HasConflict({"x"}, {}));   // New read vs pending write.
+  EXPECT_FALSE(list.HasConflict({"y"}, {}));  // Unrelated key.
+}
+
+TEST(PendingListTest, WriteReadConflict) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {"x"}, {})).ok());
+  EXPECT_TRUE(list.HasConflict({}, {"x"}));  // New write vs pending read.
+  EXPECT_FALSE(list.HasConflict({"x"}, {}));  // Read-read is fine.
+}
+
+TEST(PendingListTest, WriteWriteConflict) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {}, {"x"})).ok());
+  EXPECT_TRUE(list.HasConflict({}, {"x"}));
+}
+
+TEST(PendingListTest, ReadReadDoesNotConflict) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {"x", "y"}, {})).ok());
+  EXPECT_FALSE(list.HasConflict({"x", "y"}, {}));
+  EXPECT_FALSE(list.HasPendingWriter({"x", "y"}));
+}
+
+TEST(PendingListTest, HasPendingWriterForReadOnlyValidation) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {"r"}, {"w"})).ok());
+  EXPECT_TRUE(list.HasPendingWriter({"w"}));
+  EXPECT_FALSE(list.HasPendingWriter({"r"}));
+}
+
+TEST(PendingListTest, DuplicateAddFails) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {"a"}, {})).ok());
+  const Status s = list.Add(MakeTxn({1, 1}, {"b"}, {}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(PendingListTest, RemoveReleasesConflicts) {
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {"r"}, {"w"})).ok());
+  EXPECT_TRUE(list.HasConflict({}, {"r"}));
+  list.Remove({1, 1});
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.HasConflict({}, {"r"}));
+  EXPECT_FALSE(list.HasConflict({"w"}, {"w"}));
+}
+
+TEST(PendingListTest, RemoveAbsentIsNoop) {
+  PendingList list;
+  list.Remove({9, 9});
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(PendingListTest, OverlappingTxnsKeepCountsCorrect) {
+  // Two pending transactions read the same key; removing one must not
+  // release the other's read lock.
+  PendingList list;
+  ASSERT_TRUE(list.Add(MakeTxn({1, 1}, {"k"}, {})).ok());
+  ASSERT_TRUE(list.Add(MakeTxn({2, 1}, {"k"}, {})).ok());
+  list.Remove({1, 1});
+  EXPECT_TRUE(list.HasConflict({}, {"k"}));  // {2,1} still reads k.
+  list.Remove({2, 1});
+  EXPECT_FALSE(list.HasConflict({}, {"k"}));
+}
+
+TEST(PendingListTest, FindReturnsStoredEntry) {
+  PendingList list;
+  PendingTxn txn = MakeTxn({3, 7}, {"a"}, {"b"});
+  txn.read_versions["a"] = 42;
+  txn.term = 9;
+  txn.coordinator = 5;
+  ASSERT_TRUE(list.Add(txn).ok());
+  const PendingTxn* found = list.Find({3, 7});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->read_versions.at("a"), 42u);
+  EXPECT_EQ(found->term, 9u);
+  EXPECT_EQ(found->coordinator, 5);
+  EXPECT_EQ(list.Find({3, 8}), nullptr);
+}
+
+TEST(PendingListTest, SnapshotContainsAllEntries) {
+  PendingList list;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        list.Add(MakeTxn({1, static_cast<uint64_t>(i)},
+                         {"r" + std::to_string(i)}, {"w" + std::to_string(i)}))
+            .ok());
+  }
+  auto snapshot = list.Snapshot();
+  EXPECT_EQ(snapshot.size(), 10u);
+}
+
+TEST(PendingListTest, ManyEntriesConflictCheckStaysCorrect) {
+  PendingList list;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(list.Add(MakeTxn({1, i}, {"r" + std::to_string(i)},
+                                 {"w" + std::to_string(i)}))
+                    .ok());
+  }
+  EXPECT_TRUE(list.HasConflict({"w500"}, {}));
+  EXPECT_TRUE(list.HasConflict({}, {"r999"}));
+  EXPECT_FALSE(list.HasConflict({"nope"}, {"nada"}));
+}
+
+}  // namespace
+}  // namespace carousel::kv

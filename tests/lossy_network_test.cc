@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "carousel/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselClient;
+using core::CarouselOptions;
+using core::Cluster;
+
+/// Robustness under an asynchronous, lossy network (paper §3.1 assumes
+/// unbounded delays; dropping messages exercises every retransmission
+/// path: Raft heartbeats/rejections, client read and commit retries,
+/// coordinator query/writeback retries, and the pending-entry GC).
+/// Parameterized over (fast path, loss rate, seed); the serializability
+/// counter invariant must hold regardless.
+struct LossParam {
+  bool fast = false;
+  double loss = 0.02;
+  uint64_t seed = 1;
+};
+
+class LossyNetworkTest : public ::testing::TestWithParam<LossParam> {};
+
+TEST_P(LossyNetworkTest, TransactionsCompleteAndCountersStayExact) {
+  const LossParam& param = GetParam();
+  CarouselOptions options = FastRaftOptions();
+  options.fast_path = param.fast;
+  options.local_reads = param.fast;
+  options.client_retry_timeout = 800'000;
+  options.coordinator_retry_interval = 800'000;
+  options.pending_gc_interval = 3 * kMicrosPerSecond;
+
+  sim::NetworkOptions net;
+  net.loss_fraction = param.loss;
+
+  Cluster cluster(SmallTopology(3, 3, 3, 3), options, net, param.seed);
+  cluster.Start();
+
+  const int kTxns = 60;
+  const int kKeys = 12;
+  Rng rng(param.seed * 7 + 3);
+  int done = 0, committed = 0, timed_out = 0;
+  std::map<Key, int> commits_per_key;
+
+  for (int i = 0; i < kTxns; ++i) {
+    const SimTime at =
+        cluster.sim().now() + rng.UniformInt(0, 10 * kMicrosPerSecond);
+    const int client_index =
+        static_cast<int>(rng.UniformInt(0, cluster.clients().size() - 1));
+    const Key k = "loss" + std::to_string(rng.UniformInt(0, kKeys - 1));
+    cluster.sim().ScheduleAt(at, [&, client_index, k]() {
+      CarouselClient* client = cluster.client(client_index);
+      const TxnId tid = client->Begin();
+      client->ReadAndPrepare(
+          tid, {k}, {k},
+          [&, client, tid, k](Status status,
+                              const CarouselClient::ReadResults& reads) {
+            if (!status.ok()) {
+              done++;
+              if (status.code() == StatusCode::kTimedOut) timed_out++;
+              return;
+            }
+            const int old =
+                reads.at(k).value.empty() ? 0 : std::stoi(reads.at(k).value);
+            client->Write(tid, k, std::to_string(old + 1));
+            client->Commit(tid, [&, k](Status s) {
+              done++;
+              if (s.ok()) {
+                committed++;
+                commits_per_key[k]++;
+              } else if (s.code() == StatusCode::kTimedOut) {
+                timed_out++;
+              }
+            });
+          });
+    });
+  }
+  // Generous horizon: retries at 0.8 s per attempt.
+  cluster.sim().RunFor(90 * kMicrosPerSecond);
+
+  EXPECT_EQ(done, kTxns) << "transactions hung under loss";
+  EXPECT_GT(committed, kTxns / 3);
+  EXPECT_EQ(timed_out, 0) << "retries should mask " << param.loss * 100
+                          << "% loss";
+
+  cluster.sim().RunFor(30 * kMicrosPerSecond);  // GC + writeback drain.
+  for (const auto& [k, expected] : commits_per_key) {
+    EXPECT_EQ(static_cast<int>(LeaderValue(cluster, k).version), expected)
+        << "key " << k;
+  }
+  for (const NodeInfo& info : cluster.topology().nodes()) {
+    if (info.is_client) continue;
+    EXPECT_EQ(cluster.server(info.id)->pending().size(), 0u)
+        << "leaked pending entry on node " << info.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loss, LossyNetworkTest,
+    ::testing::Values(LossParam{false, 0.01, 5}, LossParam{false, 0.05, 6},
+                      LossParam{true, 0.01, 7}, LossParam{true, 0.05, 8},
+                      LossParam{true, 0.10, 9}),
+    [](const ::testing::TestParamInfo<LossParam>& info) {
+      return std::string(info.param.fast ? "fast" : "basic") + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100)) +
+             "_seed" + std::to_string(info.param.seed);
+    });
+
+/// Raft itself makes progress under loss: elections and replication
+/// eventually succeed.
+TEST(LossyNetworkTest, RaftCommitsThroughLoss) {
+  CarouselOptions options = FastRaftOptions();
+  sim::NetworkOptions net;
+  net.loss_fraction = 0.15;
+  Cluster cluster(SmallTopology(3, 1, 3, 1), options, net, 31);
+  cluster.Start();
+  TxnOutcome out = RunTxn(cluster, 0, {"raft-loss"}, {{"raft-loss", "v"}},
+                          /*timeout=*/60 * kMicrosPerSecond);
+  ASSERT_TRUE(out.commit_done);
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+}
+
+}  // namespace
+}  // namespace carousel::test

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "carousel/messages.h"
+#include "raft/messages.h"
+#include "tapir/messages.h"
+
+namespace carousel {
+namespace {
+
+using sim::Message;
+using sim::MessagePtr;
+
+/// One instance of every message type in the system.
+std::vector<MessagePtr> AllMessages() {
+  std::vector<MessagePtr> all;
+  all.push_back(std::make_shared<raft::RequestVoteMsg>());
+  all.push_back(std::make_shared<raft::VoteResponseMsg>());
+  all.push_back(std::make_shared<raft::AppendEntriesMsg>());
+  all.push_back(std::make_shared<raft::AppendResponseMsg>());
+  all.push_back(std::make_shared<core::ReadPrepareMsg>());
+  all.push_back(std::make_shared<core::ReadResponseMsg>());
+  all.push_back(std::make_shared<core::PrepareDecisionMsg>());
+  all.push_back(std::make_shared<core::CoordPrepareMsg>());
+  all.push_back(std::make_shared<core::CommitRequestMsg>());
+  all.push_back(std::make_shared<core::AbortRequestMsg>());
+  all.push_back(std::make_shared<core::CommitResponseMsg>());
+  all.push_back(std::make_shared<core::WritebackMsg>());
+  all.push_back(std::make_shared<core::WritebackAckMsg>());
+  all.push_back(std::make_shared<core::HeartbeatMsg>());
+  all.push_back(std::make_shared<core::QueryPrepareMsg>());
+  all.push_back(std::make_shared<core::QueryDecisionMsg>());
+  all.push_back(std::make_shared<core::NotLeaderMsg>());
+  all.push_back(std::make_shared<core::LogTxnInfo>());
+  all.push_back(std::make_shared<core::LogWriteData>());
+  all.push_back(std::make_shared<core::LogDecision>());
+  all.push_back(std::make_shared<core::LogPrepareResult>());
+  all.push_back(std::make_shared<core::LogCommit>());
+  all.push_back(std::make_shared<raft::NoopPayload>());
+  all.push_back(std::make_shared<tapir::TapirReadMsg>());
+  all.push_back(std::make_shared<tapir::TapirReadReplyMsg>());
+  all.push_back(std::make_shared<tapir::TapirPrepareMsg>());
+  all.push_back(std::make_shared<tapir::TapirPrepareReplyMsg>());
+  all.push_back(std::make_shared<tapir::TapirFinalizeMsg>());
+  all.push_back(std::make_shared<tapir::TapirFinalizeReplyMsg>());
+  all.push_back(std::make_shared<tapir::TapirDecideMsg>());
+  all.push_back(std::make_shared<tapir::TapirDecideAckMsg>());
+  return all;
+}
+
+TEST(MessagesTest, TypeTagsAreUnique) {
+  std::set<int> types;
+  for (const MessagePtr& msg : AllMessages()) {
+    EXPECT_TRUE(types.insert(msg->type()).second)
+        << "duplicate type tag " << msg->type();
+  }
+}
+
+TEST(MessagesTest, EmptyMessagesHavePositiveWireSize) {
+  for (const MessagePtr& msg : AllMessages()) {
+    EXPECT_GT(msg->SizeBytes(), 0u) << "type " << msg->type();
+    EXPECT_LT(msg->SizeBytes(), 1024u) << "type " << msg->type();
+  }
+}
+
+TEST(MessagesTest, SizeGrowsWithPayload) {
+  core::ReadPrepareMsg small;
+  small.read_keys = {"a"};
+  core::ReadPrepareMsg big;
+  big.read_keys = {"a", "b", "c", "dddddddddddddddd"};
+  big.write_keys = {"w"};
+  EXPECT_GT(big.SizeBytes(), small.SizeBytes());
+
+  core::WritebackMsg wb_small, wb_big;
+  wb_big.writes["key"] = std::string(1000, 'x');
+  EXPECT_GT(wb_big.SizeBytes(), wb_small.SizeBytes() + 900);
+
+  raft::AppendEntriesMsg ae_empty, ae_full;
+  auto payload = std::make_shared<core::LogCommit>();
+  payload->writes["k"] = std::string(500, 'y');
+  ae_full.entries.push_back(raft::LogEntry{1, payload});
+  EXPECT_GT(ae_full.SizeBytes(), ae_empty.SizeBytes() + 500);
+}
+
+TEST(MessagesTest, VoteResponseCountsPendingListBytes) {
+  raft::VoteResponseMsg empty;
+  raft::VoteResponseMsg loaded;
+  kv::PendingTxn txn;
+  txn.tid = {1, 1};
+  txn.read_keys = {"some-key", "another-key"};
+  txn.write_keys = {"w"};
+  txn.read_versions["some-key"] = 3;
+  loaded.pending_list.push_back(txn);
+  EXPECT_GT(loaded.SizeBytes(), empty.SizeBytes() + 20);
+}
+
+TEST(MessagesTest, RangeTagsMatchModuleRanges) {
+  for (const MessagePtr& msg : AllMessages()) {
+    const int t = msg->type();
+    EXPECT_TRUE((t >= 100 && t < 200) ||   // raft
+                (t >= 200 && t < 300) ||   // carousel (incl. log payloads)
+                (t >= 300 && t < 400))     // tapir
+        << "type " << t << " outside module ranges";
+  }
+}
+
+}  // namespace
+}  // namespace carousel

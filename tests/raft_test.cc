@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/topology.h"
+#include "raft/raft_node.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace carousel::raft {
+namespace {
+
+struct TestPayload final : sim::Message {
+  int value = 0;
+  int type() const override { return 99; }
+  size_t SizeBytes() const override { return 16; }
+};
+
+sim::MessagePtr Payload(int value) {
+  auto msg = std::make_shared<TestPayload>();
+  msg->value = value;
+  return msg;
+}
+
+/// Hosts one RaftNode on the simulated network and records applies.
+class RaftHost : public sim::Node {
+ public:
+  RaftHost(NodeId id, DcId dc, std::vector<NodeId> members,
+           sim::Simulator* sim, RaftOptions options)
+      : sim::Node(id, dc) {
+    raft = std::make_unique<RaftNode>(0, id, std::move(members), sim, options);
+    raft->set_send_fn([this](NodeId to, sim::MessagePtr msg) {
+      network()->Send(this->id(), to, std::move(msg));
+    });
+    raft->set_apply_fn([this](uint64_t index, const sim::MessagePtr& payload) {
+      if (payload && payload->type() == 99) {
+        applied.push_back({index, sim::As<TestPayload>(*payload).value});
+      }
+    });
+  }
+
+  void HandleMessage(NodeId from, const sim::MessagePtr& msg) override {
+    raft->HandleMessage(from, msg);
+  }
+  void OnCrash() override { raft->OnCrash(); }
+  void OnRecover() override { raft->OnRecover(); }
+
+  std::unique_ptr<RaftNode> raft;
+  std::vector<std::pair<uint64_t, int>> applied;
+};
+
+/// A 2f+1-member Raft group, each member in its own DC.
+class RaftGroup {
+ public:
+  explicit RaftGroup(int n, uint64_t seed = 17, double rtt_ms = 10) {
+    topo_ = Topology::Uniform(n, rtt_ms);
+    topo_.PlacePartitions(n, 1);  // One placeholder node per DC.
+    sim = std::make_unique<sim::Simulator>(seed);
+    net = std::make_unique<sim::Network>(sim.get(), &topo_,
+                                         sim::NetworkOptions{});
+    std::vector<NodeId> members;
+    for (int i = 0; i < n; ++i) members.push_back(i);
+    RaftOptions options;
+    options.election_timeout_min = 150'000;
+    options.election_timeout_max = 300'000;
+    options.heartbeat_interval = 40'000;
+    for (int i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<RaftHost>(i, i, members, sim.get(),
+                                                 options));
+      net->Register(hosts.back().get());
+    }
+  }
+
+  void Start(bool bootstrap = true) {
+    for (size_t i = 0; i < hosts.size(); ++i) {
+      hosts[i]->raft->Start(bootstrap && i == 0);
+    }
+    sim->RunFor(50 * kMicrosPerMilli);
+  }
+
+  RaftHost* Leader() {
+    for (auto& h : hosts) {
+      if (h->alive() && h->raft->is_leader()) return h.get();
+    }
+    return nullptr;
+  }
+
+  int CountLeaders() {
+    int n = 0;
+    for (auto& h : hosts) {
+      if (h->alive() && h->raft->is_leader()) n++;
+    }
+    return n;
+  }
+
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<sim::Network> net;
+  std::vector<std::unique_ptr<RaftHost>> hosts;
+
+ private:
+  Topology topo_;
+};
+
+TEST(RaftTest, BootstrapElectsReplicaZero) {
+  RaftGroup group(3);
+  group.Start();
+  ASSERT_NE(group.Leader(), nullptr);
+  EXPECT_EQ(group.Leader()->id(), 0);
+  EXPECT_EQ(group.CountLeaders(), 1);
+  // Followers learn the leader via heartbeats.
+  EXPECT_EQ(group.hosts[1]->raft->leader_hint(), 0);
+  EXPECT_EQ(group.hosts[2]->raft->leader_hint(), 0);
+}
+
+TEST(RaftTest, ElectionWithoutBootstrap) {
+  RaftGroup group(3);
+  group.Start(/*bootstrap=*/false);
+  group.sim->RunFor(2 * kMicrosPerSecond);
+  ASSERT_NE(group.Leader(), nullptr);
+  EXPECT_EQ(group.CountLeaders(), 1);
+}
+
+TEST(RaftTest, ProposalsReplicateAndApplyEverywhere) {
+  RaftGroup group(3);
+  group.Start();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(group.Leader()->raft->Propose(Payload(i)).ok());
+  }
+  group.sim->RunFor(kMicrosPerSecond);
+  for (auto& host : group.hosts) {
+    ASSERT_EQ(host->applied.size(), 5u) << "host " << host->id();
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(host->applied[i].second, i);
+  }
+}
+
+TEST(RaftTest, ProposeOnFollowerFails) {
+  RaftGroup group(3);
+  group.Start();
+  auto result = group.hosts[1]->raft->Propose(Payload(1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotLeader);
+}
+
+TEST(RaftTest, LeaderCrashTriggersFailoverAndPreservesLog) {
+  RaftGroup group(3);
+  group.Start();
+  ASSERT_TRUE(group.Leader()->raft->Propose(Payload(42)).ok());
+  group.sim->RunFor(kMicrosPerSecond);
+
+  group.net->Crash(0);
+  group.sim->RunFor(2 * kMicrosPerSecond);
+  RaftHost* leader = group.Leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_NE(leader->id(), 0);
+  EXPECT_GT(leader->raft->term(), 1u);
+
+  ASSERT_TRUE(leader->raft->Propose(Payload(43)).ok());
+  group.sim->RunFor(kMicrosPerSecond);
+  for (auto& host : group.hosts) {
+    if (!host->alive()) continue;
+    ASSERT_EQ(host->applied.size(), 2u);
+    EXPECT_EQ(host->applied[0].second, 42);
+    EXPECT_EQ(host->applied[1].second, 43);
+  }
+}
+
+TEST(RaftTest, CrashedLeaderRejoinsAsFollowerAndCatchesUp) {
+  RaftGroup group(3);
+  group.Start();
+  ASSERT_TRUE(group.Leader()->raft->Propose(Payload(1)).ok());
+  group.sim->RunFor(kMicrosPerSecond);
+  group.net->Crash(0);
+  group.sim->RunFor(2 * kMicrosPerSecond);
+  ASSERT_NE(group.Leader(), nullptr);
+  ASSERT_TRUE(group.Leader()->raft->Propose(Payload(2)).ok());
+  group.sim->RunFor(kMicrosPerSecond);
+
+  group.net->Recover(0);
+  group.sim->RunFor(2 * kMicrosPerSecond);
+  EXPECT_FALSE(group.hosts[0]->raft->is_leader());
+  ASSERT_EQ(group.hosts[0]->applied.size(), 2u);
+  EXPECT_EQ(group.hosts[0]->applied[1].second, 2);
+  EXPECT_EQ(group.CountLeaders(), 1);
+}
+
+TEST(RaftTest, MinorityPartitionCannotCommit) {
+  RaftGroup group(3);
+  group.Start();
+  // Isolate the leader from both followers.
+  group.net->BlockPair(0, 1);
+  group.net->BlockPair(0, 2);
+  auto result = group.hosts[0]->raft->Propose(Payload(7));
+  // The deposed leader may still accept the proposal locally...
+  group.sim->RunFor(2 * kMicrosPerSecond);
+  // ...but it must never apply it, and the majority side elects a new
+  // leader which does not have the entry.
+  for (auto& host : group.hosts) {
+    for (auto& [index, value] : host->applied) EXPECT_NE(value, 7);
+  }
+  RaftHost* new_leader = nullptr;
+  for (auto& h : group.hosts) {
+    if (h->id() != 0 && h->raft->is_leader()) new_leader = h.get();
+  }
+  ASSERT_NE(new_leader, nullptr);
+
+  // Heal the partition: the old leader steps down and adopts the new log.
+  ASSERT_TRUE(new_leader->raft->Propose(Payload(8)).ok());
+  group.net->UnblockPair(0, 1);
+  group.net->UnblockPair(0, 2);
+  group.sim->RunFor(2 * kMicrosPerSecond);
+  EXPECT_FALSE(group.hosts[0]->raft->is_leader());
+  ASSERT_FALSE(group.hosts[0]->applied.empty());
+  EXPECT_EQ(group.hosts[0]->applied.back().second, 8);
+  (void)result;
+}
+
+TEST(RaftTest, FiveMemberGroupToleratesTwoFailures) {
+  RaftGroup group(5);
+  group.Start();
+  group.net->Crash(3);
+  group.net->Crash(4);
+  ASSERT_TRUE(group.Leader()->raft->Propose(Payload(5)).ok());
+  group.sim->RunFor(kMicrosPerSecond);
+  int applied = 0;
+  for (auto& host : group.hosts) {
+    if (host->alive() && !host->applied.empty()) applied++;
+  }
+  EXPECT_EQ(applied, 3);
+}
+
+TEST(RaftTest, VoteCarriesPendingListAttachment) {
+  RaftGroup group(3);
+  // Member 1 attaches a two-entry pending list to granted votes.
+  kv::PendingTxn a;
+  a.tid = {1, 1};
+  a.read_keys = {"x"};
+  kv::PendingTxn b;
+  b.tid = {2, 1};
+  b.write_keys = {"y"};
+  group.hosts[1]->raft->set_vote_attachment_fn(
+      [a, b]() { return std::vector<kv::PendingTxn>{a, b}; });
+
+  std::vector<std::vector<kv::PendingTxn>> received;
+  bool got_leadership = false;
+  for (auto& host : group.hosts) {
+    host->raft->set_leadership_fn(
+        [&received, &got_leadership](
+            uint64_t, std::vector<std::vector<kv::PendingTxn>> lists) {
+          received = std::move(lists);
+          got_leadership = true;
+        });
+  }
+  group.Start();
+  got_leadership = false;  // Ignore the bootstrap callback.
+  group.net->Crash(0);
+  group.sim->RunFor(3 * kMicrosPerSecond);
+  ASSERT_TRUE(got_leadership);
+  // The new leader collected at least one vote list; if member 1 voted,
+  // its list carries the two pending transactions.
+  bool found = false;
+  for (const auto& list : received) {
+    if (list.size() == 2) found = true;
+  }
+  RaftHost* leader = group.Leader();
+  ASSERT_NE(leader, nullptr);
+  if (leader->id() == 2) {
+    EXPECT_TRUE(found) << "vote from member 1 should carry its pending list";
+  }
+}
+
+/// Property sweep: across seeds and group sizes, there is never more than
+/// one leader per term, and all live members apply the same prefix.
+class RaftPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(RaftPropertyTest, SingleLeaderAndLogMatchingUnderChurn) {
+  const int n = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  RaftGroup group(n, seed);
+  group.Start();
+  Rng rng(seed * 31 + 7);
+
+  int proposed = 0;
+  std::set<NodeId> crashed;
+  for (int round = 0; round < 30; ++round) {
+    // Random churn: crash or recover a member, keeping a majority alive.
+    const NodeId victim = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    if (crashed.count(victim) > 0) {
+      group.net->Recover(victim);
+      crashed.erase(victim);
+    } else if (static_cast<int>(crashed.size()) + 1 <= (n - 1) / 2) {
+      group.net->Crash(victim);
+      crashed.insert(victim);
+    }
+    RaftHost* leader = group.Leader();
+    if (leader != nullptr) {
+      if (leader->raft->Propose(Payload(proposed)).ok()) proposed++;
+    }
+    group.sim->RunFor(400 * kMicrosPerMilli);
+    EXPECT_LE(group.CountLeaders(), 1);
+  }
+  for (NodeId id : std::vector<NodeId>(crashed.begin(), crashed.end())) {
+    group.net->Recover(id);
+  }
+  group.sim->RunFor(5 * kMicrosPerSecond);
+
+  // All members converge on the same applied sequence.
+  ASSERT_GT(proposed, 0);
+  const auto& reference = group.hosts[0]->applied;
+  for (auto& host : group.hosts) {
+    ASSERT_EQ(host->applied.size(), reference.size())
+        << "host " << host->id();
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(host->applied[i].second, reference[i].second);
+    }
+  }
+  // Applied values are strictly increasing (no dup, no loss, no reorder).
+  for (size_t i = 1; i < reference.size(); ++i) {
+    EXPECT_GT(reference[i].second, reference[i - 1].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, RaftPropertyTest,
+    ::testing::Combine(::testing::Values(3, 5),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+}  // namespace
+}  // namespace carousel::raft

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "carousel/cluster.h"
+#include "carousel/recon.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselClient;
+using core::Cluster;
+using core::ReconnaissanceRunner;
+
+std::unique_ptr<Cluster> MakeCluster(uint64_t seed = 61) {
+  auto options = FastRaftOptions();
+  options.fast_path = true;
+  options.local_reads = true;
+  auto cluster = std::make_unique<Cluster>(SmallTopology(), options,
+                                           sim::NetworkOptions{}, seed);
+  cluster->Start();
+  return cluster;
+}
+
+/// Seeds an index entry name -> id and the record id -> balance.
+void Seed(Cluster& cluster, const std::string& name, const std::string& id,
+          const std::string& balance) {
+  TxnOutcome out = RunTxn(cluster, 0, {},
+                          {{"index:" + name, id}, {"cust:" + id, balance}});
+  ASSERT_TRUE(out.commit_status.ok());
+  cluster.sim().RunFor(3 * kMicrosPerSecond);
+}
+
+/// The paper's TPC-C Payment-by-name pattern: look the customer id up
+/// through a secondary index (reconnaissance), then update the customer
+/// record, validating that the index entry did not change.
+void PaymentByName(Cluster& cluster, int client_index,
+                   const std::string& name, int amount,
+                   ReconnaissanceRunner::DoneFn done) {
+  CarouselClient* client = cluster.client(client_index);
+  ReconnaissanceRunner::Run(
+      client, {"index:" + name},
+      [name](const ReconnaissanceRunner::ReadResults& recon) {
+        const Key record = "cust:" + recon.at("index:" + name).value;
+        return ReconnaissanceRunner::MainTxn{{record}, {record}};
+      },
+      [name, amount](CarouselClient* client, const TxnId& tid,
+                     const ReconnaissanceRunner::ReadResults& reads) {
+        for (const auto& [k, vv] : reads) {
+          if (k.rfind("cust:", 0) == 0) {
+            client->Write(tid, k,
+                          std::to_string(std::stoi(vv.value) + amount));
+          }
+        }
+      },
+      std::move(done));
+}
+
+TEST(ReconTest, PaymentByNameCommits) {
+  auto cluster = MakeCluster();
+  Seed(*cluster, "ada", "17", "100");
+
+  Status result = Status::Internal("not done");
+  int attempts = 0;
+  PaymentByName(*cluster, 0, "ada", 25, [&](Status s, int a) {
+    result = s;
+    attempts = a;
+  });
+  cluster->sim().RunFor(10 * kMicrosPerSecond);
+
+  EXPECT_TRUE(result.ok()) << result;
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(LeaderValue(*cluster, "cust:17").value, "125");
+  EXPECT_EQ(LeaderValue(*cluster, "index:ada").version, 1u)
+      << "reconnaissance must not write the index";
+}
+
+TEST(ReconTest, IndexChangeBetweenReconAndMainRetries) {
+  auto cluster = MakeCluster();
+  Seed(*cluster, "bob", "1", "100");
+  Seed(*cluster, "spare", "2", "500");
+
+  // Interleave: start the payment, and while it is in flight re-point the
+  // index entry for bob to customer 2 (e.g., an account merge).
+  Status result = Status::Internal("not done");
+  int attempts = 0;
+  PaymentByName(*cluster, 0, "bob", 10, [&](Status s, int a) {
+    result = s;
+    attempts = a;
+  });
+  // The index rewrite lands between the reconnaissance read and the main
+  // transaction's validation read.
+  cluster->sim().Schedule(5 * kMicrosPerMilli, [&]() {
+    CarouselClient* other = cluster->client(3);
+    const TxnId tid = other->Begin();
+    other->ReadAndPrepare(tid, {}, {"index:bob"},
+                          [&, other, tid](Status,
+                                          const CarouselClient::ReadResults&) {
+                            other->Write(tid, "index:bob", "2");
+                            other->Commit(tid, [](Status) {});
+                          });
+  });
+  cluster->sim().RunFor(30 * kMicrosPerSecond);
+
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_GE(attempts, 2) << "expected at least one retry";
+  // The payment must have landed on the customer the index pointed to at
+  // commit time — customer 2, not customer 1.
+  EXPECT_EQ(LeaderValue(*cluster, "cust:1").value, "100");
+  EXPECT_EQ(LeaderValue(*cluster, "cust:2").value, "510");
+}
+
+TEST(ReconTest, GivesUpAfterMaxAttempts) {
+  auto cluster = MakeCluster();
+  Seed(*cluster, "hot", "9", "100");
+
+  // A writer hammers the index entry every 50 ms so every validation
+  // fails.
+  std::function<void()> hammer = [&]() {
+    CarouselClient* other = cluster->client(4);
+    const TxnId tid = other->Begin();
+    other->ReadAndPrepare(tid, {}, {"index:hot"},
+                          [&, other, tid](Status,
+                                          const CarouselClient::ReadResults&) {
+                            other->Write(tid, "index:hot", "9");
+                            other->Commit(tid, [](Status) {});
+                          });
+    cluster->sim().Schedule(50 * kMicrosPerMilli, hammer);
+  };
+  hammer();
+
+  Status result = Status::Internal("not done");
+  int attempts = 0;
+  CarouselClient* client = cluster->client(0);
+  ReconnaissanceRunner::Run(
+      client, {"index:hot"},
+      [](const ReconnaissanceRunner::ReadResults& recon) {
+        const Key record = "cust:" + recon.at("index:hot").value;
+        return ReconnaissanceRunner::MainTxn{{record}, {record}};
+      },
+      [](CarouselClient* c, const TxnId& tid,
+         const ReconnaissanceRunner::ReadResults&) {
+        c->Write(tid, "cust:9", "0");
+      },
+      [&](Status s, int a) {
+        result = s;
+        attempts = a;
+      },
+      /*max_attempts=*/3);
+  cluster->sim().RunFor(60 * kMicrosPerSecond);
+
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), StatusCode::kAborted);
+  EXPECT_LE(attempts, 3);
+}
+
+TEST(ReconTest, DerivedMultiKeyTransaction) {
+  // Reconnaissance discovering several keys at once (an index page
+  // listing members of a group).
+  auto cluster = MakeCluster();
+  ASSERT_TRUE(RunTxn(*cluster, 0, {},
+                     {{"group:g", "a,b"},
+                      {"member:a", "1"},
+                      {"member:b", "2"}})
+                  .commit_status.ok());
+  cluster->sim().RunFor(3 * kMicrosPerSecond);
+
+  Status result = Status::Internal("not done");
+  ReconnaissanceRunner::Run(
+      cluster->client(1), {"group:g"},
+      [](const ReconnaissanceRunner::ReadResults& recon) {
+        ReconnaissanceRunner::MainTxn main;
+        std::string members = recon.at("group:g").value;
+        size_t start = 0;
+        while (start < members.size()) {
+          size_t comma = members.find(',', start);
+          if (comma == std::string::npos) comma = members.size();
+          const Key k = "member:" + members.substr(start, comma - start);
+          main.reads.push_back(k);
+          main.writes.push_back(k);
+          start = comma + 1;
+        }
+        return main;
+      },
+      [](CarouselClient* c, const TxnId& tid,
+         const ReconnaissanceRunner::ReadResults& reads) {
+        for (const auto& [k, vv] : reads) {
+          if (k.rfind("member:", 0) == 0) {
+            c->Write(tid, k, vv.value + "+");
+          }
+        }
+      },
+      [&](Status s, int) { result = s; });
+  cluster->sim().RunFor(10 * kMicrosPerSecond);
+
+  ASSERT_TRUE(result.ok()) << result;
+  EXPECT_EQ(LeaderValue(*cluster, "member:a").value, "1+");
+  EXPECT_EQ(LeaderValue(*cluster, "member:b").value, "2+");
+}
+
+}  // namespace
+}  // namespace carousel::test

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carousel/cluster.h"
+#include "tapir/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+/// Serializability stress test based on the classic lost-update check:
+/// every transaction reads a set of integer counters and writes back
+/// value + 1 for each. Under serializability, each counter's final value
+/// equals exactly the number of committed transactions that wrote it, and
+/// its version equals its value. A lost update, dirty read, or write
+/// skew on a single counter breaks the equality.
+///
+/// Parameterized over (system, number of hot keys, seed): fewer keys =
+/// higher contention = more aborts, but never an incorrect counter.
+
+enum class System { kCarouselBasic, kCarouselFast, kTapir };
+
+std::string SystemName(System s) {
+  switch (s) {
+    case System::kCarouselBasic:
+      return "CarouselBasic";
+    case System::kCarouselFast:
+      return "CarouselFast";
+    case System::kTapir:
+      return "TAPIR";
+  }
+  return "?";
+}
+
+struct Counters {
+  std::map<Key, int> commits_per_key;
+  int committed = 0;
+  int aborted = 0;
+  int incomplete = 0;
+};
+
+int ParseCounter(const Value& value) {
+  return value.empty() ? 0 : std::stoi(value);
+}
+
+class SerializabilityTest
+    : public ::testing::TestWithParam<std::tuple<System, int, uint64_t>> {};
+
+TEST_P(SerializabilityTest, CountersNeverLoseUpdates) {
+  const System system = std::get<0>(GetParam());
+  const int num_keys = std::get<1>(GetParam());
+  const uint64_t seed = std::get<2>(GetParam());
+  const int kTxns = 120;
+
+  KeyList pool;
+  for (int i = 0; i < num_keys; ++i) pool.push_back("ctr" + std::to_string(i));
+
+  Topology topo = SmallTopology(3, 3, 3, /*clients_per_dc=*/3);
+  Rng rng(seed);
+  Counters counters;
+  auto track_done = [&counters](const KeyList& written) {
+    return [&counters, written](bool committed) {
+      if (committed) {
+        counters.committed++;
+        for (const Key& k : written) counters.commits_per_key[k]++;
+      } else {
+        counters.aborted++;
+      }
+    };
+  };
+
+  // Issues kTxns increment transactions from random clients at random
+  // times over ~10 s of simulated time, then verifies the counters.
+  auto choose_keys = [&]() {
+    KeyList keys;
+    const int n = static_cast<int>(rng.UniformInt(1, 3));
+    while (static_cast<int>(keys.size()) < n) {
+      Key k = pool[rng.UniformInt(0, num_keys - 1)];
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+    return keys;
+  };
+
+  std::map<Key, VersionedValue> final_state;
+
+  if (system == System::kTapir) {
+    tapir::TapirOptions options;
+    options.fast_path_timeout = 200'000;
+    auto cluster = std::make_unique<tapir::TapirCluster>(
+        topo, options, sim::NetworkOptions{}, seed);
+    int in_flight = 0;
+    for (int i = 0; i < kTxns; ++i) {
+      const SimTime at = rng.UniformInt(0, 10 * kMicrosPerSecond);
+      const int client_index =
+          static_cast<int>(rng.UniformInt(0, cluster->clients().size() - 1));
+      cluster->sim().ScheduleAt(at, [&, client_index]() {
+        const KeyList keys = choose_keys();
+        tapir::TapirClient* client = cluster->client(client_index);
+        const TxnId tid = client->Begin();
+        in_flight++;
+        auto done = track_done(keys);
+        client->Read(
+            tid, keys, keys,
+            [&, client, tid, keys, done](
+                Status status, const tapir::TapirClient::ReadResults& reads) {
+              if (!status.ok()) {
+                done(false);
+                in_flight--;
+                return;
+              }
+              for (const Key& k : keys) {
+                client->Write(
+                    tid, k,
+                    std::to_string(ParseCounter(reads.at(k).value) + 1));
+              }
+              client->Commit(tid, [&, done](Status s) {
+                done(s.ok());
+                in_flight--;
+              });
+            });
+      });
+    }
+    cluster->sim().RunFor(60 * kMicrosPerSecond);
+    counters.incomplete = in_flight;
+    cluster->sim().RunFor(10 * kMicrosPerSecond);
+    const NodeId any = cluster->topology().Replicas(0)[0];
+    for (const Key& k : pool) {
+      const PartitionId p = cluster->directory().PartitionFor(k);
+      final_state[k] =
+          cluster->server(cluster->topology().Replicas(p)[0])->store().Get(k);
+    }
+    (void)any;
+  } else {
+    core::CarouselOptions options = FastRaftOptions();
+    if (system == System::kCarouselFast) {
+      options.fast_path = true;
+      options.local_reads = true;
+    }
+    auto cluster = std::make_unique<core::Cluster>(topo, options,
+                                                   sim::NetworkOptions{}, seed);
+    cluster->Start();
+    int in_flight = 0;
+    for (int i = 0; i < kTxns; ++i) {
+      const SimTime at =
+          cluster->sim().now() + rng.UniformInt(0, 10 * kMicrosPerSecond);
+      const int client_index =
+          static_cast<int>(rng.UniformInt(0, cluster->clients().size() - 1));
+      cluster->sim().ScheduleAt(at, [&, client_index]() {
+        const KeyList keys = choose_keys();
+        core::CarouselClient* client = cluster->client(client_index);
+        const TxnId tid = client->Begin();
+        in_flight++;
+        auto done = track_done(keys);
+        client->ReadAndPrepare(
+            tid, keys, keys,
+            [&, client, tid, keys, done](
+                Status status,
+                const core::CarouselClient::ReadResults& reads) {
+              if (!status.ok()) {
+                done(false);
+                in_flight--;
+                return;
+              }
+              for (const Key& k : keys) {
+                client->Write(
+                    tid, k,
+                    std::to_string(ParseCounter(reads.at(k).value) + 1));
+              }
+              client->Commit(tid, [&, done](Status s) {
+                done(s.ok());
+                in_flight--;
+              });
+            });
+      });
+    }
+    cluster->sim().RunFor(60 * kMicrosPerSecond);
+    counters.incomplete = in_flight;
+    cluster->sim().RunFor(10 * kMicrosPerSecond);
+    for (const Key& k : pool) final_state[k] = LeaderValue(*cluster, k);
+  }
+
+  EXPECT_EQ(counters.incomplete, 0)
+      << SystemName(system) << ": transactions stuck";
+  EXPECT_EQ(counters.committed + counters.aborted, kTxns);
+  EXPECT_GT(counters.committed, 0) << SystemName(system);
+
+  for (const Key& k : pool) {
+    const int expected = counters.commits_per_key[k];
+    EXPECT_EQ(ParseCounter(final_state[k].value), expected)
+        << SystemName(system) << " lost/duplicated an update on " << k;
+    EXPECT_EQ(static_cast<int>(final_state[k].version), expected)
+        << SystemName(system) << " version mismatch on " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, SerializabilityTest,
+    ::testing::Combine(::testing::Values(System::kCarouselBasic,
+                                         System::kCarouselFast,
+                                         System::kTapir),
+                       ::testing::Values(4, 32),  // hot vs mild contention
+                       ::testing::Values(101u, 202u, 303u)),
+    [](const ::testing::TestParamInfo<SerializabilityTest::ParamType>& info) {
+      return SystemName(std::get<0>(info.param)) + "_keys" +
+             std::to_string(std::get<1>(info.param)) + "_seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+/// Bank-transfer invariant: concurrent transfers between accounts must
+/// conserve the total balance on every system.
+TEST(BankInvariantTest, TransfersConserveTotalOnCarouselFast) {
+  core::CarouselOptions options = FastRaftOptions();
+  options.fast_path = true;
+  options.local_reads = true;
+  auto cluster = std::make_unique<core::Cluster>(
+      SmallTopology(3, 3, 3, 3), options, sim::NetworkOptions{}, 77);
+  cluster->Start();
+
+  const int kAccounts = 8;
+  const int kInitial = 100;
+  KeyList accounts;
+  for (int i = 0; i < kAccounts; ++i) {
+    accounts.push_back("acct" + std::to_string(i));
+  }
+  // Seed balances.
+  for (const Key& a : accounts) {
+    TxnOutcome out = RunTxn(*cluster, 0, {}, {{a, std::to_string(kInitial)}});
+    ASSERT_TRUE(out.commit_status.ok());
+  }
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const SimTime at =
+        cluster->sim().now() + rng.UniformInt(0, 8 * kMicrosPerSecond);
+    const int client_index =
+        static_cast<int>(rng.UniformInt(0, cluster->clients().size() - 1));
+    int from = static_cast<int>(rng.UniformInt(0, kAccounts - 1));
+    int to = static_cast<int>(rng.UniformInt(0, kAccounts - 1));
+    if (from == to) to = (to + 1) % kAccounts;
+    const Key src = accounts[from], dst = accounts[to];
+    const int amount = static_cast<int>(rng.UniformInt(1, 20));
+    cluster->sim().ScheduleAt(at, [&, client_index, src, dst, amount]() {
+      core::CarouselClient* client = cluster->client(client_index);
+      const TxnId tid = client->Begin();
+      client->ReadAndPrepare(
+          tid, {src, dst}, {src, dst},
+          [&, client, tid, src, dst, amount](
+              Status status, const core::CarouselClient::ReadResults& reads) {
+            if (!status.ok()) return;
+            const int from_balance = std::stoi(reads.at(src).value);
+            const int to_balance = std::stoi(reads.at(dst).value);
+            if (from_balance < amount) {
+              client->Abort(tid);
+              return;
+            }
+            client->Write(tid, src, std::to_string(from_balance - amount));
+            client->Write(tid, dst, std::to_string(to_balance + amount));
+            client->Commit(tid, [](Status) {});
+          });
+    });
+  }
+  cluster->sim().RunFor(60 * kMicrosPerSecond);
+
+  int total = 0;
+  for (const Key& a : accounts) {
+    const Value v = LeaderValue(*cluster, a).value;
+    ASSERT_FALSE(v.empty());
+    const int balance = std::stoi(v);
+    EXPECT_GE(balance, 0) << "account " << a << " went negative";
+    total += balance;
+  }
+  EXPECT_EQ(total, kAccounts * kInitial) << "money created or destroyed";
+}
+
+}  // namespace
+}  // namespace carousel::test

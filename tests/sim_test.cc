@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/topology.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace carousel::sim {
+namespace {
+
+struct PingMsg final : Message {
+  int payload = 0;
+  int type() const override { return kPing; }
+  size_t SizeBytes() const override { return 100; }
+};
+
+/// A node that records every delivery (time, from, payload).
+class RecorderNode : public Node {
+ public:
+  RecorderNode(NodeId id, DcId dc, SimTime cost = 0)
+      : Node(id, dc), cost_(cost) {}
+
+  void HandleMessage(NodeId from, const MessagePtr& msg) override {
+    deliveries.push_back({simulator()->now(), from,
+                          As<PingMsg>(*msg).payload});
+  }
+  SimTime ServiceCost(const Message&) const override { return cost_; }
+
+  struct Delivery {
+    SimTime time;
+    NodeId from;
+    int payload;
+  };
+  std::vector<Delivery> deliveries;
+
+ private:
+  SimTime cost_;
+};
+
+MessagePtr Ping(int payload) {
+  auto msg = std::make_shared<PingMsg>();
+  msg->payload = payload;
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&] { fired++; });
+  sim.Schedule(200, [&] { fired++; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, PastSchedulesClampToNow) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.RunToCompletion();
+  bool fired = false;
+  sim.ScheduleAt(5, [&] { fired = true; });  // In the past.
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 42; ++i) sim.Schedule(i, [] {});
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_processed(), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+struct NetFixture {
+  NetFixture(double rtt_ms = 10, NetworkOptions opts = {}) {
+    topo = Topology::Uniform(2, rtt_ms);
+    topo.PlacePartitions(2, 1);  // Nodes 0 (DC0) and 1 (DC1).
+    sim = std::make_unique<Simulator>(3);
+    net = std::make_unique<Network>(sim.get(), &topo, opts);
+    a = std::make_unique<RecorderNode>(0, 0);
+    b = std::make_unique<RecorderNode>(1, 1);
+    net->Register(a.get());
+    net->Register(b.get());
+  }
+  Topology topo;
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<RecorderNode> a, b;
+};
+
+TEST(NetworkTest, DeliversWithHalfRttLatency) {
+  NetFixture f(10, NetworkOptions{.jitter_fraction = 0.0});
+  f.net->Send(0, 1, Ping(1));
+  f.sim->RunToCompletion();
+  ASSERT_EQ(f.b->deliveries.size(), 1u);
+  EXPECT_EQ(f.b->deliveries[0].time, 5 * kMicrosPerMilli);
+}
+
+TEST(NetworkTest, JitterBoundedAboveBaseLatency) {
+  NetFixture f(10, NetworkOptions{.jitter_fraction = 0.10});
+  for (int i = 0; i < 200; ++i) f.net->Send(0, 1, Ping(i));
+  f.sim->RunToCompletion();
+  ASSERT_EQ(f.b->deliveries.size(), 200u);
+  for (const auto& d : f.b->deliveries) {
+    EXPECT_GE(d.time, 5 * kMicrosPerMilli);
+    EXPECT_LE(d.time, static_cast<SimTime>(5.5 * kMicrosPerMilli) + 1);
+  }
+}
+
+TEST(NetworkTest, FifoPairsPreserveSendOrder) {
+  NetFixture f(10, NetworkOptions{.jitter_fraction = 0.5});  // Heavy jitter.
+  for (int i = 0; i < 100; ++i) f.net->Send(0, 1, Ping(i));
+  f.sim->RunToCompletion();
+  ASSERT_EQ(f.b->deliveries.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f.b->deliveries[i].payload, i);
+}
+
+TEST(NetworkTest, NonFifoMayReorderButDeliversAll) {
+  NetworkOptions opts;
+  opts.jitter_fraction = 1.0;
+  opts.fifo_pairs = false;
+  NetFixture f(10, opts);
+  for (int i = 0; i < 100; ++i) f.net->Send(0, 1, Ping(i));
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.b->deliveries.size(), 100u);
+}
+
+TEST(NetworkTest, CrashedReceiverDropsMessages) {
+  NetFixture f;
+  f.net->Crash(1);
+  f.net->Send(0, 1, Ping(1));
+  f.sim->RunToCompletion();
+  EXPECT_TRUE(f.b->deliveries.empty());
+}
+
+TEST(NetworkTest, CrashedSenderCannotSend) {
+  NetFixture f;
+  f.net->Crash(0);
+  f.net->Send(0, 1, Ping(1));
+  f.sim->RunToCompletion();
+  EXPECT_TRUE(f.b->deliveries.empty());
+  EXPECT_EQ(f.net->traffic(0).msgs_sent, 0u);
+}
+
+TEST(NetworkTest, InFlightMessagesDropAtCrashedHost) {
+  NetFixture f;
+  f.net->Send(0, 1, Ping(1));  // In flight for 5 ms.
+  f.sim->RunFor(1 * kMicrosPerMilli);
+  f.net->Crash(1);
+  f.sim->RunToCompletion();
+  EXPECT_TRUE(f.b->deliveries.empty());
+}
+
+TEST(NetworkTest, RecoveryRestoresDelivery) {
+  NetFixture f;
+  f.net->Crash(1);
+  f.sim->RunFor(kMicrosPerMilli);
+  f.net->Recover(1);
+  f.net->Send(0, 1, Ping(7));
+  f.sim->RunToCompletion();
+  ASSERT_EQ(f.b->deliveries.size(), 1u);
+  EXPECT_EQ(f.b->deliveries[0].payload, 7);
+}
+
+TEST(NetworkTest, BlockedPairDropsBothDirections) {
+  NetFixture f;
+  f.net->BlockPair(0, 1);
+  f.net->Send(0, 1, Ping(1));
+  f.net->Send(1, 0, Ping(2));
+  f.sim->RunToCompletion();
+  EXPECT_TRUE(f.a->deliveries.empty());
+  EXPECT_TRUE(f.b->deliveries.empty());
+  f.net->UnblockPair(0, 1);
+  f.net->Send(0, 1, Ping(3));
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.b->deliveries.size(), 1u);
+}
+
+TEST(NetworkTest, TrafficAccounting) {
+  NetworkOptions opts;
+  opts.header_bytes = 80;
+  NetFixture f(10, opts);
+  f.net->Send(0, 1, Ping(1));  // 100-byte payload.
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.net->traffic(0).bytes_sent, 180u);
+  EXPECT_EQ(f.net->traffic(0).msgs_sent, 1u);
+  EXPECT_EQ(f.net->traffic(1).bytes_received, 180u);
+  EXPECT_EQ(f.net->traffic(1).msgs_received, 1u);
+  f.net->ResetTraffic();
+  EXPECT_EQ(f.net->traffic(0).bytes_sent, 0u);
+}
+
+/// The single-core FIFO service model: messages queue behind one another,
+/// producing saturation when offered load exceeds capacity.
+TEST(NetworkTest, ServiceQueueingSerializesProcessing) {
+  Topology topo = Topology::Uniform(2, 10);
+  topo.PlacePartitions(2, 1);
+  Simulator sim(4);
+  Network net(&sim, &topo, NetworkOptions{.jitter_fraction = 0.0});
+  RecorderNode a(0, 0);
+  RecorderNode b(1, 1, /*cost=*/100);  // 100 us per message.
+  net.Register(&a);
+  net.Register(&b);
+
+  for (int i = 0; i < 10; ++i) net.Send(0, 1, Ping(i));
+  sim.RunToCompletion();
+  ASSERT_EQ(b.deliveries.size(), 10u);
+  // First completes at 5 ms + 100 us; each next 100 us later.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.deliveries[i].time, 5 * kMicrosPerMilli + 100 * (i + 1));
+  }
+}
+
+TEST(NetworkTest, LoopbackIsFast) {
+  NetFixture f;
+  f.net->Send(0, 0, Ping(1));
+  f.sim->RunToCompletion();
+  ASSERT_EQ(f.a->deliveries.size(), 1u);
+  EXPECT_LE(f.a->deliveries[0].time, 10);
+}
+
+TEST(NetworkTest, IntraDcLatencyUsed) {
+  Topology topo = Topology::Uniform(1, 10);
+  topo.set_intra_dc_rtt_micros(500);
+  topo.PlacePartitions(2, 1);  // Two nodes, same DC.
+  Simulator sim(5);
+  Network net(&sim, &topo, NetworkOptions{.jitter_fraction = 0.0});
+  RecorderNode a(0, 0), b(1, 0);
+  net.Register(&a);
+  net.Register(&b);
+  net.Send(0, 1, Ping(1));
+  sim.RunToCompletion();
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].time, 250);
+}
+
+}  // namespace
+}  // namespace carousel::sim

@@ -1,0 +1,102 @@
+#ifndef CAROUSEL_TESTS_TEST_UTIL_H_
+#define CAROUSEL_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carousel/cluster.h"
+#include "common/topology.h"
+
+namespace carousel::test {
+
+/// A small deployment: `num_dcs` DCs at a uniform RTT, `partitions`
+/// partitions with `replication` replicas, and `clients_per_dc` clients in
+/// every DC. Raft timers are shrunk so failover tests run quickly.
+inline core::CarouselOptions FastRaftOptions() {
+  core::CarouselOptions options;
+  options.raft.election_timeout_min = 300'000;
+  options.raft.election_timeout_max = 600'000;
+  options.raft.heartbeat_interval = 60'000;
+  options.heartbeat_interval = 200'000;
+  options.client_retry_timeout = 1'500'000;
+  options.coordinator_retry_interval = 1'500'000;
+  options.pending_gc_interval = 5'000'000;
+  return options;
+}
+
+inline Topology SmallTopology(int num_dcs = 3, int partitions = 3,
+                              int replication = 3, int clients_per_dc = 2,
+                              double rtt_ms = 20) {
+  Topology topo = Topology::Uniform(num_dcs, rtt_ms);
+  topo.PlacePartitions(partitions, replication);
+  for (DcId dc = 0; dc < num_dcs; ++dc) {
+    for (int i = 0; i < clients_per_dc; ++i) topo.AddClient(dc);
+  }
+  return topo;
+}
+
+/// Synchronous-looking transaction execution for tests: issues the
+/// transaction and pumps the simulator until it completes (or `timeout`
+/// sim-time passes).
+struct TxnOutcome {
+  bool read_done = false;
+  bool commit_done = false;
+  Status read_status;
+  Status commit_status;
+  core::CarouselClient::ReadResults reads;
+};
+
+inline TxnOutcome RunTxn(core::Cluster& cluster, int client_index,
+                         const KeyList& reads, const WriteSet& writes,
+                         SimTime timeout = 60 * kMicrosPerSecond) {
+  auto outcome = std::make_shared<TxnOutcome>();
+  core::CarouselClient* client = cluster.client(client_index);
+  const TxnId tid = client->Begin();
+  KeyList write_keys;
+  for (const auto& [k, v] : writes) write_keys.push_back(k);
+
+  client->ReadAndPrepare(
+      tid, reads, write_keys,
+      [&cluster, client, tid, writes, outcome](
+          Status status, const core::CarouselClient::ReadResults& results) {
+        outcome->read_done = true;
+        outcome->read_status = status;
+        outcome->reads = results;
+        if (writes.empty()) {
+          // Read-only transactions complete at the read round.
+          outcome->commit_done = true;
+          outcome->commit_status = status;
+          return;
+        }
+        if (!status.ok()) {
+          outcome->commit_done = true;
+          outcome->commit_status = status;
+          return;
+        }
+        for (const auto& [k, v] : writes) client->Write(tid, k, v);
+        client->Commit(tid, [outcome](Status commit_status) {
+          outcome->commit_done = true;
+          outcome->commit_status = commit_status;
+        });
+      });
+
+  const SimTime deadline = cluster.sim().now() + timeout;
+  while (!outcome->commit_done && cluster.sim().now() < deadline) {
+    cluster.sim().RunFor(kMicrosPerMilli);
+  }
+  return *outcome;
+}
+
+/// The committed value of `key` as seen by the current leader of its
+/// partition.
+inline VersionedValue LeaderValue(core::Cluster& cluster, const Key& key) {
+  const PartitionId p = cluster.directory().PartitionFor(key);
+  core::CarouselServer* leader = cluster.LeaderOf(p);
+  return leader == nullptr ? VersionedValue{} : leader->store().Get(key);
+}
+
+}  // namespace carousel::test
+
+#endif  // CAROUSEL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_util.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace carousel::workload {
+namespace {
+
+WorkloadOptions SmallWorkload() {
+  WorkloadOptions options;
+  options.num_keys = 100000;  // Small key space for fast tests.
+  return options;
+}
+
+TEST(RetwisTest, MixMatchesTable2) {
+  auto generator = MakeRetwisGenerator(SmallWorkload());
+  Rng rng(1);
+  std::map<std::string, int> mix;
+  std::map<std::string, std::pair<int, int>> ops;  // type -> (reads, writes)
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const TxnSpec spec = generator->Next(&rng);
+    mix[spec.type]++;
+    ops[spec.type] = {static_cast<int>(spec.reads.size()),
+                      static_cast<int>(spec.writes.size())};
+  }
+  // Fractions from paper Table 2, +-1.5 percentage points.
+  EXPECT_NEAR(mix["add_user"] / double(kDraws), 0.05, 0.015);
+  EXPECT_NEAR(mix["follow"] / double(kDraws), 0.15, 0.015);
+  EXPECT_NEAR(mix["post_tweet"] / double(kDraws), 0.30, 0.015);
+  EXPECT_NEAR(mix["load_timeline"] / double(kDraws), 0.50, 0.015);
+  // Gets/puts per type.
+  EXPECT_EQ(ops["add_user"], (std::pair<int, int>(1, 3)));
+  EXPECT_EQ(ops["follow"], (std::pair<int, int>(2, 2)));
+  EXPECT_EQ(ops["post_tweet"], (std::pair<int, int>(3, 5)));
+  EXPECT_EQ(ops["load_timeline"].second, 0);
+}
+
+TEST(RetwisTest, LoadTimelineReadCountInRange) {
+  auto generator = MakeRetwisGenerator(SmallWorkload());
+  Rng rng(2);
+  std::set<int> sizes;
+  for (int i = 0; i < 20000; ++i) {
+    const TxnSpec spec = generator->Next(&rng);
+    if (spec.type != "load_timeline") continue;
+    const int n = static_cast<int>(spec.reads.size());
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 10);
+    sizes.insert(n);
+  }
+  EXPECT_EQ(sizes.size(), 10u) << "rand(1,10) should cover all sizes";
+}
+
+TEST(RetwisTest, ReadOnlyShareIsHalf) {
+  auto generator = MakeRetwisGenerator(SmallWorkload());
+  Rng rng(3);
+  int read_only = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (generator->Next(&rng).read_only()) read_only++;
+  }
+  EXPECT_NEAR(read_only / double(kDraws), 0.50, 0.02);
+}
+
+TEST(YcsbTTest, FourDistinctRmwOps) {
+  auto generator = MakeYcsbTGenerator(SmallWorkload());
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const TxnSpec spec = generator->Next(&rng);
+    EXPECT_EQ(spec.reads.size(), 4u);
+    EXPECT_EQ(spec.writes, spec.reads);
+    std::set<Key> distinct(spec.reads.begin(), spec.reads.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    EXPECT_FALSE(spec.read_only());
+  }
+}
+
+TEST(WorkloadTest, KeysAreZipfSkewed) {
+  auto generator = MakeYcsbTGenerator(SmallWorkload());
+  Rng rng(5);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    for (const Key& k : generator->Next(&rng).reads) counts[k]++;
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // The hottest key is drawn far more often than the uniform expectation.
+  EXPECT_GT(max_count, 80000 / 100000 * 20);
+  EXPECT_GT(max_count, 50);
+}
+
+TEST(WorkloadTest, KeyForRankIsFixedWidthAndUnique) {
+  EXPECT_EQ(KeyForRank(0).size(), KeyForRank(9999999).size());
+  EXPECT_NE(KeyForRank(1), KeyForRank(2));
+}
+
+/// End-to-end driver run on a small Carousel deployment: accounting adds
+/// up and committed throughput approaches the (low) target.
+TEST(DriverTest, CarouselRunAccountingAddsUp) {
+  core::CarouselOptions options = carousel::test::FastRaftOptions();
+  Topology topo = carousel::test::SmallTopology(3, 3, 3, /*clients_per_dc=*/5);
+  core::Cluster cluster(topo, options, sim::NetworkOptions{}, 31);
+  cluster.Start();
+  auto adapter = MakeCarouselAdapter(&cluster, "Carousel Basic");
+
+  WorkloadOptions wopts = SmallWorkload();
+  auto generator = MakeRetwisGenerator(wopts);
+  DriverOptions dopts;
+  dopts.target_tps = 100;
+  dopts.duration = 12 * kMicrosPerSecond;
+  dopts.warmup = 2 * kMicrosPerSecond;
+  dopts.cooldown = 2 * kMicrosPerSecond;
+  const RunResult result = RunWorkload(adapter.get(), generator.get(), dopts);
+
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_EQ(result.timed_out, 0u);
+  EXPECT_NEAR(result.CommittedTps(), 100, 25);
+  EXPECT_LT(result.AbortRate(), 0.05);
+  EXPECT_EQ(result.latency.count(), static_cast<int64_t>(result.committed));
+  // 20 ms uniform RTT: no committed transaction should take > 1 s at
+  // this load.
+  EXPECT_LT(result.latency.Quantile(0.99), kMicrosPerSecond);
+}
+
+TEST(DriverTest, TapirRunWorks) {
+  tapir::TapirOptions options;
+  options.fast_path_timeout = 200'000;
+  Topology topo = carousel::test::SmallTopology(3, 3, 3, /*clients_per_dc=*/5);
+  tapir::TapirCluster cluster(topo, options, sim::NetworkOptions{}, 33);
+  auto adapter = MakeTapirAdapter(&cluster);
+
+  auto generator = MakeRetwisGenerator(SmallWorkload());
+  DriverOptions dopts;
+  dopts.target_tps = 100;
+  dopts.duration = 12 * kMicrosPerSecond;
+  dopts.warmup = 2 * kMicrosPerSecond;
+  dopts.cooldown = 2 * kMicrosPerSecond;
+  const RunResult result = RunWorkload(adapter.get(), generator.get(), dopts);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_NEAR(result.CommittedTps(), 100, 25);
+}
+
+/// Saturation: with CPU costs configured and a target far above capacity,
+/// committed throughput must fall below target (queueing model works).
+TEST(DriverTest, OverloadSaturatesBelowTarget) {
+  core::CarouselOptions options = carousel::test::FastRaftOptions();
+  options.cost.base = 300;         // 300 us per message -> ~3.3k msg/s/server.
+  options.cost.per_read_key = 50;
+  options.cost.per_occ_key = 20;
+  options.cost.per_log_entry = 50;
+  options.cost.per_write_key = 50;
+  Topology topo = carousel::test::SmallTopology(3, 3, 3, /*clients_per_dc=*/20);
+  core::Cluster cluster(topo, options, sim::NetworkOptions{}, 35);
+  cluster.Start();
+  auto adapter = MakeCarouselAdapter(&cluster, "Carousel Basic");
+
+  auto generator = MakeRetwisGenerator(SmallWorkload());
+  DriverOptions dopts;
+  dopts.target_tps = 5000;  // Far beyond what 9 slow servers can do.
+  dopts.duration = 10 * kMicrosPerSecond;
+  dopts.warmup = 2 * kMicrosPerSecond;
+  dopts.cooldown = 2 * kMicrosPerSecond;
+  const RunResult result = RunWorkload(adapter.get(), generator.get(), dopts);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_LT(result.CommittedTps(), 4000);
+  EXPECT_GT(result.dropped + result.aborted, 0u);
+}
+
+}  // namespace
+}  // namespace carousel::workload

@@ -1,0 +1,240 @@
+// carousel_sim — command-line experiment driver.
+//
+// Runs any of the three systems (carousel-basic, carousel-fast, tapir) on
+// a configurable simulated deployment and workload, and prints the
+// measurement-window results. Examples:
+//
+//   carousel_sim --system=carousel-fast --topology=ec2 --workload=retwis \
+//                --tps=200 --duration=30
+//   carousel_sim --system=tapir --topology=uniform:5:5 --tps=6000 \
+//                --clients-per-dc=120 --cpu-model --cdf
+//   carousel_sim --system=carousel-basic --loss=0.02 --crash=3:5 --seed=9
+//
+// Flags:
+//   --system=carousel-basic|carousel-fast|tapir   (default carousel-fast)
+//   --topology=ec2|uniform:<dcs>:<rtt_ms>         (default ec2)
+//   --partitions=N        (default 5)   --replication=N (default 3)
+//   --clients-per-dc=N    (default 20)
+//   --workload=retwis|ycsbt (default retwis)  --keys=N (default 10000000)
+//   --zipf=F              (default 0.75)
+//   --tps=F               (default 200) --duration=S (default 30)
+//   --warmup=S --cooldown=S (default duration/6 each)
+//   --cpu-model           enable the calibrated server CPU/queueing model
+//   --loss=F              message loss fraction
+//   --crash=NODE:SECONDS  crash node id NODE at time SECONDS (repeatable)
+//   --seed=N              (default 1)
+//   --cdf                 print the latency CDF
+//   --bandwidth           print per-role bandwidth
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+using namespace carousel;
+using namespace carousel::bench;
+
+struct Args {
+  std::string system = "carousel-fast";
+  std::string topology = "ec2";
+  int partitions = 5;
+  int replication = 3;
+  int clients_per_dc = 20;
+  std::string workload = "retwis";
+  uint64_t keys = 10'000'000;
+  double zipf = 0.75;
+  double tps = 200;
+  double duration_s = 30;
+  double warmup_s = -1;
+  double cooldown_s = -1;
+  bool cpu_model = false;
+  double loss = 0.0;
+  std::vector<std::pair<NodeId, double>> crashes;
+  uint64_t seed = 1;
+  bool cdf = false;
+  bool bandwidth = false;
+};
+
+bool ParseArg(const std::string& arg, Args* out) {
+  auto value_of = [&](const char* name) -> const char* {
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+    return nullptr;
+  };
+  if (const char* v = value_of("--system")) {
+    out->system = v;
+  } else if (const char* v = value_of("--topology")) {
+    out->topology = v;
+  } else if (const char* v = value_of("--partitions")) {
+    out->partitions = std::atoi(v);
+  } else if (const char* v = value_of("--replication")) {
+    out->replication = std::atoi(v);
+  } else if (const char* v = value_of("--clients-per-dc")) {
+    out->clients_per_dc = std::atoi(v);
+  } else if (const char* v = value_of("--workload")) {
+    out->workload = v;
+  } else if (const char* v = value_of("--keys")) {
+    out->keys = std::strtoull(v, nullptr, 10);
+  } else if (const char* v = value_of("--zipf")) {
+    out->zipf = std::atof(v);
+  } else if (const char* v = value_of("--tps")) {
+    out->tps = std::atof(v);
+  } else if (const char* v = value_of("--duration")) {
+    out->duration_s = std::atof(v);
+  } else if (const char* v = value_of("--warmup")) {
+    out->warmup_s = std::atof(v);
+  } else if (const char* v = value_of("--cooldown")) {
+    out->cooldown_s = std::atof(v);
+  } else if (arg == "--cpu-model") {
+    out->cpu_model = true;
+  } else if (const char* v = value_of("--loss")) {
+    out->loss = std::atof(v);
+  } else if (const char* v = value_of("--crash")) {
+    const char* colon = std::strchr(v, ':');
+    if (colon == nullptr) return false;
+    out->crashes.emplace_back(std::atoi(v), std::atof(colon + 1));
+  } else if (const char* v = value_of("--seed")) {
+    out->seed = std::strtoull(v, nullptr, 10);
+  } else if (arg == "--cdf") {
+    out->cdf = true;
+  } else if (arg == "--bandwidth") {
+    out->bandwidth = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Topology BuildTopology(const Args& args) {
+  Topology topo = [&]() {
+    if (args.topology == "ec2") return Topology::PaperEc2();
+    // uniform:<dcs>:<rtt>
+    int dcs = 5;
+    double rtt = 5.0;
+    if (std::sscanf(args.topology.c_str(), "uniform:%d:%lf", &dcs, &rtt) < 1) {
+      std::fprintf(stderr, "bad --topology '%s'\n", args.topology.c_str());
+      std::exit(2);
+    }
+    return Topology::Uniform(dcs, rtt);
+  }();
+  topo.PlacePartitions(args.partitions, args.replication);
+  for (DcId dc = 0; dc < topo.num_dcs(); ++dc) {
+    for (int i = 0; i < args.clients_per_dc; ++i) topo.AddClient(dc);
+  }
+  return topo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(argv[i], &args)) {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (args.warmup_s < 0) args.warmup_s = args.duration_s / 6;
+  if (args.cooldown_s < 0) args.cooldown_s = args.duration_s / 6;
+
+  SystemKind kind;
+  if (args.system == "carousel-basic") {
+    kind = SystemKind::kCarouselBasic;
+  } else if (args.system == "carousel-fast") {
+    kind = SystemKind::kCarouselFast;
+  } else if (args.system == "tapir") {
+    kind = SystemKind::kTapir;
+  } else {
+    std::fprintf(stderr, "unknown --system '%s'\n", args.system.c_str());
+    return 2;
+  }
+
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = args.keys;
+  wopts.zipf_theta = args.zipf;
+  auto generator = args.workload == "ycsbt"
+                       ? workload::MakeYcsbTGenerator(wopts)
+                       : workload::MakeRetwisGenerator(wopts);
+
+  workload::DriverOptions dopts;
+  dopts.target_tps = args.tps;
+  dopts.duration = static_cast<SimTime>(args.duration_s * kMicrosPerSecond);
+  dopts.warmup = static_cast<SimTime>(args.warmup_s * kMicrosPerSecond);
+  dopts.cooldown = static_cast<SimTime>(args.cooldown_s * kMicrosPerSecond);
+  dopts.seed = args.seed;
+
+  Topology topo = BuildTopology(args);
+  std::printf("system=%s topology=%s partitions=%d x%d clients=%d/DC "
+              "workload=%s tps=%.0f duration=%.0fs seed=%llu\n",
+              SystemName(kind), args.topology.c_str(), args.partitions,
+              args.replication, args.clients_per_dc, args.workload.c_str(),
+              args.tps, args.duration_s,
+              static_cast<unsigned long long>(args.seed));
+
+  // Crash/loss knobs require driving the cluster directly; reuse
+  // RunSystem for the common path.
+  core::ServerCostModel cost =
+      args.cpu_model ? ThroughputCostModel() : core::ServerCostModel{};
+
+  BenchRun run;
+  if (args.loss > 0 || !args.crashes.empty()) {
+    if (kind == SystemKind::kTapir) {
+      std::fprintf(stderr,
+                   "--loss/--crash currently supported for Carousel only\n");
+      return 2;
+    }
+    core::CarouselOptions options;
+    options.cost = cost;
+    options.fast_path = kind == SystemKind::kCarouselFast;
+    options.local_reads = options.fast_path;
+    sim::NetworkOptions net;
+    net.loss_fraction = args.loss;
+    core::Cluster cluster(std::move(topo), options, net, args.seed);
+    cluster.Start();
+    for (const auto& [node, at_s] : args.crashes) {
+      cluster.sim().ScheduleAt(
+          static_cast<SimTime>(at_s * kMicrosPerSecond),
+          [&cluster, node = node]() { cluster.Crash(node); });
+    }
+    auto adapter = workload::MakeCarouselAdapter(&cluster, SystemName(kind));
+    run.result = workload::RunWorkload(adapter.get(), generator.get(), dopts);
+  } else {
+    run = RunSystem(kind, std::move(topo), generator.get(), dopts, cost,
+                    args.seed);
+  }
+
+  const workload::RunResult& r = run.result;
+  std::printf("\ncommitted %llu (%.0f tps), aborted %llu (%.2f%%), "
+              "timed out %llu, dropped arrivals %llu\n",
+              static_cast<unsigned long long>(r.committed), r.CommittedTps(),
+              static_cast<unsigned long long>(r.aborted), 100 * r.AbortRate(),
+              static_cast<unsigned long long>(r.timed_out),
+              static_cast<unsigned long long>(r.dropped));
+  std::printf("latency: %s\n", r.latency.Summary().c_str());
+
+  if (args.cdf) PrintCdf(SystemName(kind), r.latency);
+  if (args.bandwidth && !run.traffic.empty()) {
+    std::printf("\nper-role bandwidth (Mbps, averaged per node):\n");
+    std::map<std::string, std::pair<double, int>> send_by_role;
+    std::map<std::string, double> recv_by_role;
+    for (size_t i = 0; i < run.traffic.size(); ++i) {
+      auto& [send, count] = send_by_role[run.roles[i]];
+      send += static_cast<double>(run.traffic[i].bytes_sent) * 8 /
+              run.window_seconds / 1e6;
+      recv_by_role[run.roles[i]] +=
+          static_cast<double>(run.traffic[i].bytes_received) * 8 /
+          run.window_seconds / 1e6;
+      count++;
+    }
+    for (auto& [role, sc] : send_by_role) {
+      std::printf("  %-9s send %7.2f  recv %7.2f\n", role.c_str(),
+                  sc.first / sc.second, recv_by_role[role] / sc.second);
+    }
+  }
+  return 0;
+}
