@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fastpath"
+  "../bench/bench_ablation_fastpath.pdb"
+  "CMakeFiles/bench_ablation_fastpath.dir/bench_ablation_fastpath.cc.o"
+  "CMakeFiles/bench_ablation_fastpath.dir/bench_ablation_fastpath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_phase_breakdown"
+  "../bench/bench_ablation_phase_breakdown.pdb"
+  "CMakeFiles/bench_ablation_phase_breakdown.dir/bench_ablation_phase_breakdown.cc.o"
+  "CMakeFiles/bench_ablation_phase_breakdown.dir/bench_ablation_phase_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_readonly"
+  "../bench/bench_ablation_readonly.pdb"
+  "CMakeFiles/bench_ablation_readonly.dir/bench_ablation_readonly.cc.o"
+  "CMakeFiles/bench_ablation_readonly.dir/bench_ablation_readonly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

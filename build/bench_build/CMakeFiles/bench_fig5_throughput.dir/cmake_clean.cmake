@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_throughput"
+  "../bench/bench_fig5_throughput.pdb"
+  "CMakeFiles/bench_fig5_throughput.dir/bench_fig5_throughput.cc.o"
+  "CMakeFiles/bench_fig5_throughput.dir/bench_fig5_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

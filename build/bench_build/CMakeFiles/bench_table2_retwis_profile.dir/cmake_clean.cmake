@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_retwis_profile"
+  "../bench/bench_table2_retwis_profile.pdb"
+  "CMakeFiles/bench_table2_retwis_profile.dir/bench_table2_retwis_profile.cc.o"
+  "CMakeFiles/bench_table2_retwis_profile.dir/bench_table2_retwis_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_retwis_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/payment_by_name.cpp" "examples/CMakeFiles/payment_by_name.dir/payment_by_name.cpp.o" "gcc" "examples/CMakeFiles/payment_by_name.dir/payment_by_name.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/carousel/CMakeFiles/carousel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carousel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/carousel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/carousel_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/carousel_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

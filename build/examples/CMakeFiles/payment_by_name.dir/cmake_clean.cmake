@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payment_by_name.dir/payment_by_name.cpp.o"
+  "CMakeFiles/payment_by_name.dir/payment_by_name.cpp.o.d"
+  "payment_by_name"
+  "payment_by_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payment_by_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for payment_by_name.
+# This may be replaced when dependencies are built.

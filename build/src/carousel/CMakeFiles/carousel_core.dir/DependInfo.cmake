@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carousel/client.cc" "src/carousel/CMakeFiles/carousel_core.dir/client.cc.o" "gcc" "src/carousel/CMakeFiles/carousel_core.dir/client.cc.o.d"
+  "/root/repo/src/carousel/cluster.cc" "src/carousel/CMakeFiles/carousel_core.dir/cluster.cc.o" "gcc" "src/carousel/CMakeFiles/carousel_core.dir/cluster.cc.o.d"
+  "/root/repo/src/carousel/recon.cc" "src/carousel/CMakeFiles/carousel_core.dir/recon.cc.o" "gcc" "src/carousel/CMakeFiles/carousel_core.dir/recon.cc.o.d"
+  "/root/repo/src/carousel/server.cc" "src/carousel/CMakeFiles/carousel_core.dir/server.cc.o" "gcc" "src/carousel/CMakeFiles/carousel_core.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/carousel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/carousel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/carousel_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/carousel_raft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

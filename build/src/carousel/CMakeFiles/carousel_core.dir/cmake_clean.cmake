@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_core.dir/client.cc.o"
+  "CMakeFiles/carousel_core.dir/client.cc.o.d"
+  "CMakeFiles/carousel_core.dir/cluster.cc.o"
+  "CMakeFiles/carousel_core.dir/cluster.cc.o.d"
+  "CMakeFiles/carousel_core.dir/recon.cc.o"
+  "CMakeFiles/carousel_core.dir/recon.cc.o.d"
+  "CMakeFiles/carousel_core.dir/server.cc.o"
+  "CMakeFiles/carousel_core.dir/server.cc.o.d"
+  "libcarousel_core.a"
+  "libcarousel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

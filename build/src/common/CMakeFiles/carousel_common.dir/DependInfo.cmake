@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/consistent_hash.cc" "src/common/CMakeFiles/carousel_common.dir/consistent_hash.cc.o" "gcc" "src/common/CMakeFiles/carousel_common.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/common/CMakeFiles/carousel_common.dir/histogram.cc.o" "gcc" "src/common/CMakeFiles/carousel_common.dir/histogram.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/carousel_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/carousel_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/carousel_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/carousel_common.dir/status.cc.o.d"
+  "/root/repo/src/common/topology.cc" "src/common/CMakeFiles/carousel_common.dir/topology.cc.o" "gcc" "src/common/CMakeFiles/carousel_common.dir/topology.cc.o.d"
+  "/root/repo/src/common/zipfian.cc" "src/common/CMakeFiles/carousel_common.dir/zipfian.cc.o" "gcc" "src/common/CMakeFiles/carousel_common.dir/zipfian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

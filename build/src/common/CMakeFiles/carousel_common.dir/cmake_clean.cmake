@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_common.dir/consistent_hash.cc.o"
+  "CMakeFiles/carousel_common.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/carousel_common.dir/histogram.cc.o"
+  "CMakeFiles/carousel_common.dir/histogram.cc.o.d"
+  "CMakeFiles/carousel_common.dir/rng.cc.o"
+  "CMakeFiles/carousel_common.dir/rng.cc.o.d"
+  "CMakeFiles/carousel_common.dir/status.cc.o"
+  "CMakeFiles/carousel_common.dir/status.cc.o.d"
+  "CMakeFiles/carousel_common.dir/topology.cc.o"
+  "CMakeFiles/carousel_common.dir/topology.cc.o.d"
+  "CMakeFiles/carousel_common.dir/zipfian.cc.o"
+  "CMakeFiles/carousel_common.dir/zipfian.cc.o.d"
+  "libcarousel_common.a"
+  "libcarousel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

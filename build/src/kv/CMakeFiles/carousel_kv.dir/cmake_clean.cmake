@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_kv.dir/pending_list.cc.o"
+  "CMakeFiles/carousel_kv.dir/pending_list.cc.o.d"
+  "libcarousel_kv.a"
+  "libcarousel_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

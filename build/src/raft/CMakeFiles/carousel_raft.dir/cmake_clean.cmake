@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_raft.dir/raft_node.cc.o"
+  "CMakeFiles/carousel_raft.dir/raft_node.cc.o.d"
+  "libcarousel_raft.a"
+  "libcarousel_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

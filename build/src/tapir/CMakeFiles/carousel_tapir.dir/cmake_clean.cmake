@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_tapir.dir/client.cc.o"
+  "CMakeFiles/carousel_tapir.dir/client.cc.o.d"
+  "CMakeFiles/carousel_tapir.dir/cluster.cc.o"
+  "CMakeFiles/carousel_tapir.dir/cluster.cc.o.d"
+  "CMakeFiles/carousel_tapir.dir/server.cc.o"
+  "CMakeFiles/carousel_tapir.dir/server.cc.o.d"
+  "libcarousel_tapir.a"
+  "libcarousel_tapir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_tapir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_workload.dir/driver.cc.o"
+  "CMakeFiles/carousel_workload.dir/driver.cc.o.d"
+  "CMakeFiles/carousel_workload.dir/workload.cc.o"
+  "CMakeFiles/carousel_workload.dir/workload.cc.o.d"
+  "libcarousel_workload.a"
+  "libcarousel_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_basic_test.dir/carousel_basic_test.cc.o"
+  "CMakeFiles/carousel_basic_test.dir/carousel_basic_test.cc.o.d"
+  "carousel_basic_test"
+  "carousel_basic_test.pdb"
+  "carousel_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

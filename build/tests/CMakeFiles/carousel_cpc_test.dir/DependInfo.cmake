@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/carousel_cpc_test.cc" "tests/CMakeFiles/carousel_cpc_test.dir/carousel_cpc_test.cc.o" "gcc" "tests/CMakeFiles/carousel_cpc_test.dir/carousel_cpc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/carousel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/carousel/CMakeFiles/carousel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tapir/CMakeFiles/carousel_tapir.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/carousel_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/carousel_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/carousel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carousel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_cpc_test.dir/carousel_cpc_test.cc.o"
+  "CMakeFiles/carousel_cpc_test.dir/carousel_cpc_test.cc.o.d"
+  "carousel_cpc_test"
+  "carousel_cpc_test.pdb"
+  "carousel_cpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_cpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_failure_test.dir/carousel_failure_test.cc.o"
+  "CMakeFiles/carousel_failure_test.dir/carousel_failure_test.cc.o.d"
+  "carousel_failure_test"
+  "carousel_failure_test.pdb"
+  "carousel_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

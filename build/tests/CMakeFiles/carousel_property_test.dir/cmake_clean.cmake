@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_property_test.dir/carousel_property_test.cc.o"
+  "CMakeFiles/carousel_property_test.dir/carousel_property_test.cc.o.d"
+  "carousel_property_test"
+  "carousel_property_test.pdb"
+  "carousel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapir_test.dir/tapir_test.cc.o"
+  "CMakeFiles/tapir_test.dir/tapir_test.cc.o.d"
+  "tapir_test"
+  "tapir_test.pdb"
+  "tapir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

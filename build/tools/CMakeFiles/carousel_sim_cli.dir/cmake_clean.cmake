@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_sim_cli.dir/carousel_sim.cc.o"
+  "CMakeFiles/carousel_sim_cli.dir/carousel_sim.cc.o.d"
+  "carousel_sim"
+  "carousel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
