@@ -34,6 +34,7 @@ int main() {
       {"CPC + local reads", true, true},
   };
 
+  JsonReporter json("ablation_fastpath");
   std::printf("== Ablation: CPC fast path vs local-replica reads "
               "(EC2, Retwis, 200 tps) ==\n\n");
   std::printf("%-20s %9s %9s %9s %8s\n", "configuration", "p50(ms)",
@@ -42,6 +43,7 @@ int main() {
   for (const Config& config : configs) {
     Histogram latency;
     double abort_rate = 0;
+    double fast_fraction = 0;
     for (int rep = 0; rep < Repeats(); ++rep) {
       core::CarouselOptions options;
       options.fast_path = config.fast_path;
@@ -57,10 +59,15 @@ int main() {
           workload::RunWorkload(adapter.get(), generator.get(), seeded);
       latency.Merge(result.latency);
       abort_rate += result.AbortRate() / Repeats();
+      fast_fraction += cluster.traces().stats().FastPathFraction() / Repeats();
     }
     std::printf("%-20s %9.0f %9.0f %9.0f %7.2f%%\n", config.name,
                 latency.Quantile(0.5) / 1000.0, latency.Quantile(0.9) / 1000.0,
                 latency.Quantile(0.99) / 1000.0, 100 * abort_rate);
+    json.Latencies(config.name, "latency", latency);
+    json.Metric(config.name, "p90_ms", latency.Quantile(0.9) / 1000.0);
+    json.Metric(config.name, "abort_rate", abort_rate);
+    json.Metric(config.name, "fast_path_fraction", fast_fraction);
   }
   std::printf("\nexpected: each ingredient lowers the distribution; local "
               "reads matter most for clients whose participant leaders are "

@@ -10,7 +10,9 @@
 // because it sends more messages per transaction than Basic.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/harness.h"
 #include "bench/sweep.h"
 
 int main() {
@@ -26,6 +28,7 @@ int main() {
   auto basic = ThroughputSweep(SystemKind::kCarouselBasic);
   auto fast = ThroughputSweep(SystemKind::kCarouselFast);
 
+  JsonReporter json("fig5_throughput");
   double tapir_peak = 0, basic_peak = 0, fast_peak = 0;
   for (size_t i = 0; i < tapir.size(); ++i) {
     std::printf("%-10.0f %16.0f %16.0f %16.0f\n", tapir[i].target_tps,
@@ -34,7 +37,15 @@ int main() {
     tapir_peak = std::max(tapir_peak, tapir[i].committed_tps);
     basic_peak = std::max(basic_peak, basic[i].committed_tps);
     fast_peak = std::max(fast_peak, fast[i].committed_tps);
+    const std::string metric =
+        "committed_tps_at_" + std::to_string((long long)tapir[i].target_tps);
+    json.Metric("TAPIR", metric, tapir[i].committed_tps);
+    json.Metric("Carousel Basic", metric, basic[i].committed_tps);
+    json.Metric("Carousel Fast", metric, fast[i].committed_tps);
   }
+  json.Metric("TAPIR", "peak_tps", tapir_peak);
+  json.Metric("Carousel Basic", "peak_tps", basic_peak);
+  json.Metric("Carousel Fast", "peak_tps", fast_peak);
 
   std::printf("\npeaks: TAPIR %.0f, Carousel Basic %.0f, Carousel Fast %.0f "
               "(paper: ~5000 / >8000 / ~8000)\n",

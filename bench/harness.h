@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "carousel/cluster.h"
@@ -166,6 +167,87 @@ inline BenchRun RunSystem(SystemKind kind, Topology topo,
   });
   return out;
 }
+
+/// Machine-readable results sink: collects (config, metric, value) triples
+/// and writes them as `BENCH_<name>.json` when destroyed (or on Write()).
+/// Every bench funnels its headline numbers — medians, tails, throughput —
+/// through one of these so sweeps and CI can diff runs without scraping
+/// the human-oriented tables. Set CAROUSEL_BENCH_JSON_DIR to redirect the
+/// output directory (default: current working directory).
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { Write(); }
+
+  /// Records one scalar under `config` (insertion order is preserved).
+  void Metric(const std::string& config, const std::string& metric,
+              double value) {
+    Config(config).emplace_back(metric, value);
+  }
+
+  /// Convenience: the standard latency triple, in milliseconds.
+  void Latencies(const std::string& config, const std::string& prefix,
+                 const Histogram& h) {
+    Metric(config, prefix + "_p50_ms", h.Quantile(0.50) / 1000.0);
+    Metric(config, prefix + "_p95_ms", h.Quantile(0.95) / 1000.0);
+    Metric(config, prefix + "_p99_ms", h.Quantile(0.99) / 1000.0);
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string dir = ".";
+    if (const char* env = std::getenv("CAROUSEL_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"configs\": [",
+                 Escaped(name_).c_str());
+    for (size_t i = 0; i < configs_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"metrics\": {",
+                   i == 0 ? "" : ",", Escaped(configs_[i].first).c_str());
+      const auto& metrics = configs_[i].second;
+      for (size_t j = 0; j < metrics.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %.6g", j == 0 ? "" : ", ",
+                     Escaped(metrics[j].first).c_str(), metrics[j].second);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+  }
+
+ private:
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  Metrics& Config(const std::string& config) {
+    for (auto& [name, metrics] : configs_) {
+      if (name == config) return metrics;
+    }
+    configs_.emplace_back(config, Metrics{});
+    return configs_.back().second;
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, Metrics>> configs_;
+  bool written_ = false;
+};
 
 /// Prints a CDF as (latency_ms, cumulative fraction) rows, thinned to at
 /// most `max_rows` points.

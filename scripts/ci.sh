@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point. Two legs:
+#   1. Tier-1 verify: RelWithDebInfo build with -Werror on library targets,
+#      full ctest suite.
+#   2. Sanitizer leg: ASan + UBSan build in a separate tree, full ctest.
+#
+# Usage: scripts/ci.sh [jobs]   (defaults to nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== leg 1: tier-1 verify (RelWithDebInfo, -Werror on src/) =="
+cmake -B build -S . -DCAROUSEL_WERROR=ON
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo
+echo "== leg 2: ASan + UBSan =="
+cmake -B build-asan -S . -DCAROUSEL_WERROR=ON -DCAROUSEL_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo
+echo "CI: all legs passed"

@@ -9,11 +9,13 @@ namespace carousel::core {
 
 CarouselClient::CarouselClient(NodeId id, DcId dc, ClientId client_id,
                                const Directory* directory,
-                               const CarouselOptions& options)
+                               const CarouselOptions& options,
+                               TraceCollector* traces)
     : sim::Node(id, dc),
       client_id_(client_id),
       directory_(directory),
-      options_(options) {}
+      options_(options),
+      traces_(traces) {}
 
 TxnId CarouselClient::Begin() {
   return TxnId{client_id_, ++next_counter_};
@@ -26,6 +28,9 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
   txn.read_cb = std::move(callback);
   txn.read_only = writes.empty();
   txn.read_started_at = simulator()->now();
+  // Only the issuing client opens the trace; every later observer merely
+  // stamps into it.
+  if (traces_) traces_->Begin(tid, simulator()->now(), txn.read_only);
 
   for (Key& k : reads) {
     txn.keys[directory_->PartitionFor(k)].reads.push_back(std::move(k));
@@ -56,6 +61,9 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
   }
 
   SendReadPrepares(txn, /*retry=*/false);
+  if (traces_ && !txn.read_only) {
+    traces_->RecordPhase(tid, TxnPhase::kPrepareSent, simulator()->now());
+  }
   ArmRetryTimer(tid);
 
   if (txn.awaiting_data.empty()) MaybeFinishReads(txn);
@@ -149,6 +157,9 @@ void CarouselClient::Commit(const TxnId& tid, CommitCallback callback) {
   }
   txn.commit_sent = true;
   txn.commit_started_at = simulator()->now();
+  if (traces_) {
+    traces_->RecordPhase(tid, TxnPhase::kCommitStart, simulator()->now());
+  }
   txn.hb_gen++;  // Commit supersedes heartbeats.
   txn.retries = 0;
   SendCommit(txn, /*broadcast=*/false);
@@ -182,6 +193,12 @@ void CarouselClient::Abort(const TxnId& tid) {
     msg->tid = tid;
     msg->client = id();
     network()->Send(id(), txn.coordinator, std::move(msg));
+  } else if (traces_) {
+    // No coordinator will ever seal this trace; close it here.
+    traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
+    traces_->RecordOutcome(tid, /*committed=*/false, /*fast_path=*/false,
+                           "client abort", simulator()->now());
+    traces_->Seal(tid);
   }
   txns_.erase(it);
 }
@@ -250,12 +267,22 @@ void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
     read_phase_.Record(simulator()->now() - txn.read_started_at);
   }
   const TxnId tid = txn.tid;
+  if (traces_) {
+    traces_->RecordPhase(tid, TxnPhase::kExecuteDone, simulator()->now());
+  }
   if (txn.read_only) {
     txn.hb_gen++;
     txn.retry_gen++;
     ReadCallback cb = std::move(txn.read_cb);
     const bool failed = txn.ro_failed;
     ReadResults results = std::move(txn.results);
+    // Read-only transactions end here: the client owns their whole trace.
+    if (traces_) {
+      traces_->RecordOutcome(tid, !failed, /*fast_path=*/false,
+                             failed ? "read-only conflict" : "",
+                             simulator()->now());
+      traces_->Seal(tid);
+    }
     txns_.erase(tid);
     if (cb) {
       cb(failed ? Status::Aborted("read-only conflict") : Status::OK(),
@@ -278,12 +305,22 @@ void CarouselClient::FinishCommit(const TxnId& tid, bool committed,
   if (committed && it->second.commit_started_at > 0) {
     commit_phase_.Record(simulator()->now() - it->second.commit_started_at);
   }
+  // The Commit phase ends now, when the client sees the outcome (the
+  // coordinator recorded the outcome itself when it decided).
+  if (traces_) {
+    traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
+    traces_->RecordOutcome(tid, committed, /*fast_path=*/false, reason,
+                           simulator()->now());
+  }
   CommitCallback cb = std::move(it->second.commit_cb);
+  // `reason` may alias a field of the ActiveTxn erased next (e.g.
+  // early_reason), so copy it before the erase.
+  const std::string why = reason;
   it->second.hb_gen++;
   it->second.retry_gen++;
   txns_.erase(it);
   if (cb) {
-    cb(committed ? Status::OK() : Status::Aborted(reason));
+    cb(committed ? Status::OK() : Status::Aborted(why));
   }
 }
 
@@ -323,6 +360,14 @@ void CarouselClient::ArmRetryTimer(const TxnId& tid) {
       const bool in_commit = txn.commit_sent;
       CommitCallback ccb = std::move(txn.commit_cb);
       ReadCallback rcb = txn.reads_done ? nullptr : std::move(txn.read_cb);
+      // Give up: close the trace with an unknown-outcome timeout (unless
+      // some coordinator already sealed it).
+      if (traces_) {
+        traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
+        traces_->RecordOutcome(tid, /*committed=*/false, /*fast_path=*/false,
+                               "timeout", simulator()->now());
+        traces_->Seal(tid);
+      }
       txns_.erase(it);
       if (rcb) rcb(Status::TimedOut("read phase"), {});
       if (in_commit && ccb) ccb(Status::TimedOut("commit"));

@@ -12,6 +12,7 @@
 #include "carousel/options.h"
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -36,8 +37,13 @@ class CarouselClient : public sim::Node {
   /// Status is OK (committed), Aborted (with reason) or TimedOut.
   using CommitCallback = std::function<void(Status)>;
 
+  /// `traces`, when non-null, receives per-transaction phase records: the
+  /// client opens each trace and stamps the client-visible phase
+  /// boundaries (execute/commit); servers stamp the protocol-internal
+  /// ones.
   CarouselClient(NodeId id, DcId dc, ClientId client_id,
-                 const Directory* directory, const CarouselOptions& options);
+                 const Directory* directory, const CarouselOptions& options,
+                 TraceCollector* traces = nullptr);
 
   /// Starts a transaction and returns its id.
   TxnId Begin();
@@ -112,6 +118,7 @@ class CarouselClient : public sim::Node {
   ClientId client_id_;
   const Directory* directory_;
   CarouselOptions options_;
+  TraceCollector* traces_;
   uint64_t next_counter_ = 0;
   std::unordered_map<TxnId, ActiveTxn, TxnIdHash> txns_;
   uint64_t rpt_count_ = 0;

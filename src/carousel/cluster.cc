@@ -12,13 +12,14 @@ Cluster::Cluster(Topology topology, CarouselOptions options,
   for (const NodeInfo& info : topology_.nodes()) {
     if (info.is_client) {
       auto client = std::make_unique<CarouselClient>(
-          info.id, info.dc, next_client_id++, directory_.get(), options);
+          info.id, info.dc, next_client_id++, directory_.get(), options,
+          &traces_);
       network_->Register(client.get());
       client_ptrs_.push_back(client.get());
       clients_.push_back(std::move(client));
     } else {
-      auto server = std::make_unique<CarouselServer>(info, directory_.get(),
-                                                     &sim_, options);
+      auto server = std::make_unique<CarouselServer>(
+          info, directory_.get(), &sim_, options, &traces_);
       network_->Register(server.get());
       servers_.emplace(info.id, std::move(server));
     }

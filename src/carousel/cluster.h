@@ -9,6 +9,7 @@
 #include "carousel/options.h"
 #include "carousel/server.h"
 #include "common/topology.h"
+#include "common/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -49,9 +50,16 @@ class Cluster {
   void Crash(NodeId id) { network_->Crash(id); }
   void Recover(NodeId id) { network_->Recover(id); }
 
+  /// The deployment-wide per-transaction phase recorder. Clients open
+  /// traces, coordinators and participants stamp protocol phases, and the
+  /// benches read the folded stats here.
+  TraceCollector& traces() { return traces_; }
+  const TraceCollector& traces() const { return traces_; }
+
  private:
   Topology topology_;
   sim::Simulator sim_;
+  TraceCollector traces_;
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<sim::Network> network_;
   std::unordered_map<NodeId, std::unique_ptr<CarouselServer>> servers_;

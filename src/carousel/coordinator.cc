@@ -1,0 +1,548 @@
+#include "carousel/coordinator.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace {
+// Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
+bool TraceEnabled() {
+  static const bool enabled = ::getenv("CAROUSEL_TRACE") != nullptr;
+  return enabled;
+}
+}  // namespace
+
+namespace carousel::core {
+
+void Coordinator::Register(sim::Dispatcher* dispatcher) {
+  dispatcher->On<CoordPrepareMsg>(
+      [this](NodeId from, const CoordPrepareMsg& msg) {
+        HandleCoordPrepare(from, msg);
+      });
+  dispatcher->On<CommitRequestMsg>(
+      [this](NodeId from, const CommitRequestMsg& msg) {
+        HandleCommitRequest(from, msg);
+      });
+  dispatcher->On<AbortRequestMsg>(
+      [this](NodeId from, const AbortRequestMsg& msg) {
+        HandleAbortRequest(from, msg);
+      });
+  dispatcher->On<PrepareDecisionMsg>(
+      [this](NodeId from, const PrepareDecisionMsg& msg) {
+        HandlePrepareDecision(from, msg);
+      });
+  dispatcher->On<WritebackAckMsg>(
+      [this](NodeId from, const WritebackAckMsg& msg) {
+        HandleWritebackAck(from, msg);
+      });
+  dispatcher->On<HeartbeatMsg>([this](NodeId from, const HeartbeatMsg& msg) {
+    HandleHeartbeat(from, msg);
+  });
+  dispatcher->On<QueryDecisionMsg>(
+      [this](NodeId from, const QueryDecisionMsg& msg) {
+        HandleQueryDecision(from, msg);
+      });
+}
+
+void Coordinator::RegisterApply(sim::Dispatcher* apply) {
+  apply->On<LogTxnInfo>([this](NodeId /*from*/, const LogTxnInfo& info) {
+    ApplyTxnInfo(info);
+  });
+  apply->On<LogWriteData>([this](NodeId /*from*/, const LogWriteData& data) {
+    ApplyWriteData(data);
+  });
+  apply->On<LogDecision>(
+      [this](NodeId /*from*/, const LogDecision& decision) {
+        ApplyDecision(decision);
+      });
+}
+
+Coordinator::CoordTxn& Coordinator::GetOrCreateCoordTxn(const TxnId& tid) {
+  auto [it, inserted] = coord_txns_.try_emplace(tid);
+  CoordTxn& txn = it->second;
+  if (inserted) {
+    txn.tid = tid;
+    txn.last_heartbeat = ctx_->now();
+    // Absorb decisions that raced ahead of the prepare notification.
+    auto orphan = orphan_decisions_.find(tid);
+    if (orphan != orphan_decisions_.end()) {
+      for (const auto& [partition, decision] : orphan->second) {
+        RecordDecision(txn, partition, decision);
+      }
+      orphan_decisions_.erase(orphan);
+    }
+  }
+  return txn;
+}
+
+void Coordinator::HandleCoordPrepare(NodeId from, const CoordPrepareMsg& msg) {
+  (void)from;
+  if (!ctx_->IsLeader()) return;
+  auto done = coord_decided_.find(msg.tid);
+  if (done != coord_decided_.end()) {
+    ReplyToClient(msg.client, msg.tid, done->second, "replayed");
+    return;
+  }
+  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
+  txn.client = msg.client;
+  txn.fast = msg.fast_path;
+  if (txn.keys.empty()) txn.keys = msg.keys;
+  txn.last_heartbeat = ctx_->now();
+  if (!txn.heartbeat_timer_armed) ArmHeartbeatTimer(txn);
+  ArmCoordRetryTimer(msg.tid);
+
+  if (!txn.info_proposed) {
+    txn.info_proposed = true;
+    auto log = std::make_shared<LogTxnInfo>();
+    log->tid = msg.tid;
+    log->client = msg.client;
+    log->fast_path = msg.fast_path;
+    log->keys = msg.keys;
+    ctx_->raft->Propose(std::move(log)).ok();
+  }
+  EvaluateCoordTxn(txn);
+}
+
+void Coordinator::HandleCommitRequest(NodeId from,
+                                      const CommitRequestMsg& msg) {
+  (void)from;
+  if (!ctx_->IsLeader()) {
+    auto redirect = std::make_shared<NotLeaderMsg>();
+    redirect->tid = msg.tid;
+    redirect->partition = ctx_->partition;
+    redirect->leader_hint = ctx_->raft->leader_hint();
+    ctx_->Send(msg.client, std::move(redirect));
+    return;
+  }
+  auto done = coord_decided_.find(msg.tid);
+  if (done != coord_decided_.end()) {
+    ReplyToClient(msg.client, msg.tid, done->second, "replayed");
+    return;
+  }
+  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
+  txn.client = msg.client;
+  if (txn.keys.empty()) txn.keys = msg.keys;
+  if (txn.commit_received) return;  // Duplicate (retry in flight).
+  txn.commit_received = true;
+  txn.writes = msg.writes;
+  txn.client_versions = msg.read_versions;
+  ArmCoordRetryTimer(msg.tid);
+
+  if (!txn.info_proposed) {
+    // The prepare notification was lost (e.g., coordinator failover):
+    // replicate transaction info now, from the copy in the commit request.
+    txn.info_proposed = true;
+    auto info = std::make_shared<LogTxnInfo>();
+    info->tid = msg.tid;
+    info->client = msg.client;
+    info->fast_path = txn.fast;
+    info->keys = txn.keys;
+    ctx_->raft->Propose(std::move(info)).ok();
+  }
+
+  auto log = std::make_shared<LogWriteData>();
+  log->tid = msg.tid;
+  log->writes = msg.writes;
+  log->client_versions = msg.read_versions;
+  ctx_->raft->Propose(std::move(log)).ok();
+  EvaluateCoordTxn(txn);
+}
+
+void Coordinator::HandleAbortRequest(NodeId from, const AbortRequestMsg& msg) {
+  (void)from;
+  if (!ctx_->IsLeader()) return;
+  if (coord_decided_.count(msg.tid) > 0) return;
+  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
+  txn.client = msg.client;
+  txn.client_abort = true;
+  EvaluateCoordTxn(txn);
+}
+
+void Coordinator::HandlePrepareDecision(NodeId from,
+                                        const PrepareDecisionMsg& msg) {
+  (void)from;
+  auto it = coord_txns_.find(msg.tid);
+  if (it == coord_txns_.end()) {
+    if (coord_decided_.count(msg.tid) > 0) return;
+    orphan_decisions_[msg.tid].emplace_back(msg.partition, msg);
+    return;
+  }
+  RecordDecision(it->second, msg.partition, msg);
+  EvaluateCoordTxn(it->second);
+}
+
+void Coordinator::RecordDecision(CoordTxn& txn, PartitionId partition,
+                                 const PrepareDecisionMsg& msg) {
+  if (TraceEnabled()) {
+    fprintf(stderr,
+            "[%lld] coord %d tid %s part %d decision from %d fast=%d "
+            "leader=%d prepared=%d term=%llu\n",
+            (long long)ctx_->now(), ctx_->self, txn.tid.ToString().c_str(),
+            partition, msg.replica, msg.via_fast_path, msg.is_leader,
+            msg.prepared, (unsigned long long)msg.term);
+  }
+  PartState& part = txn.parts[partition];
+  if (msg.via_fast_path) {
+    FastReply reply;
+    reply.prepared = msg.prepared;
+    reply.versions = msg.read_versions;
+    reply.term = msg.term;
+    reply.is_leader = msg.is_leader;
+    part.fast_replies[msg.replica] = std::move(reply);
+  } else if (!part.slow_seen) {
+    part.slow_seen = true;
+    if (!part.decided) {
+      part.decided = true;
+      part.prepared = msg.prepared;
+      part.leader_versions = msg.read_versions;
+      // This partition's decision came off the replicated slow path.
+      txn.slow_path_used = true;
+      ctx_->TracePhase(txn.tid, TxnPhase::kSlowDecision);
+    }
+    // When the fast path already decided this partition, the slow-path
+    // response is simply dropped (paper §4.2, CPC guarantees agreement).
+  }
+}
+
+void Coordinator::EvaluateCoordTxn(CoordTxn& txn) {
+  if (txn.decided) return;
+
+  // CPC fast-path evaluation per participant partition (§4.2): identical
+  // decisions from an up-to-date supermajority that includes the leader.
+  if (txn.fast) {
+    for (const auto& [p, rw] : txn.keys) {
+      PartState& part = txn.parts[p];
+      if (part.decided) continue;
+      const FastReply* leader_reply = nullptr;
+      for (const auto& [node, reply] : part.fast_replies) {
+        if (reply.is_leader) {
+          leader_reply = &reply;
+          break;
+        }
+      }
+      if (leader_reply == nullptr) continue;
+      int agreeing = 0;
+      for (const auto& [node, reply] : part.fast_replies) {
+        if (reply.prepared == leader_reply->prepared &&
+            reply.term == leader_reply->term &&
+            reply.versions == leader_reply->versions) {
+          agreeing++;
+        }
+      }
+      const int group_size =
+          static_cast<int>(ctx_->directory->Replicas(p).size());
+      if (agreeing >= SupermajorityFor(group_size)) {
+        part.decided = true;
+        part.prepared = leader_reply->prepared;
+        part.leader_versions = leader_reply->versions;
+        ctx_->TracePhase(txn.tid, TxnPhase::kFastQuorum);
+      }
+    }
+  }
+
+  // Any participant abort aborts the transaction; the coordinator may
+  // answer immediately without waiting for the other participants.
+  for (const auto& [p, rw] : txn.keys) {
+    auto it = txn.parts.find(p);
+    if (it != txn.parts.end() && it->second.decided && !it->second.prepared) {
+      Decide(txn, false, "prepare conflict");
+      return;
+    }
+  }
+
+  if (txn.client_abort && !txn.commit_received) {
+    Decide(txn, false, "client abort");
+    return;
+  }
+
+  if (!txn.commit_received || !txn.write_logged || !txn.info_logged ||
+      txn.keys.empty()) {
+    return;
+  }
+  for (const auto& [p, rw] : txn.keys) {
+    auto it = txn.parts.find(p);
+    if (it == txn.parts.end() || !it->second.decided) return;
+  }
+
+  // All participants prepared; validate the versions the client actually
+  // read (stale local-replica reads, §4.4.1).
+  for (const auto& [key, version] : txn.client_versions) {
+    const PartitionId p = ctx_->directory->PartitionFor(key);
+    auto it = txn.parts.find(p);
+    if (it == txn.parts.end()) continue;
+    auto lv = it->second.leader_versions.find(key);
+    if (lv != it->second.leader_versions.end() && lv->second != version) {
+      Decide(txn, false, "stale read");
+      return;
+    }
+  }
+  Decide(txn, true, "");
+}
+
+void Coordinator::Decide(CoordTxn& txn, bool commit,
+                         const std::string& reason) {
+  if (TraceEnabled()) {
+    fprintf(stderr, "[%lld] coord %d tid %s DECIDE commit=%d reason=%s\n",
+            (long long)ctx_->now(), ctx_->self, txn.tid.ToString().c_str(),
+            commit, reason.c_str());
+  }
+  txn.decided = true;
+  txn.committed = commit;
+  txn.reason = reason;
+  txn.hb_timer_gen++;  // Cancel the client-failure timer.
+  coord_decided_[txn.tid] = commit;
+  // Phase record: which path decided this transaction, and the verdict.
+  ctx_->TraceOutcome(txn.tid, commit, txn.fast && !txn.slow_path_used,
+                     reason);
+
+  // The coordinator answers the client immediately: on commit, write data
+  // is already replicated here and prepare decisions are replicated at the
+  // participants; on abort no durability is needed (§4.1.2).
+  ReplyToClient(txn.client, txn.tid, commit, reason);
+
+  if (ctx_->IsLeader()) {
+    auto log = std::make_shared<LogDecision>();
+    log->tid = txn.tid;
+    log->commit = commit;
+    ctx_->raft->Propose(std::move(log)).ok();
+  }
+  StartWriteback(txn);
+  ArmCoordRetryTimer(txn.tid);
+}
+
+void Coordinator::StartWriteback(CoordTxn& txn) {
+  txn.writeback_started = true;
+  ctx_->TracePhase(txn.tid, TxnPhase::kWritebackStart);
+  for (const auto& [p, rw] : txn.keys) {
+    if (!txn.parts[p].writeback_acked) {
+      SendWriteback(txn, p, ctx_->directory->CachedLeader(p));
+    }
+  }
+}
+
+void Coordinator::SendWriteback(CoordTxn& txn, PartitionId partition,
+                                NodeId target) {
+  auto msg = std::make_shared<WritebackMsg>();
+  msg->tid = txn.tid;
+  msg->partition = partition;
+  msg->coordinator = ctx_->self;
+  msg->commit = txn.committed;
+  if (txn.committed) {
+    for (const auto& [k, v] : txn.writes) {
+      if (ctx_->directory->PartitionFor(k) == partition) msg->writes[k] = v;
+    }
+  }
+  ctx_->Send(target, std::move(msg));
+}
+
+void Coordinator::ArmHeartbeatTimer(CoordTxn& txn) {
+  txn.heartbeat_timer_armed = true;
+  const TxnId tid = txn.tid;
+  const uint64_t gen = txn.hb_timer_gen;
+  ctx_->sim->Schedule(ctx_->options->heartbeat_interval, [this, tid, gen]() {
+    if (!ctx_->alive() || !ctx_->IsLeader()) return;
+    auto it = coord_txns_.find(tid);
+    if (it == coord_txns_.end()) return;
+    CoordTxn& txn = it->second;
+    if (txn.decided || txn.commit_received || gen != txn.hb_timer_gen) return;
+    const SimTime deadline =
+        txn.last_heartbeat +
+        ctx_->options->heartbeat_interval * ctx_->options->heartbeat_misses;
+    if (ctx_->now() > deadline) {
+      // h consecutive heartbeats missed before Commit: the client is
+      // presumed dead; abort (§4.3.1).
+      Decide(txn, false, "client timeout");
+      return;
+    }
+    ArmHeartbeatTimer(txn);
+  });
+}
+
+void Coordinator::ArmCoordRetryTimer(const TxnId& tid) {
+  if (ctx_->options->coordinator_retry_interval <= 0) return;
+  auto it = coord_txns_.find(tid);
+  if (it == coord_txns_.end()) return;
+  const uint64_t gen = ++it->second.retry_timer_gen;
+  ctx_->sim->Schedule(
+      ctx_->options->coordinator_retry_interval, [this, tid, gen]() {
+        if (!ctx_->alive() || !ctx_->IsLeader()) return;
+        auto it = coord_txns_.find(tid);
+        if (it == coord_txns_.end()) return;
+        CoordTxn& txn = it->second;
+        if (gen != txn.retry_timer_gen) return;
+        if (!txn.decided) {
+          // Re-acquire missing prepare decisions from every replica (the
+          // leader may have moved).
+          for (const auto& [p, rw] : txn.keys) {
+            auto part = txn.parts.find(p);
+            if (part != txn.parts.end() && part->second.decided) continue;
+            for (NodeId replica : ctx_->directory->Replicas(p)) {
+              auto query = std::make_shared<QueryPrepareMsg>();
+              query->tid = tid;
+              query->partition = p;
+              query->coordinator = ctx_->self;
+              query->read_keys = rw.reads;
+              query->write_keys = rw.writes;
+              ctx_->Send(replica, std::move(query));
+            }
+          }
+        } else {
+          // Retransmit writebacks to all replicas of unacked partitions.
+          for (const auto& [p, rw] : txn.keys) {
+            if (txn.parts[p].writeback_acked) continue;
+            for (NodeId replica : ctx_->directory->Replicas(p)) {
+              SendWriteback(txn, p, replica);
+            }
+          }
+        }
+        ArmCoordRetryTimer(tid);
+      });
+}
+
+void Coordinator::HandleWritebackAck(NodeId from, const WritebackAckMsg& msg) {
+  (void)from;
+  auto it = coord_txns_.find(msg.tid);
+  if (it == coord_txns_.end()) return;
+  it->second.parts[msg.partition].writeback_acked = true;
+  MaybeFinishCoordTxn(msg.tid);
+}
+
+void Coordinator::MaybeFinishCoordTxn(const TxnId& tid) {
+  auto it = coord_txns_.find(tid);
+  if (it == coord_txns_.end()) return;
+  CoordTxn& txn = it->second;
+  if (!txn.decided || !txn.decision_logged) return;
+  for (const auto& [p, rw] : txn.keys) {
+    auto part = txn.parts.find(p);
+    if (part == txn.parts.end() || !part->second.writeback_acked) return;
+  }
+  // Every participant acked: the transaction's full lifecycle is over;
+  // close out its phase trace.
+  ctx_->TracePhase(tid, TxnPhase::kWritebackDone);
+  ctx_->TraceSeal(tid);
+  coord_txns_.erase(it);  // Timers notice the missing entry and stop.
+}
+
+void Coordinator::HandleHeartbeat(NodeId from, const HeartbeatMsg& msg) {
+  (void)from;
+  if (!ctx_->IsLeader()) return;
+  auto it = coord_txns_.find(msg.tid);
+  if (it != coord_txns_.end()) {
+    it->second.last_heartbeat = ctx_->now();
+    it->second.client = msg.client;
+    return;
+  }
+  if (coord_decided_.count(msg.tid) > 0) return;
+  // First contact via heartbeat (prepare notification still in flight or
+  // lost): track the transaction so the client-failure timer exists.
+  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
+  txn.client = msg.client;
+  if (!txn.heartbeat_timer_armed) ArmHeartbeatTimer(txn);
+}
+
+void Coordinator::HandleQueryDecision(NodeId from,
+                                      const QueryDecisionMsg& msg) {
+  if (!ctx_->IsLeader()) return;
+  auto reply = std::make_shared<WritebackMsg>();
+  reply->tid = msg.tid;
+  reply->partition = msg.partition;
+  reply->coordinator = ctx_->self;
+
+  auto done = coord_decided_.find(msg.tid);
+  if (done != coord_decided_.end()) {
+    reply->commit = done->second;
+    if (reply->commit) {
+      auto it = coord_txns_.find(msg.tid);
+      if (it != coord_txns_.end()) {
+        for (const auto& [k, v] : it->second.writes) {
+          if (ctx_->directory->PartitionFor(k) == msg.partition) {
+            reply->writes[k] = v;
+          }
+        }
+      }
+    }
+    ctx_->Send(from, std::move(reply));
+    return;
+  }
+  auto it = coord_txns_.find(msg.tid);
+  if (it != coord_txns_.end() && !it->second.decided) {
+    return;  // Still in progress; the writeback will arrive eventually.
+  }
+  // Unknown transaction: fence it as aborted. Safe because a commit
+  // decision is always preceded by replicated write data in this group.
+  coord_decided_[msg.tid] = false;
+  reply->commit = false;
+  ctx_->Send(from, std::move(reply));
+}
+
+void Coordinator::ReplyToClient(NodeId client, const TxnId& tid,
+                                bool committed, const std::string& reason) {
+  if (client == kInvalidNode) return;
+  auto msg = std::make_shared<CommitResponseMsg>();
+  msg->tid = tid;
+  msg->committed = committed;
+  msg->reason = reason;
+  ctx_->Send(client, std::move(msg));
+}
+
+void Coordinator::ApplyTxnInfo(const LogTxnInfo& info) {
+  CoordTxn& txn = GetOrCreateCoordTxn(info.tid);
+  txn.client = info.client;
+  txn.fast = info.fast_path;
+  if (txn.keys.empty()) txn.keys = info.keys;
+  txn.info_logged = true;
+  txn.info_proposed = true;
+  if (ctx_->IsLeader()) EvaluateCoordTxn(txn);
+}
+
+void Coordinator::ApplyWriteData(const LogWriteData& data) {
+  CoordTxn& txn = GetOrCreateCoordTxn(data.tid);
+  txn.commit_received = true;
+  txn.write_logged = true;
+  txn.writes = data.writes;
+  txn.client_versions = data.client_versions;
+  if (ctx_->IsLeader()) EvaluateCoordTxn(txn);
+}
+
+void Coordinator::ApplyDecision(const LogDecision& decision) {
+  coord_decided_[decision.tid] = decision.commit;
+  auto it = coord_txns_.find(decision.tid);
+  if (it != coord_txns_.end()) {
+    CoordTxn& txn = it->second;
+    txn.decided = true;
+    txn.committed = decision.commit;
+    txn.decision_logged = true;
+    MaybeFinishCoordTxn(decision.tid);
+  }
+}
+
+void Coordinator::TakeOverCoordination() {
+  for (auto& [tid, txn] : coord_txns_) {
+    txn.hb_timer_gen++;
+    if (txn.decided) {
+      StartWriteback(txn);
+      ArmCoordRetryTimer(tid);
+      continue;
+    }
+    txn.last_heartbeat = ctx_->now();
+    txn.heartbeat_timer_armed = true;
+    ArmHeartbeatTimer(txn);
+    // Re-acquire prepare decisions for everything still undecided.
+    for (const auto& [p, rw] : txn.keys) {
+      auto part = txn.parts.find(p);
+      if (part != txn.parts.end() && part->second.decided) continue;
+      for (NodeId replica : ctx_->directory->Replicas(p)) {
+        auto query = std::make_shared<QueryPrepareMsg>();
+        query->tid = tid;
+        query->partition = p;
+        query->coordinator = ctx_->self;
+        query->read_keys = rw.reads;
+        query->write_keys = rw.writes;
+        ctx_->Send(replica, std::move(query));
+      }
+    }
+    ArmCoordRetryTimer(tid);
+    EvaluateCoordTxn(txn);
+  }
+}
+
+}  // namespace carousel::core

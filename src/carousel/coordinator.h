@@ -1,0 +1,123 @@
+#ifndef CAROUSEL_CAROUSEL_COORDINATOR_H_
+#define CAROUSEL_CAROUSEL_COORDINATOR_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "carousel/messages.h"
+#include "carousel/server_context.h"
+#include "common/types.h"
+#include "sim/dispatcher.h"
+
+namespace carousel::core {
+
+/// Coordinator role of a Carousel data server (paper §4.1.2): active when
+/// this node is its group's leader and a local client picks it. Tracks
+/// participant decisions, replicates transaction info / write data / the
+/// final decision to its consensus group, answers the client, and drives
+/// the asynchronous Writeback phase. Also evaluates the CPC fast-path
+/// quorum rule (§4.2) over direct replica replies.
+class Coordinator {
+ public:
+  explicit Coordinator(ServerContext* ctx) : ctx_(ctx) {}
+
+  /// Registers this role's network message handlers.
+  void Register(sim::Dispatcher* dispatcher);
+  /// Registers this role's Raft log payload handlers.
+  void RegisterApply(sim::Dispatcher* apply);
+
+  /// Coordinator takeover after winning an election (§4.3.3): re-arms
+  /// client-failure timers, re-acquires missing prepare decisions, and
+  /// restarts writebacks for decided transactions.
+  void TakeOverCoordination();
+
+  /// ---- Introspection (tests) ----
+  size_t active_txns() const { return coord_txns_.size(); }
+
+ private:
+  struct FastReply {
+    bool prepared = false;
+    ReadVersionMap versions;
+    uint64_t term = 0;
+    bool is_leader = false;
+  };
+  struct PartState {
+    bool decided = false;
+    bool prepared = false;
+    /// Versions the participant leader prepared with (staleness check).
+    ReadVersionMap leader_versions;
+    bool slow_seen = false;
+    std::map<NodeId, FastReply> fast_replies;
+    bool writeback_acked = false;
+  };
+  struct CoordTxn {
+    TxnId tid;
+    NodeId client = kInvalidNode;
+    bool fast = false;
+    std::map<PartitionId, RwKeys> keys;
+    std::map<PartitionId, PartState> parts;
+    bool info_logged = false;
+    bool info_proposed = false;
+    bool commit_received = false;
+    bool write_logged = false;
+    bool decision_logged = false;
+    bool client_abort = false;
+    /// True once any partition's decision came from the replicated slow
+    /// path rather than a CPC fast quorum (phase tracing: fast vs slow).
+    bool slow_path_used = false;
+    WriteSet writes;
+    ReadVersionMap client_versions;
+    bool decided = false;
+    bool committed = false;
+    std::string reason;
+    SimTime last_heartbeat = 0;
+    bool heartbeat_timer_armed = false;
+    bool writeback_started = false;
+    uint64_t hb_timer_gen = 0;
+    uint64_t retry_timer_gen = 0;
+  };
+
+  void HandleCoordPrepare(NodeId from, const CoordPrepareMsg& msg);
+  void HandleCommitRequest(NodeId from, const CommitRequestMsg& msg);
+  void HandleAbortRequest(NodeId from, const AbortRequestMsg& msg);
+  void HandlePrepareDecision(NodeId from, const PrepareDecisionMsg& msg);
+  void HandleWritebackAck(NodeId from, const WritebackAckMsg& msg);
+  void HandleHeartbeat(NodeId from, const HeartbeatMsg& msg);
+  void HandleQueryDecision(NodeId from, const QueryDecisionMsg& msg);
+
+  void ApplyTxnInfo(const LogTxnInfo& info);
+  void ApplyWriteData(const LogWriteData& data);
+  void ApplyDecision(const LogDecision& decision);
+
+  CoordTxn& GetOrCreateCoordTxn(const TxnId& tid);
+  void RecordDecision(CoordTxn& txn, PartitionId partition,
+                      const PrepareDecisionMsg& msg);
+  /// Re-runs the commit/abort decision rule; called whenever any input
+  /// changes.
+  void EvaluateCoordTxn(CoordTxn& txn);
+  void Decide(CoordTxn& txn, bool commit, const std::string& reason);
+  void StartWriteback(CoordTxn& txn);
+  void SendWriteback(CoordTxn& txn, PartitionId partition, NodeId target);
+  void ArmHeartbeatTimer(CoordTxn& txn);
+  void ArmCoordRetryTimer(const TxnId& tid);
+  void MaybeFinishCoordTxn(const TxnId& tid);
+  /// Replies to the client (idempotently) with the recorded outcome.
+  void ReplyToClient(NodeId client, const TxnId& tid, bool committed,
+                     const std::string& reason);
+
+  ServerContext* ctx_;
+  std::unordered_map<TxnId, CoordTxn, TxnIdHash> coord_txns_;
+  std::unordered_map<TxnId, bool, TxnIdHash> coord_decided_;
+  /// Fast/slow decisions that arrived before the CoordPrepareMsg.
+  std::unordered_map<TxnId,
+                     std::vector<std::pair<PartitionId, PrepareDecisionMsg>>,
+                     TxnIdHash>
+      orphan_decisions_;
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_COORDINATOR_H_

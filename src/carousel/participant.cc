@@ -1,0 +1,302 @@
+#include "carousel/participant.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace {
+// Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
+bool TraceEnabled() {
+  static const bool enabled = ::getenv("CAROUSEL_TRACE") != nullptr;
+  return enabled;
+}
+}  // namespace
+
+namespace carousel::core {
+
+void Participant::Register(sim::Dispatcher* dispatcher) {
+  dispatcher->On<ReadPrepareMsg>(
+      [this](NodeId from, const ReadPrepareMsg& msg) {
+        HandleReadPrepare(from, msg);
+      });
+  dispatcher->On<QueryPrepareMsg>(
+      [this](NodeId from, const QueryPrepareMsg& msg) {
+        HandleQueryPrepare(from, msg);
+      });
+  dispatcher->On<WritebackMsg>([this](NodeId from, const WritebackMsg& msg) {
+    HandleWriteback(from, msg);
+  });
+}
+
+void Participant::RegisterApply(sim::Dispatcher* apply) {
+  apply->On<LogPrepareResult>(
+      [this](NodeId /*from*/, const LogPrepareResult& entry) {
+        ApplyPrepareResult(entry);
+      });
+  apply->On<LogCommit>([this](NodeId /*from*/, const LogCommit& entry) {
+    ApplyCommitEntry(entry);
+  });
+}
+
+void Participant::SendReadData(const ReadPrepareMsg& msg, bool from_leader) {
+  auto reply = std::make_shared<ReadResponseMsg>();
+  reply->tid = msg.tid;
+  reply->partition = ctx_->partition;
+  reply->from_leader = from_leader;
+  for (const Key& k : msg.read_keys) reply->reads[k] = ctx_->store->Get(k);
+  ctx_->Send(msg.client, std::move(reply));
+}
+
+void Participant::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
+  (void)from;
+  if (TraceEnabled()) {
+    fprintf(stderr,
+            "[%lld] node %d got ReadPrepare tid %s from %d leader=%d retry=%d "
+            "pending=%zu\n",
+            (long long)ctx_->now(), ctx_->self, msg.tid.ToString().c_str(),
+            from, ctx_->IsLeader(), msg.is_retry, ctx_->pending->size());
+  }
+  if (msg.read_only) {
+    if (!ctx_->IsLeader()) return;  // Read-only reads go to leaders only.
+    auto reply = std::make_shared<ReadResponseMsg>();
+    reply->tid = msg.tid;
+    reply->partition = ctx_->partition;
+    reply->from_leader = true;
+    // OCC validation: fail if any read key has a pending writer (§4.4.2).
+    reply->ok = !ctx_->pending->HasPendingWriter(msg.read_keys);
+    if (reply->ok) {
+      for (const Key& k : msg.read_keys) reply->reads[k] = ctx_->store->Get(k);
+    }
+    ctx_->Send(msg.client, std::move(reply));
+    return;
+  }
+
+  if (ctx_->IsLeader()) {
+    if (msg.want_data) SendReadData(msg, /*from_leader=*/true);
+    // Idempotency for retries.
+    auto done = decided_.find(msg.tid);
+    if (done != decided_.end()) {
+      SendDecision(msg.coordinator, msg.tid, done->second, {},
+                   ctx_->raft->term(), /*is_leader=*/true,
+                   /*via_fast_path=*/false);
+      return;
+    }
+    if (ctx_->pending->Contains(msg.tid)) {
+      const kv::PendingTxn* entry = ctx_->pending->Find(msg.tid);
+      if (logged_prepares_.count(msg.tid) > 0) {
+        SendDecision(msg.coordinator, msg.tid, true, entry->read_versions,
+                     entry->term, true, false);
+      }
+      // else: the slow-path decision goes out when the log entry commits.
+      return;
+    }
+    LeaderPrepare(msg.tid, msg.read_keys, msg.write_keys, msg.coordinator,
+                  msg.fast_path);
+    return;
+  }
+
+  // Follower: CPC fast path and/or local-read service.
+  if (msg.fast_path && !msg.is_retry) {
+    FollowerFastPrepare(msg);
+  } else if (msg.want_data) {
+    SendReadData(msg, /*from_leader=*/false);
+  }
+}
+
+void Participant::LeaderPrepare(const TxnId& tid, const KeyList& reads,
+                                const KeyList& writes, NodeId coordinator,
+                                bool fast_path) {
+  ReadVersionMap versions;
+  for (const Key& k : reads) versions[k] = ctx_->store->GetVersion(k);
+
+  const bool prepared = !ctx_->pending->HasConflict(reads, writes);
+  const uint64_t term = ctx_->raft->term();
+  if (prepared) {
+    kv::PendingTxn entry;
+    entry.tid = tid;
+    entry.read_keys = reads;
+    entry.write_keys = writes;
+    entry.read_versions = versions;
+    entry.term = term;
+    entry.coordinator = coordinator;
+    entry.prepared_at_micros = ctx_->now();
+    ctx_->pending->Add(std::move(entry)).ok();
+  }
+
+  if (fast_path) {
+    // CPC: the leader's direct (fast) reply goes out before replication.
+    SendDecision(coordinator, tid, prepared, versions, term, true, true);
+  }
+
+  auto log = std::make_shared<LogPrepareResult>();
+  log->tid = tid;
+  log->coordinator = coordinator;
+  log->prepared = prepared;
+  log->read_keys = reads;
+  log->write_keys = writes;
+  log->read_versions = versions;
+  log->term = term;
+  ctx_->raft->Propose(std::move(log)).ok();
+}
+
+void Participant::FollowerFastPrepare(const ReadPrepareMsg& msg) {
+  if (msg.want_data) {
+    // Local-read optimization (§4.4.1): serve (possibly stale) data.
+    SendReadData(msg, /*from_leader=*/false);
+  }
+
+  if (decided_.count(msg.tid) > 0 || ctx_->pending->Contains(msg.tid)) return;
+
+  ReadVersionMap versions;
+  for (const Key& k : msg.read_keys) versions[k] = ctx_->store->GetVersion(k);
+  const bool prepared =
+      !ctx_->pending->HasConflict(msg.read_keys, msg.write_keys);
+  const uint64_t term = ctx_->raft->term();
+  if (prepared) {
+    kv::PendingTxn entry;
+    entry.tid = msg.tid;
+    entry.read_keys = msg.read_keys;
+    entry.write_keys = msg.write_keys;
+    entry.read_versions = versions;
+    entry.term = term;
+    entry.coordinator = msg.coordinator;
+    entry.prepared_at_micros = ctx_->now();
+    ctx_->pending->Add(std::move(entry)).ok();
+  }
+  SendDecision(msg.coordinator, msg.tid, prepared, versions, term,
+               /*is_leader=*/false, /*via_fast_path=*/true);
+}
+
+void Participant::SendDecision(NodeId coordinator, const TxnId& tid,
+                               bool prepared, ReadVersionMap versions,
+                               uint64_t term, bool is_leader,
+                               bool via_fast_path) {
+  if (coordinator == kInvalidNode) return;
+  auto msg = std::make_shared<PrepareDecisionMsg>();
+  msg->tid = tid;
+  msg->partition = ctx_->partition;
+  msg->replica = ctx_->self;
+  msg->is_leader = is_leader;
+  msg->via_fast_path = via_fast_path;
+  msg->prepared = prepared;
+  msg->read_versions = std::move(versions);
+  msg->term = term;
+  ctx_->Send(coordinator, std::move(msg));
+}
+
+void Participant::HandleQueryPrepare(NodeId from, const QueryPrepareMsg& msg) {
+  (void)from;
+  if (!ctx_->IsLeader()) return;
+  auto done = decided_.find(msg.tid);
+  if (done != decided_.end()) {
+    SendDecision(msg.coordinator, msg.tid, done->second, {},
+                 ctx_->raft->term(), true, false);
+    return;
+  }
+  if (ctx_->pending->Contains(msg.tid)) {
+    const kv::PendingTxn* entry = ctx_->pending->Find(msg.tid);
+    if (logged_prepares_.count(msg.tid) > 0) {
+      SendDecision(msg.coordinator, msg.tid, true, entry->read_versions,
+                   entry->term, true, false);
+    }
+    return;
+  }
+  // The transaction is unknown here (lost before it was durably prepared):
+  // prepare it afresh from the key sets in the query.
+  LeaderPrepare(msg.tid, msg.read_keys, msg.write_keys, msg.coordinator,
+                /*fast_path=*/false);
+}
+
+void Participant::HandleWriteback(NodeId from, const WritebackMsg& msg) {
+  (void)from;
+  if (!ctx_->IsLeader()) return;
+  auto done = decided_.find(msg.tid);
+  if (done != decided_.end()) {
+    auto ack = std::make_shared<WritebackAckMsg>();
+    ack->tid = msg.tid;
+    ack->partition = ctx_->partition;
+    ctx_->Send(msg.coordinator, std::move(ack));
+    return;
+  }
+  auto log = std::make_shared<LogCommit>();
+  log->tid = msg.tid;
+  log->coordinator = msg.coordinator;
+  log->commit = msg.commit;
+  log->writes = msg.writes;
+  ctx_->raft->Propose(std::move(log)).ok();
+}
+
+void Participant::ArmPendingGcTimer() {
+  if (ctx_->options->pending_gc_interval <= 0) return;
+  const uint64_t gen = ++gc_timer_gen_;
+  ctx_->sim->Schedule(ctx_->options->pending_gc_interval, [this, gen]() {
+    if (gen != gc_timer_gen_ || !ctx_->alive()) return;
+    if (ctx_->IsLeader()) {
+      const SimTime cutoff = ctx_->now() - ctx_->options->pending_gc_interval;
+      for (const kv::PendingTxn& entry : ctx_->pending->Snapshot()) {
+        if (entry.prepared_at_micros < cutoff &&
+            entry.coordinator != kInvalidNode) {
+          auto probe = std::make_shared<QueryDecisionMsg>();
+          probe->tid = entry.tid;
+          probe->partition = ctx_->partition;
+          ctx_->Send(entry.coordinator, std::move(probe));
+        }
+      }
+    }
+    gc_timer_gen_--;  // Allow re-arm with the same gen sequencing.
+    ArmPendingGcTimer();
+  });
+}
+
+void Participant::ApplyPrepareResult(const LogPrepareResult& entry) {
+  if (decided_.count(entry.tid) == 0) {
+    if (entry.prepared) {
+      if (!ctx_->pending->Contains(entry.tid)) {
+        kv::PendingTxn pend;
+        pend.tid = entry.tid;
+        pend.read_keys = entry.read_keys;
+        pend.write_keys = entry.write_keys;
+        pend.read_versions = entry.read_versions;
+        pend.term = entry.term;
+        pend.coordinator = entry.coordinator;
+        pend.prepared_at_micros = ctx_->now();
+        ctx_->pending->Add(std::move(pend)).ok();
+      }
+      logged_prepares_.insert(entry.tid);
+    } else {
+      // The leader decided abort; any tentative fast-path entry is void.
+      ctx_->pending->Remove(entry.tid);
+      logged_prepares_.erase(entry.tid);
+    }
+  }
+
+  // The slow-path decision reaches the coordinator only after the prepare
+  // result is durably replicated — i.e., exactly now, on the leader.
+  if (ctx_->IsLeader()) {
+    ctx_->TracePhase(entry.tid, TxnPhase::kSlowDecision);
+    SendDecision(entry.coordinator, entry.tid, entry.prepared,
+                 entry.read_versions, entry.term, /*is_leader=*/true,
+                 /*via_fast_path=*/false);
+  }
+  // The recovery module tracks fast-path prepares it is re-replicating
+  // after an election (§4.3.3 step 5) and unblocks serving when done.
+  if (on_prepare_applied_) on_prepare_applied_(entry.tid);
+}
+
+void Participant::ApplyCommitEntry(const LogCommit& entry) {
+  if (decided_.count(entry.tid) > 0) return;  // Duplicate writeback.
+  ctx_->pending->Remove(entry.tid);
+  logged_prepares_.erase(entry.tid);
+  if (entry.commit) {
+    for (const auto& [k, v] : entry.writes) ctx_->store->Apply(k, v);
+    committed_count_++;
+  }
+  decided_[entry.tid] = entry.commit;
+  if (ctx_->IsLeader()) {
+    auto ack = std::make_shared<WritebackAckMsg>();
+    ack->tid = entry.tid;
+    ack->partition = ctx_->partition;
+    ctx_->Send(entry.coordinator, std::move(ack));
+  }
+}
+
+}  // namespace carousel::core

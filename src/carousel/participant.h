@@ -1,0 +1,85 @@
+#ifndef CAROUSEL_CAROUSEL_PARTICIPANT_H_
+#define CAROUSEL_CAROUSEL_PARTICIPANT_H_
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "carousel/messages.h"
+#include "carousel/server_context.h"
+#include "common/types.h"
+#include "sim/dispatcher.h"
+
+namespace carousel::core {
+
+/// Participant role of a Carousel data server (paper §3.3, §4.1-§4.2):
+/// answers reads, runs OCC prepare checks against the pending-transaction
+/// list, replicates prepare results through Raft (slow path), replies
+/// directly to coordinators on the CPC fast path, and applies writebacks.
+/// Leader and follower behaviour both live here; the Raft role is read off
+/// the shared context per message.
+class Participant {
+ public:
+  explicit Participant(ServerContext* ctx) : ctx_(ctx) {}
+
+  /// Registers this role's network message handlers.
+  void Register(sim::Dispatcher* dispatcher);
+  /// Registers this role's Raft log payload handlers.
+  void RegisterApply(sim::Dispatcher* apply);
+
+  /// Hook invoked from ApplyPrepareResult so the recovery module can track
+  /// re-replicated fast-path prepares (CPC failure handling, §4.3.3).
+  void set_on_prepare_applied(std::function<void(const TxnId&)> fn) {
+    on_prepare_applied_ = std::move(fn);
+  }
+
+  /// Periodic sweep that probes coordinators about over-age pending
+  /// entries (2PC termination protocol). Re-armed on recovery.
+  void ArmPendingGcTimer();
+  /// Invalidates outstanding timers (host crash).
+  void OnCrash() { gc_timer_gen_++; }
+
+  /// Sends a PrepareDecisionMsg to `coordinator` (also used by recovery to
+  /// re-announce slow-path prepared transactions after an election).
+  void SendDecision(NodeId coordinator, const TxnId& tid, bool prepared,
+                    ReadVersionMap versions, uint64_t term, bool is_leader,
+                    bool via_fast_path);
+
+  /// ---- State shared with recovery / introspection ----
+  bool HasLoggedPrepare(const TxnId& tid) const {
+    return logged_prepares_.count(tid) > 0;
+  }
+  bool HasDecided(const TxnId& tid) const { return decided_.count(tid) > 0; }
+  uint64_t committed_count() const { return committed_count_; }
+
+ private:
+  void HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg);
+  void HandleQueryPrepare(NodeId from, const QueryPrepareMsg& msg);
+  void HandleWriteback(NodeId from, const WritebackMsg& msg);
+  /// Leader-side prepare: OCC check, pending-list insert, Raft replication
+  /// of the decision, and (fast path) the immediate direct reply.
+  void LeaderPrepare(const TxnId& tid, const KeyList& reads,
+                     const KeyList& writes, NodeId coordinator,
+                     bool fast_path);
+  /// Follower-side tentative prepare for the CPC fast path.
+  void FollowerFastPrepare(const ReadPrepareMsg& msg);
+  void SendReadData(const ReadPrepareMsg& msg, bool from_leader);
+
+  void ApplyPrepareResult(const LogPrepareResult& entry);
+  void ApplyCommitEntry(const LogCommit& entry);
+
+  ServerContext* ctx_;
+  std::function<void(const TxnId&)> on_prepare_applied_;
+
+  /// Tids whose prepare result has been applied from the Raft log
+  /// (slow-path prepared), vs. merely tentative fast-path entries.
+  std::set<TxnId> logged_prepares_;
+  /// Final outcomes, for idempotent retries. true = committed.
+  std::unordered_map<TxnId, bool, TxnIdHash> decided_;
+  uint64_t committed_count_ = 0;
+  uint64_t gc_timer_gen_ = 0;
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_PARTICIPANT_H_

@@ -1,20 +1,11 @@
 #include "carousel/server.h"
 
-#include <algorithm>
-#include <cassert>
-
+#include "raft/messages.h"
 #include "sim/simulator.h"
-
-namespace {
-// Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
-bool TraceEnabled() {
-  static const bool enabled = ::getenv("CAROUSEL_TRACE") != nullptr;
-  return enabled;
-}
-}  // namespace
 
 namespace carousel::core {
 
+// Wire-size helpers shared by the message structs (declared in messages.h).
 size_t SizeOfKeys(const KeyList& keys) {
   size_t sz = 4;
   for (const Key& k : keys) sz += k.size() + 4;
@@ -41,7 +32,8 @@ size_t SizeOfReads(const std::map<Key, VersionedValue>& reads) {
 
 CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
                                sim::Simulator* sim,
-                               const CarouselOptions& options)
+                               const CarouselOptions& options,
+                               TraceCollector* traces)
     : sim::Node(info.id, info.dc),
       partition_(info.partition),
       directory_(directory),
@@ -50,94 +42,78 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
   set_cores(options.cost.cores);
   raft_ = std::make_unique<raft::RaftNode>(partition_, id(), group_members_,
                                            sim, options.raft);
+
+  // Shared context: the roles' only window onto this host.
+  ctx_.self = id();
+  ctx_.partition = partition_;
+  ctx_.directory = directory_;
+  ctx_.options = &options_;
+  ctx_.store = &store_;
+  ctx_.pending = &pending_;
+  ctx_.raft = raft_.get();
+  ctx_.sim = sim;
+  ctx_.send = [this](NodeId to, sim::MessagePtr msg) {
+    network()->Send(id(), to, std::move(msg));
+  };
+  ctx_.node_alive = [this]() { return alive(); };
+  ctx_.traces = traces;
+
+  participant_ = std::make_unique<Participant>(&ctx_);
+  coordinator_ = std::make_unique<Coordinator>(&ctx_);
+  recovery_ =
+      std::make_unique<Recovery>(&ctx_, participant_.get(), coordinator_.get());
+  recovery_->set_redeliver([this](NodeId from, const sim::MessagePtr& msg) {
+    HandleMessage(from, msg);
+  });
+
+  // Network routing: the roles register their own message types; Raft
+  // protocol traffic forwards untyped into the Raft module.
+  participant_->Register(&dispatcher_);
+  coordinator_->Register(&dispatcher_);
+  for (int t = sim::kRaftRequestVote; t <= sim::kRaftAppendResponse; ++t) {
+    dispatcher_.OnRaw(t, [this](NodeId from, const sim::MessagePtr& msg) {
+      raft_->HandleMessage(from, msg);
+    });
+  }
+
+  // Log-apply routing. No-op entries (leader barriers) are expected and
+  // carry nothing to apply.
+  participant_->RegisterApply(&apply_dispatcher_);
+  coordinator_->RegisterApply(&apply_dispatcher_);
+  apply_dispatcher_.OnRaw(
+      sim::kLogNoop, [](NodeId /*from*/, const sim::MessagePtr& /*msg*/) {});
+
   raft_->set_send_fn([this](NodeId to, sim::MessagePtr msg) {
     network()->Send(id(), to, std::move(msg));
   });
   raft_->set_apply_fn([this](uint64_t index, const sim::MessagePtr& payload) {
     ApplyLogEntry(index, payload);
   });
-  raft_->set_vote_attachment_fn(
-      [this]() { return pending_.Snapshot(); });
+  raft_->set_vote_attachment_fn([this]() { return pending_.Snapshot(); });
   raft_->set_leadership_fn(
       [this](uint64_t term, std::vector<std::vector<kv::PendingTxn>> lists) {
-        OnLeadership(term, std::move(lists));
+        recovery_->OnLeadership(term, std::move(lists));
       });
-  raft_->set_step_down_fn([this](uint64_t term) { OnStepDown(term); });
-  raft_->set_elected_fn([this](uint64_t term) {
-    // Buffer client/coordinator requests from the instant of election
-    // until the CPC failure-handling protocol completes (§4.3.3 step 1).
-    (void)term;
-    serving_ = false;
-  });
+  raft_->set_step_down_fn(
+      [this](uint64_t term) { recovery_->OnStepDown(term); });
+  raft_->set_elected_fn([this](uint64_t term) { recovery_->OnElected(term); });
 }
+
+CarouselServer::~CarouselServer() = default;
 
 void CarouselServer::Start() {
   const bool bootstrap_leader =
       directory_->topology().node(id()).replica_index == 0;
   raft_->Start(bootstrap_leader);
-  ArmPendingGcTimer();
+  participant_->ArmPendingGcTimer();
 }
 
 void CarouselServer::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
-  const int t = msg->type();
-  if (t >= sim::kRaftRequestVote && t <= sim::kRaftAppendResponse) {
-    raft_->HandleMessage(from, msg);
-    return;
-  }
-
   // A freshly elected leader buffers requests until the CPC
   // failure-handling protocol completes (paper §4.3.3 step 1). Responses
-  // (decisions, acks, heartbeats) are processed immediately.
-  if (!serving_) {
-    switch (t) {
-      case sim::kCarouselReadPrepare:
-      case sim::kCarouselQueryPrepare:
-      case sim::kCarouselQueryDecision:
-      case sim::kCarouselWriteback:
-      case sim::kCarouselCoordPrepare:
-      case sim::kCarouselCommitRequest:
-      case sim::kCarouselAbortRequest:
-        buffered_.emplace_back(from, msg);
-        return;
-      default:
-        break;
-    }
-  }
-
-  switch (t) {
-    case sim::kCarouselReadPrepare:
-      HandleReadPrepare(from, sim::As<ReadPrepareMsg>(*msg));
-      break;
-    case sim::kCarouselQueryPrepare:
-      HandleQueryPrepare(from, sim::As<QueryPrepareMsg>(*msg));
-      break;
-    case sim::kCarouselWriteback:
-      HandleWriteback(from, sim::As<WritebackMsg>(*msg));
-      break;
-    case sim::kCarouselQueryDecision:
-      HandleQueryDecision(from, sim::As<QueryDecisionMsg>(*msg));
-      break;
-    case sim::kCarouselCoordPrepare:
-      HandleCoordPrepare(from, sim::As<CoordPrepareMsg>(*msg));
-      break;
-    case sim::kCarouselCommitRequest:
-      HandleCommitRequest(from, sim::As<CommitRequestMsg>(*msg));
-      break;
-    case sim::kCarouselAbortRequest:
-      HandleAbortRequest(from, sim::As<AbortRequestMsg>(*msg));
-      break;
-    case sim::kCarouselPrepareDecision:
-      HandlePrepareDecision(from, sim::As<PrepareDecisionMsg>(*msg));
-      break;
-    case sim::kCarouselWritebackAck:
-      HandleWritebackAck(from, sim::As<WritebackAckMsg>(*msg));
-      break;
-    case sim::kCarouselHeartbeat:
-      HandleHeartbeat(from, sim::As<HeartbeatMsg>(*msg));
-      break;
-    default:
-      break;
-  }
+  // (decisions, acks, heartbeats) and Raft traffic pass straight through.
+  if (recovery_->MaybeBuffer(from, msg)) return;
+  dispatcher_.Dispatch(from, msg);
 }
 
 SimTime CarouselServer::ServiceCost(const sim::Message& msg) const {
@@ -146,962 +122,37 @@ SimTime CarouselServer::ServiceCost(const sim::Message& msg) const {
       c.per_write_key == 0 && c.per_log_entry == 0) {
     return 0;
   }
-  switch (msg.type()) {
-    case sim::kCarouselReadPrepare: {
-      const auto& m = sim::As<ReadPrepareMsg>(msg);
-      return c.base + c.per_read_key * static_cast<SimTime>(m.read_keys.size()) +
-             c.per_occ_key *
-                 static_cast<SimTime>(m.read_keys.size() + m.write_keys.size());
-    }
-    case sim::kRaftAppendEntries: {
-      const auto& m = sim::As<raft::AppendEntriesMsg>(msg);
-      return c.base + c.per_log_entry * static_cast<SimTime>(m.entries.size());
-    }
-    case sim::kCarouselWriteback: {
-      const auto& m = sim::As<WritebackMsg>(msg);
-      return c.base + c.per_write_key * static_cast<SimTime>(m.writes.size());
-    }
-    default:
-      return c.base;
+  if (const auto* m = sim::TryAs<ReadPrepareMsg>(msg)) {
+    return c.base +
+           c.per_read_key * static_cast<SimTime>(m->read_keys.size()) +
+           c.per_occ_key *
+               static_cast<SimTime>(m->read_keys.size() + m->write_keys.size());
   }
+  if (const auto* m = sim::TryAs<raft::AppendEntriesMsg>(msg)) {
+    return c.base + c.per_log_entry * static_cast<SimTime>(m->entries.size());
+  }
+  if (const auto* m = sim::TryAs<WritebackMsg>(msg)) {
+    return c.base + c.per_write_key * static_cast<SimTime>(m->writes.size());
+  }
+  return c.base;
 }
 
 void CarouselServer::OnCrash() {
   raft_->OnCrash();
-  gc_timer_gen_++;
+  participant_->OnCrash();
 }
 
 void CarouselServer::OnRecover() {
-  serving_ = true;
+  recovery_->OnHostRecover();
   raft_->OnRecover();
-  ArmPendingGcTimer();
+  participant_->ArmPendingGcTimer();
 }
-
-// ---------------------------------------------------------------------------
-// Participant role
-// ---------------------------------------------------------------------------
-
-void CarouselServer::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
-  (void)from;
-  if (TraceEnabled()) {
-    fprintf(stderr,
-            "[%lld] node %d got ReadPrepare tid %s from %d leader=%d retry=%d "
-            "pending=%zu serving=%d\n",
-            (long long)simulator()->now(), id(), msg.tid.ToString().c_str(),
-            from, IsLeader(), msg.is_retry, pending_.size(), serving_);
-  }
-  if (msg.read_only) {
-    if (!IsLeader()) return;  // Read-only reads go to leaders only.
-    auto reply = std::make_shared<ReadResponseMsg>();
-    reply->tid = msg.tid;
-    reply->partition = partition_;
-    reply->from_leader = true;
-    // OCC validation: fail if any read key has a pending writer (§4.4.2).
-    reply->ok = !pending_.HasPendingWriter(msg.read_keys);
-    if (reply->ok) {
-      for (const Key& k : msg.read_keys) reply->reads[k] = store_.Get(k);
-    }
-    network()->Send(id(), msg.client, std::move(reply));
-    return;
-  }
-
-  if (IsLeader()) {
-    if (msg.want_data) {
-      auto reply = std::make_shared<ReadResponseMsg>();
-      reply->tid = msg.tid;
-      reply->partition = partition_;
-      reply->from_leader = true;
-      for (const Key& k : msg.read_keys) reply->reads[k] = store_.Get(k);
-      network()->Send(id(), msg.client, std::move(reply));
-    }
-    // Idempotency for retries.
-    auto done = decided_.find(msg.tid);
-    if (done != decided_.end()) {
-      SendDecision(msg.coordinator, msg.tid, done->second, {}, raft_->term(),
-                   /*is_leader=*/true, /*via_fast_path=*/false);
-      return;
-    }
-    if (pending_.Contains(msg.tid)) {
-      const kv::PendingTxn* entry = pending_.Find(msg.tid);
-      if (logged_prepares_.count(msg.tid) > 0) {
-        SendDecision(msg.coordinator, msg.tid, true, entry->read_versions,
-                     entry->term, true, false);
-      }
-      // else: the slow-path decision goes out when the log entry commits.
-      return;
-    }
-    LeaderPrepare(msg.tid, msg.read_keys, msg.write_keys, msg.coordinator,
-                  msg.fast_path);
-    return;
-  }
-
-  // Follower: CPC fast path and/or local-read service.
-  if (msg.fast_path && !msg.is_retry) {
-    FollowerFastPrepare(msg);
-  } else if (msg.want_data) {
-    auto reply = std::make_shared<ReadResponseMsg>();
-    reply->tid = msg.tid;
-    reply->partition = partition_;
-    reply->from_leader = false;
-    for (const Key& k : msg.read_keys) reply->reads[k] = store_.Get(k);
-    network()->Send(id(), msg.client, std::move(reply));
-  }
-}
-
-void CarouselServer::LeaderPrepare(const TxnId& tid, const KeyList& reads,
-                                   const KeyList& writes, NodeId coordinator,
-                                   bool fast_path) {
-  ReadVersionMap versions;
-  for (const Key& k : reads) versions[k] = store_.GetVersion(k);
-
-  const bool prepared = !pending_.HasConflict(reads, writes);
-  const uint64_t term = raft_->term();
-  if (prepared) {
-    kv::PendingTxn entry;
-    entry.tid = tid;
-    entry.read_keys = reads;
-    entry.write_keys = writes;
-    entry.read_versions = versions;
-    entry.term = term;
-    entry.coordinator = coordinator;
-    entry.prepared_at_micros = simulator()->now();
-    pending_.Add(std::move(entry)).ok();
-  }
-
-  if (fast_path) {
-    // CPC: the leader's direct (fast) reply goes out before replication.
-    SendDecision(coordinator, tid, prepared, versions, term, true, true);
-  }
-
-  auto log = std::make_shared<LogPrepareResult>();
-  log->tid = tid;
-  log->coordinator = coordinator;
-  log->prepared = prepared;
-  log->read_keys = reads;
-  log->write_keys = writes;
-  log->read_versions = versions;
-  log->term = term;
-  raft_->Propose(std::move(log)).ok();
-}
-
-void CarouselServer::FollowerFastPrepare(const ReadPrepareMsg& msg) {
-  if (msg.want_data) {
-    // Local-read optimization (§4.4.1): serve (possibly stale) data.
-    auto reply = std::make_shared<ReadResponseMsg>();
-    reply->tid = msg.tid;
-    reply->partition = partition_;
-    reply->from_leader = false;
-    for (const Key& k : msg.read_keys) reply->reads[k] = store_.Get(k);
-    network()->Send(id(), msg.client, std::move(reply));
-  }
-
-  if (decided_.count(msg.tid) > 0 || pending_.Contains(msg.tid)) return;
-
-  ReadVersionMap versions;
-  for (const Key& k : msg.read_keys) versions[k] = store_.GetVersion(k);
-  const bool prepared = !pending_.HasConflict(msg.read_keys, msg.write_keys);
-  const uint64_t term = raft_->term();
-  if (prepared) {
-    kv::PendingTxn entry;
-    entry.tid = msg.tid;
-    entry.read_keys = msg.read_keys;
-    entry.write_keys = msg.write_keys;
-    entry.read_versions = versions;
-    entry.term = term;
-    entry.coordinator = msg.coordinator;
-    entry.prepared_at_micros = simulator()->now();
-    pending_.Add(std::move(entry)).ok();
-  }
-  SendDecision(msg.coordinator, msg.tid, prepared, versions, term,
-               /*is_leader=*/false, /*via_fast_path=*/true);
-}
-
-void CarouselServer::SendDecision(NodeId coordinator, const TxnId& tid,
-                                  bool prepared, ReadVersionMap versions,
-                                  uint64_t term, bool is_leader,
-                                  bool via_fast_path) {
-  if (coordinator == kInvalidNode) return;
-  auto msg = std::make_shared<PrepareDecisionMsg>();
-  msg->tid = tid;
-  msg->partition = partition_;
-  msg->replica = id();
-  msg->is_leader = is_leader;
-  msg->via_fast_path = via_fast_path;
-  msg->prepared = prepared;
-  msg->read_versions = std::move(versions);
-  msg->term = term;
-  network()->Send(id(), coordinator, std::move(msg));
-}
-
-void CarouselServer::HandleQueryPrepare(NodeId from,
-                                        const QueryPrepareMsg& msg) {
-  (void)from;
-  if (!IsLeader()) return;
-  auto done = decided_.find(msg.tid);
-  if (done != decided_.end()) {
-    SendDecision(msg.coordinator, msg.tid, done->second, {}, raft_->term(),
-                 true, false);
-    return;
-  }
-  if (pending_.Contains(msg.tid)) {
-    const kv::PendingTxn* entry = pending_.Find(msg.tid);
-    if (logged_prepares_.count(msg.tid) > 0) {
-      SendDecision(msg.coordinator, msg.tid, true, entry->read_versions,
-                   entry->term, true, false);
-    }
-    return;
-  }
-  // The transaction is unknown here (lost before it was durably prepared):
-  // prepare it afresh from the key sets in the query.
-  LeaderPrepare(msg.tid, msg.read_keys, msg.write_keys, msg.coordinator,
-                /*fast_path=*/false);
-}
-
-void CarouselServer::HandleWriteback(NodeId from, const WritebackMsg& msg) {
-  (void)from;
-  if (!IsLeader()) return;
-  auto done = decided_.find(msg.tid);
-  if (done != decided_.end()) {
-    auto ack = std::make_shared<WritebackAckMsg>();
-    ack->tid = msg.tid;
-    ack->partition = partition_;
-    network()->Send(id(), msg.coordinator, std::move(ack));
-    return;
-  }
-  auto log = std::make_shared<LogCommit>();
-  log->tid = msg.tid;
-  log->coordinator = msg.coordinator;
-  log->commit = msg.commit;
-  log->writes = msg.writes;
-  raft_->Propose(std::move(log)).ok();
-}
-
-void CarouselServer::HandleQueryDecision(NodeId from,
-                                         const QueryDecisionMsg& msg) {
-  if (!IsLeader()) return;
-  auto reply = std::make_shared<WritebackMsg>();
-  reply->tid = msg.tid;
-  reply->partition = msg.partition;
-  reply->coordinator = id();
-
-  auto done = coord_decided_.find(msg.tid);
-  if (done != coord_decided_.end()) {
-    reply->commit = done->second;
-    if (reply->commit) {
-      auto it = coord_txns_.find(msg.tid);
-      if (it != coord_txns_.end()) {
-        for (const auto& [k, v] : it->second.writes) {
-          if (directory_->PartitionFor(k) == msg.partition) {
-            reply->writes[k] = v;
-          }
-        }
-      }
-    }
-    network()->Send(id(), from, std::move(reply));
-    return;
-  }
-  auto it = coord_txns_.find(msg.tid);
-  if (it != coord_txns_.end() && !it->second.decided) {
-    return;  // Still in progress; the writeback will arrive eventually.
-  }
-  // Unknown transaction: fence it as aborted. Safe because a commit
-  // decision is always preceded by replicated write data in this group.
-  coord_decided_[msg.tid] = false;
-  reply->commit = false;
-  network()->Send(id(), from, std::move(reply));
-}
-
-void CarouselServer::ArmPendingGcTimer() {
-  if (options_.pending_gc_interval <= 0) return;
-  const uint64_t gen = ++gc_timer_gen_;
-  simulator()->Schedule(options_.pending_gc_interval, [this, gen]() {
-    if (gen != gc_timer_gen_ || !alive()) return;
-    if (IsLeader()) {
-      const SimTime cutoff = simulator()->now() - options_.pending_gc_interval;
-      for (const kv::PendingTxn& entry : pending_.Snapshot()) {
-        if (entry.prepared_at_micros < cutoff &&
-            entry.coordinator != kInvalidNode) {
-          auto probe = std::make_shared<QueryDecisionMsg>();
-          probe->tid = entry.tid;
-          probe->partition = partition_;
-          network()->Send(id(), entry.coordinator, std::move(probe));
-        }
-      }
-    }
-    gc_timer_gen_--;  // Allow re-arm with the same gen sequencing.
-    ArmPendingGcTimer();
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Coordinator role
-// ---------------------------------------------------------------------------
-
-CarouselServer::CoordTxn& CarouselServer::GetOrCreateCoordTxn(
-    const TxnId& tid) {
-  auto [it, inserted] = coord_txns_.try_emplace(tid);
-  CoordTxn& txn = it->second;
-  if (inserted) {
-    txn.tid = tid;
-    txn.last_heartbeat = simulator()->now();
-    // Absorb decisions that raced ahead of the prepare notification.
-    auto orphan = orphan_decisions_.find(tid);
-    if (orphan != orphan_decisions_.end()) {
-      for (const auto& [partition, decision] : orphan->second) {
-        RecordDecision(txn, partition, decision);
-      }
-      orphan_decisions_.erase(orphan);
-    }
-  }
-  return txn;
-}
-
-void CarouselServer::HandleCoordPrepare(NodeId from,
-                                        const CoordPrepareMsg& msg) {
-  (void)from;
-  if (!IsLeader()) return;
-  auto done = coord_decided_.find(msg.tid);
-  if (done != coord_decided_.end()) {
-    ReplyToClient(msg.client, msg.tid, done->second, "replayed");
-    return;
-  }
-  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
-  txn.client = msg.client;
-  txn.fast = msg.fast_path;
-  if (txn.keys.empty()) txn.keys = msg.keys;
-  txn.last_heartbeat = simulator()->now();
-  if (!txn.heartbeat_timer_armed) ArmHeartbeatTimer(txn);
-  ArmCoordRetryTimer(msg.tid);
-
-  if (!txn.info_proposed) {
-    txn.info_proposed = true;
-    auto log = std::make_shared<LogTxnInfo>();
-    log->tid = msg.tid;
-    log->client = msg.client;
-    log->fast_path = msg.fast_path;
-    log->keys = msg.keys;
-    raft_->Propose(std::move(log)).ok();
-  }
-  EvaluateCoordTxn(txn);
-}
-
-void CarouselServer::HandleCommitRequest(NodeId from,
-                                         const CommitRequestMsg& msg) {
-  (void)from;
-  if (!IsLeader()) {
-    auto redirect = std::make_shared<NotLeaderMsg>();
-    redirect->tid = msg.tid;
-    redirect->partition = partition_;
-    redirect->leader_hint = raft_->leader_hint();
-    network()->Send(id(), msg.client, std::move(redirect));
-    return;
-  }
-  auto done = coord_decided_.find(msg.tid);
-  if (done != coord_decided_.end()) {
-    ReplyToClient(msg.client, msg.tid, done->second, "replayed");
-    return;
-  }
-  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
-  txn.client = msg.client;
-  if (txn.keys.empty()) txn.keys = msg.keys;
-  if (txn.commit_received) return;  // Duplicate (retry in flight).
-  txn.commit_received = true;
-  txn.writes = msg.writes;
-  txn.client_versions = msg.read_versions;
-  ArmCoordRetryTimer(msg.tid);
-
-  if (!txn.info_proposed) {
-    // The prepare notification was lost (e.g., coordinator failover):
-    // replicate transaction info now, from the copy in the commit request.
-    txn.info_proposed = true;
-    auto info = std::make_shared<LogTxnInfo>();
-    info->tid = msg.tid;
-    info->client = msg.client;
-    info->fast_path = txn.fast;
-    info->keys = txn.keys;
-    raft_->Propose(std::move(info)).ok();
-  }
-
-  auto log = std::make_shared<LogWriteData>();
-  log->tid = msg.tid;
-  log->writes = msg.writes;
-  log->client_versions = msg.read_versions;
-  raft_->Propose(std::move(log)).ok();
-  EvaluateCoordTxn(txn);
-}
-
-void CarouselServer::HandleAbortRequest(NodeId from,
-                                        const AbortRequestMsg& msg) {
-  (void)from;
-  if (!IsLeader()) return;
-  if (coord_decided_.count(msg.tid) > 0) return;
-  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
-  txn.client = msg.client;
-  txn.client_abort = true;
-  EvaluateCoordTxn(txn);
-}
-
-void CarouselServer::HandlePrepareDecision(NodeId from,
-                                           const PrepareDecisionMsg& msg) {
-  (void)from;
-  auto it = coord_txns_.find(msg.tid);
-  if (it == coord_txns_.end()) {
-    if (coord_decided_.count(msg.tid) > 0) return;
-    orphan_decisions_[msg.tid].emplace_back(msg.partition, msg);
-    return;
-  }
-  RecordDecision(it->second, msg.partition, msg);
-  EvaluateCoordTxn(it->second);
-}
-
-void CarouselServer::RecordDecision(CoordTxn& txn, PartitionId partition,
-                                    const PrepareDecisionMsg& msg) {
-  if (TraceEnabled()) {
-    fprintf(stderr, "[%lld] coord %d tid %s part %d decision from %d fast=%d leader=%d prepared=%d term=%llu\n",
-            (long long)simulator()->now(), id(), txn.tid.ToString().c_str(), partition,
-            msg.replica, msg.via_fast_path, msg.is_leader, msg.prepared,
-            (unsigned long long)msg.term);
-  }
-  PartState& part = txn.parts[partition];
-  if (msg.via_fast_path) {
-    FastReply reply;
-    reply.prepared = msg.prepared;
-    reply.versions = msg.read_versions;
-    reply.term = msg.term;
-    reply.is_leader = msg.is_leader;
-    part.fast_replies[msg.replica] = std::move(reply);
-  } else if (!part.slow_seen) {
-    part.slow_seen = true;
-    if (!part.decided) {
-      part.decided = true;
-      part.prepared = msg.prepared;
-      part.leader_versions = msg.read_versions;
-    }
-    // When the fast path already decided this partition, the slow-path
-    // response is simply dropped (paper §4.2, CPC guarantees agreement).
-  }
-}
-
-void CarouselServer::EvaluateCoordTxn(CoordTxn& txn) {
-  if (txn.decided) return;
-
-  // CPC fast-path evaluation per participant partition (§4.2): identical
-  /// decisions from an up-to-date supermajority that includes the leader.
-  if (txn.fast) {
-    for (const auto& [p, rw] : txn.keys) {
-      PartState& part = txn.parts[p];
-      if (part.decided) continue;
-      const FastReply* leader_reply = nullptr;
-      for (const auto& [node, reply] : part.fast_replies) {
-        if (reply.is_leader) {
-          leader_reply = &reply;
-          break;
-        }
-      }
-      if (leader_reply == nullptr) continue;
-      int agreeing = 0;
-      for (const auto& [node, reply] : part.fast_replies) {
-        if (reply.prepared == leader_reply->prepared &&
-            reply.term == leader_reply->term &&
-            reply.versions == leader_reply->versions) {
-          agreeing++;
-        }
-      }
-      const int group_size =
-          static_cast<int>(directory_->Replicas(p).size());
-      if (agreeing >= SupermajorityFor(group_size)) {
-        part.decided = true;
-        part.prepared = leader_reply->prepared;
-        part.leader_versions = leader_reply->versions;
-      }
-    }
-  }
-
-  // Any participant abort aborts the transaction; the coordinator may
-  // answer immediately without waiting for the other participants.
-  for (const auto& [p, rw] : txn.keys) {
-    auto it = txn.parts.find(p);
-    if (it != txn.parts.end() && it->second.decided && !it->second.prepared) {
-      Decide(txn, false, "prepare conflict");
-      return;
-    }
-  }
-
-  if (txn.client_abort && !txn.commit_received) {
-    Decide(txn, false, "client abort");
-    return;
-  }
-
-  if (!txn.commit_received || !txn.write_logged || !txn.info_logged ||
-      txn.keys.empty()) {
-    return;
-  }
-  for (const auto& [p, rw] : txn.keys) {
-    auto it = txn.parts.find(p);
-    if (it == txn.parts.end() || !it->second.decided) return;
-  }
-
-  // All participants prepared; validate the versions the client actually
-  // read (stale local-replica reads, §4.4.1).
-  for (const auto& [key, version] : txn.client_versions) {
-    const PartitionId p = directory_->PartitionFor(key);
-    auto it = txn.parts.find(p);
-    if (it == txn.parts.end()) continue;
-    auto lv = it->second.leader_versions.find(key);
-    if (lv != it->second.leader_versions.end() && lv->second != version) {
-      Decide(txn, false, "stale read");
-      return;
-    }
-  }
-  Decide(txn, true, "");
-}
-
-void CarouselServer::Decide(CoordTxn& txn, bool commit,
-                            const std::string& reason) {
-  if (TraceEnabled()) {
-    fprintf(stderr, "[%lld] coord %d tid %s DECIDE commit=%d reason=%s\n",
-            (long long)simulator()->now(), id(), txn.tid.ToString().c_str(),
-            commit, reason.c_str());
-  }
-  txn.decided = true;
-  txn.committed = commit;
-  txn.reason = reason;
-  txn.hb_timer_gen++;  // Cancel the client-failure timer.
-  coord_decided_[txn.tid] = commit;
-
-  // The coordinator answers the client immediately: on commit, write data
-  // is already replicated here and prepare decisions are replicated at the
-  // participants; on abort no durability is needed (§4.1.2).
-  ReplyToClient(txn.client, txn.tid, commit, reason);
-
-  if (IsLeader()) {
-    auto log = std::make_shared<LogDecision>();
-    log->tid = txn.tid;
-    log->commit = commit;
-    raft_->Propose(std::move(log)).ok();
-  }
-  StartWriteback(txn);
-  ArmCoordRetryTimer(txn.tid);
-}
-
-void CarouselServer::StartWriteback(CoordTxn& txn) {
-  txn.writeback_started = true;
-  for (const auto& [p, rw] : txn.keys) {
-    if (!txn.parts[p].writeback_acked) {
-      SendWriteback(txn, p, directory_->CachedLeader(p));
-    }
-  }
-}
-
-void CarouselServer::SendWriteback(CoordTxn& txn, PartitionId partition,
-                                   NodeId target) {
-  auto msg = std::make_shared<WritebackMsg>();
-  msg->tid = txn.tid;
-  msg->partition = partition;
-  msg->coordinator = id();
-  msg->commit = txn.committed;
-  if (txn.committed) {
-    for (const auto& [k, v] : txn.writes) {
-      if (directory_->PartitionFor(k) == partition) msg->writes[k] = v;
-    }
-  }
-  network()->Send(id(), target, std::move(msg));
-}
-
-void CarouselServer::ArmHeartbeatTimer(CoordTxn& txn) {
-  txn.heartbeat_timer_armed = true;
-  const TxnId tid = txn.tid;
-  const uint64_t gen = txn.hb_timer_gen;
-  simulator()->Schedule(options_.heartbeat_interval, [this, tid, gen]() {
-    if (!alive() || !IsLeader()) return;
-    auto it = coord_txns_.find(tid);
-    if (it == coord_txns_.end()) return;
-    CoordTxn& txn = it->second;
-    if (txn.decided || txn.commit_received || gen != txn.hb_timer_gen) return;
-    const SimTime deadline =
-        txn.last_heartbeat +
-        options_.heartbeat_interval * options_.heartbeat_misses;
-    if (simulator()->now() > deadline) {
-      // h consecutive heartbeats missed before Commit: the client is
-      // presumed dead; abort (§4.3.1).
-      Decide(txn, false, "client timeout");
-      return;
-    }
-    ArmHeartbeatTimer(txn);
-  });
-}
-
-void CarouselServer::ArmCoordRetryTimer(const TxnId& tid) {
-  if (options_.coordinator_retry_interval <= 0) return;
-  auto it = coord_txns_.find(tid);
-  if (it == coord_txns_.end()) return;
-  const uint64_t gen = ++it->second.retry_timer_gen;
-  simulator()->Schedule(options_.coordinator_retry_interval,
-                        [this, tid, gen]() {
-    if (!alive() || !IsLeader()) return;
-    auto it = coord_txns_.find(tid);
-    if (it == coord_txns_.end()) return;
-    CoordTxn& txn = it->second;
-    if (gen != txn.retry_timer_gen) return;
-    if (!txn.decided) {
-      // Re-acquire missing prepare decisions from every replica (the
-      // leader may have moved).
-      for (const auto& [p, rw] : txn.keys) {
-        auto part = txn.parts.find(p);
-        if (part != txn.parts.end() && part->second.decided) continue;
-        for (NodeId replica : directory_->Replicas(p)) {
-          auto query = std::make_shared<QueryPrepareMsg>();
-          query->tid = tid;
-          query->partition = p;
-          query->coordinator = id();
-          query->read_keys = rw.reads;
-          query->write_keys = rw.writes;
-          network()->Send(id(), replica, std::move(query));
-        }
-      }
-    } else {
-      // Retransmit writebacks to all replicas of unacked partitions.
-      for (const auto& [p, rw] : txn.keys) {
-        if (txn.parts[p].writeback_acked) continue;
-        for (NodeId replica : directory_->Replicas(p)) {
-          SendWriteback(txn, p, replica);
-        }
-      }
-    }
-    ArmCoordRetryTimer(tid);
-  });
-}
-
-void CarouselServer::HandleWritebackAck(NodeId from,
-                                        const WritebackAckMsg& msg) {
-  (void)from;
-  auto it = coord_txns_.find(msg.tid);
-  if (it == coord_txns_.end()) return;
-  it->second.parts[msg.partition].writeback_acked = true;
-  MaybeFinishCoordTxn(msg.tid);
-}
-
-void CarouselServer::MaybeFinishCoordTxn(const TxnId& tid) {
-  auto it = coord_txns_.find(tid);
-  if (it == coord_txns_.end()) return;
-  CoordTxn& txn = it->second;
-  if (!txn.decided || !txn.decision_logged) return;
-  for (const auto& [p, rw] : txn.keys) {
-    auto part = txn.parts.find(p);
-    if (part == txn.parts.end() || !part->second.writeback_acked) return;
-  }
-  coord_txns_.erase(it);  // Timers notice the missing entry and stop.
-}
-
-void CarouselServer::HandleHeartbeat(NodeId from, const HeartbeatMsg& msg) {
-  (void)from;
-  if (!IsLeader()) return;
-  auto it = coord_txns_.find(msg.tid);
-  if (it != coord_txns_.end()) {
-    it->second.last_heartbeat = simulator()->now();
-    it->second.client = msg.client;
-    return;
-  }
-  if (coord_decided_.count(msg.tid) > 0) return;
-  // First contact via heartbeat (prepare notification still in flight or
-  // lost): track the transaction so the client-failure timer exists.
-  CoordTxn& txn = GetOrCreateCoordTxn(msg.tid);
-  txn.client = msg.client;
-  if (!txn.heartbeat_timer_armed) ArmHeartbeatTimer(txn);
-}
-
-void CarouselServer::ReplyToClient(NodeId client, const TxnId& tid,
-                                   bool committed, const std::string& reason) {
-  if (client == kInvalidNode) return;
-  auto msg = std::make_shared<CommitResponseMsg>();
-  msg->tid = tid;
-  msg->committed = committed;
-  msg->reason = reason;
-  network()->Send(id(), client, std::move(msg));
-}
-
-// ---------------------------------------------------------------------------
-// Raft integration
-// ---------------------------------------------------------------------------
 
 void CarouselServer::ApplyLogEntry(uint64_t index,
                                    const sim::MessagePtr& payload) {
   (void)index;
   if (payload == nullptr) return;
-  switch (payload->type()) {
-    case sim::kLogPrepareResult:
-      ApplyPrepareResult(sim::As<LogPrepareResult>(*payload));
-      break;
-    case sim::kLogCommit:
-      ApplyCommitEntry(sim::As<LogCommit>(*payload));
-      break;
-    case sim::kLogTxnInfo: {
-      const auto& info = sim::As<LogTxnInfo>(*payload);
-      CoordTxn& txn = GetOrCreateCoordTxn(info.tid);
-      txn.client = info.client;
-      txn.fast = info.fast_path;
-      if (txn.keys.empty()) txn.keys = info.keys;
-      txn.info_logged = true;
-      txn.info_proposed = true;
-      if (IsLeader()) EvaluateCoordTxn(txn);
-      break;
-    }
-    case sim::kLogWriteData: {
-      const auto& data = sim::As<LogWriteData>(*payload);
-      CoordTxn& txn = GetOrCreateCoordTxn(data.tid);
-      txn.commit_received = true;
-      txn.write_logged = true;
-      txn.writes = data.writes;
-      txn.client_versions = data.client_versions;
-      if (IsLeader()) EvaluateCoordTxn(txn);
-      break;
-    }
-    case sim::kLogDecision: {
-      const auto& decision = sim::As<LogDecision>(*payload);
-      coord_decided_[decision.tid] = decision.commit;
-      auto it = coord_txns_.find(decision.tid);
-      if (it != coord_txns_.end()) {
-        CoordTxn& txn = it->second;
-        txn.decided = true;
-        txn.committed = decision.commit;
-        txn.decision_logged = true;
-        MaybeFinishCoordTxn(decision.tid);
-      }
-      break;
-    }
-    default:
-      break;
-  }
-}
-
-void CarouselServer::ApplyPrepareResult(const LogPrepareResult& entry) {
-  const bool recovering = recovery_tids_.erase(entry.tid) > 0;
-  if (recovering) {
-    recovery_outstanding_--;
-  }
-
-  if (decided_.count(entry.tid) == 0) {
-    if (entry.prepared) {
-      if (!pending_.Contains(entry.tid)) {
-        kv::PendingTxn pend;
-        pend.tid = entry.tid;
-        pend.read_keys = entry.read_keys;
-        pend.write_keys = entry.write_keys;
-        pend.read_versions = entry.read_versions;
-        pend.term = entry.term;
-        pend.coordinator = entry.coordinator;
-        pend.prepared_at_micros = simulator()->now();
-        pending_.Add(std::move(pend)).ok();
-      }
-      logged_prepares_.insert(entry.tid);
-    } else {
-      // The leader decided abort; any tentative fast-path entry is void.
-      pending_.Remove(entry.tid);
-      logged_prepares_.erase(entry.tid);
-    }
-  }
-
-  // The slow-path decision reaches the coordinator only after the prepare
-  // result is durably replicated — i.e., exactly now, on the leader.
-  if (IsLeader()) {
-    SendDecision(entry.coordinator, entry.tid, entry.prepared,
-                 entry.read_versions, entry.term, /*is_leader=*/true,
-                 /*via_fast_path=*/false);
-  }
-  if (recovering) FinishRecoveryIfReady();
-}
-
-void CarouselServer::ApplyCommitEntry(const LogCommit& entry) {
-  if (decided_.count(entry.tid) > 0) return;  // Duplicate writeback.
-  pending_.Remove(entry.tid);
-  logged_prepares_.erase(entry.tid);
-  if (entry.commit) {
-    for (const auto& [k, v] : entry.writes) store_.Apply(k, v);
-    committed_count_++;
-  }
-  decided_[entry.tid] = entry.commit;
-  if (IsLeader()) {
-    auto ack = std::make_shared<WritebackAckMsg>();
-    ack->tid = entry.tid;
-    ack->partition = partition_;
-    network()->Send(id(), entry.coordinator, std::move(ack));
-  }
-}
-
-void CarouselServer::OnLeadership(
-    uint64_t term, std::vector<std::vector<kv::PendingTxn>> vote_lists) {
-  serving_ = false;
-  recovery_outstanding_ = 0;
-  recovery_tids_.clear();
-
-  // ---- CPC failure handling (paper §4.3.3) ----
-  // Step 2 (completing replication of the log) has already happened: Raft
-  // invokes this callback only after the new leader's no-op entry — and
-  // with it every earlier entry — is committed and applied.
-  //
-  // Step 3: examine f+1 pending-transaction lists (our own plus f of the
-  // lists piggybacked on granted votes).
-  const int f = (static_cast<int>(group_members_.size()) - 1) / 2;
-  std::vector<std::vector<kv::PendingTxn>> lists;
-  lists.push_back(pending_.Snapshot());
-  for (int i = 0; i < f && i < static_cast<int>(vote_lists.size()); ++i) {
-    lists.push_back(vote_lists[i]);
-  }
-  const bool enough_lists = static_cast<int>(lists.size()) >= f + 1;
-  const int majority_needed = (f + 1) / 2 + 1;
-
-  std::vector<kv::PendingTxn> survivors;
-  if (enough_lists && f > 0) {
-    // Count, per transaction, how many lists prepared it with identical
-    // versions and in the same term.
-    std::map<TxnId, std::vector<const kv::PendingTxn*>> by_tid;
-    for (const auto& list : lists) {
-      for (const auto& entry : list) by_tid[entry.tid].push_back(&entry);
-    }
-    for (const auto& [tid, entries] : by_tid) {
-      if (logged_prepares_.count(tid) > 0) continue;  // Slow-path prepared.
-      if (decided_.count(tid) > 0) continue;
-      int agreeing = 0;
-      const kv::PendingTxn* sample = entries.front();
-      for (const kv::PendingTxn* e : entries) {
-        if (e->term == sample->term &&
-            e->read_versions == sample->read_versions) {
-          agreeing++;
-        }
-      }
-      if (agreeing < majority_needed) continue;
-
-      // Step 4: exclude stale versions (the failed leader always had the
-      // latest) ...
-      bool stale = false;
-      for (const auto& [key, version] : sample->read_versions) {
-        if (store_.GetVersion(key) != version) {
-          stale = true;
-          break;
-        }
-      }
-      if (stale) continue;
-      // ... and conflicts with slow-path prepared transactions.
-      bool conflicts = false;
-      for (const kv::PendingTxn& logged : pending_.Snapshot()) {
-        if (logged_prepares_.count(logged.tid) == 0) continue;
-        auto overlaps = [](const KeyList& a, const KeyList& b) {
-          for (const Key& x : a) {
-            for (const Key& y : b) {
-              if (x == y) return true;
-            }
-          }
-          return false;
-        };
-        if (overlaps(sample->read_keys, logged.write_keys) ||
-            overlaps(sample->write_keys, logged.write_keys) ||
-            overlaps(sample->write_keys, logged.read_keys)) {
-          conflicts = true;
-          break;
-        }
-      }
-      if (conflicts) continue;
-      survivors.push_back(*sample);
-    }
-  }
-
-  // Drop tentative fast-path entries that did not survive: they cannot
-  // have been exposed to any coordinator (a fast-path quorum of
-  // ceil(3f/2)+1 leaves at least a majority of every f+1 sample prepared).
-  std::set<TxnId> survivor_tids;
-  for (const auto& s : survivors) survivor_tids.insert(s.tid);
-  for (const kv::PendingTxn& entry : pending_.Snapshot()) {
-    if (logged_prepares_.count(entry.tid) == 0 &&
-        survivor_tids.count(entry.tid) == 0) {
-      pending_.Remove(entry.tid);
-    }
-  }
-
-  // Step 5: replicate the surviving fast-path prepares; requests are
-  // buffered (serving_ == false) until these commit.
-  for (const kv::PendingTxn& s : survivors) {
-    if (!pending_.Contains(s.tid)) {
-      kv::PendingTxn copy = s;
-      copy.prepared_at_micros = simulator()->now();
-      pending_.Add(std::move(copy)).ok();
-    }
-    recovery_tids_.insert(s.tid);
-    recovery_outstanding_++;
-    auto log = std::make_shared<LogPrepareResult>();
-    log->tid = s.tid;
-    log->coordinator = s.coordinator;
-    log->prepared = true;
-    log->read_keys = s.read_keys;
-    log->write_keys = s.write_keys;
-    log->read_versions = s.read_versions;
-    log->term = s.term;
-    raft_->Propose(std::move(log)).ok();
-  }
-
-  // Re-announce slow-path prepared transactions to their coordinators (the
-  // failed leader may have died between replication and notification).
-  for (const kv::PendingTxn& entry : pending_.Snapshot()) {
-    if (logged_prepares_.count(entry.tid) > 0) {
-      SendDecision(entry.coordinator, entry.tid, true, entry.read_versions,
-                   entry.term, true, false);
-    }
-  }
-
-  TakeOverCoordination();
-  (void)term;
-  FinishRecoveryIfReady();
-}
-
-void CarouselServer::OnStepDown(uint64_t term) {
-  (void)term;
-  // Abandon any in-progress recovery; a follower serves (fast-path
-  // prepares, reads) normally.
-  serving_ = true;
-  recovery_outstanding_ = 0;
-  recovery_tids_.clear();
-  DrainBuffered();
-}
-
-void CarouselServer::FinishRecoveryIfReady() {
-  if (serving_ || recovery_outstanding_ > 0) return;
-  serving_ = true;
-  DrainBuffered();
-}
-
-void CarouselServer::DrainBuffered() {
-  std::deque<std::pair<NodeId, sim::MessagePtr>> pending_msgs;
-  pending_msgs.swap(buffered_);
-  for (auto& [from, msg] : pending_msgs) HandleMessage(from, msg);
-}
-
-void CarouselServer::TakeOverCoordination() {
-  for (auto& [tid, txn] : coord_txns_) {
-    txn.hb_timer_gen++;
-    if (txn.decided) {
-      StartWriteback(txn);
-      ArmCoordRetryTimer(tid);
-      continue;
-    }
-    txn.last_heartbeat = simulator()->now();
-    txn.heartbeat_timer_armed = true;
-    ArmHeartbeatTimer(txn);
-    // Re-acquire prepare decisions for everything still undecided.
-    for (const auto& [p, rw] : txn.keys) {
-      auto part = txn.parts.find(p);
-      if (part != txn.parts.end() && part->second.decided) continue;
-      for (NodeId replica : directory_->Replicas(p)) {
-        auto query = std::make_shared<QueryPrepareMsg>();
-        query->tid = tid;
-        query->partition = p;
-        query->coordinator = id();
-        query->read_keys = rw.reads;
-        query->write_keys = rw.writes;
-        network()->Send(id(), replica, std::move(query));
-      }
-    }
-    ArmCoordRetryTimer(tid);
-    EvaluateCoordTxn(txn);
-  }
+  apply_dispatcher_.Dispatch(kInvalidNode, payload);
 }
 
 }  // namespace carousel::core

@@ -1,48 +1,48 @@
 #ifndef CAROUSEL_CAROUSEL_SERVER_H_
 #define CAROUSEL_CAROUSEL_SERVER_H_
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
-#include <string>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "carousel/coordinator.h"
 #include "carousel/directory.h"
-#include "carousel/messages.h"
 #include "carousel/options.h"
+#include "carousel/participant.h"
+#include "carousel/recovery.h"
+#include "carousel/server_context.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
 #include "raft/raft_node.h"
+#include "sim/dispatcher.h"
 #include "sim/network.h"
 #include "sim/node.h"
 
 namespace carousel::core {
 
 /// A Carousel data server (CDS, paper §3.3): one replica of one partition's
-/// consensus group. Every server can act in two roles:
+/// consensus group. The protocol itself lives in three role modules that
+/// share a ServerContext:
 ///
-///  * Participant (leader or follower) for transactions touching its
-///    partition: answers reads, runs OCC prepare checks against its
-///    pending-transaction list, replicates prepare results through Raft
-///    (slow path), replies directly to coordinators on the CPC fast path,
-///    and applies writebacks.
-///  * Coordinator, when it is its group's leader and a local client picks
-///    it: tracks participant decisions, replicates transaction info /
-///    write data / the final decision to its consensus group, answers the
-///    client, and drives the asynchronous Writeback phase.
+///  * Participant (participant.h) — reads, OCC prepare checks, slow-path
+///    replication, CPC fast-path replies, writeback application.
+///  * Coordinator (coordinator.h) — active on the group leader when a local
+///    client picks it; tracks participant decisions, replicates txn state,
+///    answers the client, drives Writeback.
+///  * Recovery (recovery.h) — CPC failure handling (§4.3.3): buffers
+///    requests on a fresh leader until fast-path prepares are
+///    reconstructed and re-replicated.
 ///
-/// Failure handling follows paper §4.3: pending-transaction lists ride on
-/// Raft votes; a new leader reconstructs fast-path prepare decisions
-/// before serving, and a new coordinator re-derives commit decisions from
-/// replicated state plus re-queried prepare responses.
+/// This class is wiring and lifecycle only: it owns the storage and Raft
+/// substrate, builds the shared context, and routes incoming messages and
+/// applied log entries through typed dispatchers the roles register into.
 class CarouselServer : public sim::Node {
  public:
   CarouselServer(const NodeInfo& info, const Directory* directory,
-                 sim::Simulator* sim, const CarouselOptions& options);
+                 sim::Simulator* sim, const CarouselOptions& options,
+                 TraceCollector* traces = nullptr);
+  ~CarouselServer() override;
 
   /// Starts the Raft member. Replica 0 bootstraps as leader of term 1.
   void Start();
@@ -60,115 +60,24 @@ class CarouselServer : public sim::Node {
   PartitionId partition() const { return partition_; }
   /// False while a newly elected leader is still running the CPC
   /// failure-handling protocol (requests are buffered).
-  bool serving() const { return serving_; }
+  bool serving() const { return recovery_->serving(); }
   /// Number of transactions this node committed (applied writes for).
-  uint64_t committed_count() const { return committed_count_; }
+  uint64_t committed_count() const { return participant_->committed_count(); }
+
+  Participant& participant() { return *participant_; }
+  Coordinator& coordinator() { return *coordinator_; }
+  Recovery& recovery() { return *recovery_; }
+  /// Network-message routing table (coverage tests).
+  const sim::Dispatcher& dispatcher() const { return dispatcher_; }
+  /// Raft log payload routing table (coverage tests).
+  const sim::Dispatcher& apply_dispatcher() const { return apply_dispatcher_; }
 
   /// Fast-path quorum for a participant group of size n = 2f+1:
   /// ceil(3f/2) + 1 (paper §4.2).
-  static int SupermajorityFor(int group_size) {
-    const int f = (group_size - 1) / 2;
-    return (3 * f + 1) / 2 + 1;
-  }
+  static int SupermajorityFor(int group_size);
 
  private:
-  // ---- Participant role ----
-  void HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg);
-  void HandleQueryPrepare(NodeId from, const QueryPrepareMsg& msg);
-  void HandleWriteback(NodeId from, const WritebackMsg& msg);
-  void HandleQueryDecision(NodeId from, const QueryDecisionMsg& msg);
-  /// Periodic sweep that probes coordinators about over-age pending
-  /// entries (2PC termination protocol).
-  void ArmPendingGcTimer();
-  /// Leader-side prepare: OCC check, pending-list insert, Raft replication
-  /// of the decision, and (fast path) the immediate direct reply.
-  void LeaderPrepare(const TxnId& tid, const KeyList& reads,
-                     const KeyList& writes, NodeId coordinator,
-                     bool fast_path);
-  /// Follower-side tentative prepare for the CPC fast path.
-  void FollowerFastPrepare(const ReadPrepareMsg& msg);
-  void SendDecision(NodeId coordinator, const TxnId& tid, bool prepared,
-                    ReadVersionMap versions, uint64_t term, bool is_leader,
-                    bool via_fast_path);
-
-  // ---- Coordinator role ----
-  struct FastReply {
-    bool prepared = false;
-    ReadVersionMap versions;
-    uint64_t term = 0;
-    bool is_leader = false;
-  };
-  struct PartState {
-    bool decided = false;
-    bool prepared = false;
-    /// Versions the participant leader prepared with (staleness check).
-    ReadVersionMap leader_versions;
-    bool slow_seen = false;
-    std::map<NodeId, FastReply> fast_replies;
-    bool writeback_acked = false;
-  };
-  struct CoordTxn {
-    TxnId tid;
-    NodeId client = kInvalidNode;
-    bool fast = false;
-    std::map<PartitionId, RwKeys> keys;
-    std::map<PartitionId, PartState> parts;
-    bool info_logged = false;
-    bool info_proposed = false;
-    bool commit_received = false;
-    bool write_logged = false;
-    bool decision_logged = false;
-    bool client_abort = false;
-    WriteSet writes;
-    ReadVersionMap client_versions;
-    bool decided = false;
-    bool committed = false;
-    std::string reason;
-    SimTime last_heartbeat = 0;
-    bool heartbeat_timer_armed = false;
-    bool writeback_started = false;
-    uint64_t hb_timer_gen = 0;
-    uint64_t retry_timer_gen = 0;
-  };
-
-  void HandleCoordPrepare(NodeId from, const CoordPrepareMsg& msg);
-  void HandleCommitRequest(NodeId from, const CommitRequestMsg& msg);
-  void HandleAbortRequest(NodeId from, const AbortRequestMsg& msg);
-  void HandlePrepareDecision(NodeId from, const PrepareDecisionMsg& msg);
-  void HandleWritebackAck(NodeId from, const WritebackAckMsg& msg);
-  void HandleHeartbeat(NodeId from, const HeartbeatMsg& msg);
-
-  CoordTxn& GetOrCreateCoordTxn(const TxnId& tid);
-  void RecordDecision(CoordTxn& txn, PartitionId partition,
-                      const PrepareDecisionMsg& msg);
-  /// Re-runs the commit/abort decision rule; called whenever any input
-  /// changes.
-  void EvaluateCoordTxn(CoordTxn& txn);
-  void Decide(CoordTxn& txn, bool commit, const std::string& reason);
-  void StartWriteback(CoordTxn& txn);
-  void SendWriteback(CoordTxn& txn, PartitionId partition, NodeId target);
-  void ArmHeartbeatTimer(CoordTxn& txn);
-  void ArmCoordRetryTimer(const TxnId& tid);
-  void MaybeFinishCoordTxn(const TxnId& tid);
-  /// Replies to the client (idempotently) with the recorded outcome.
-  void ReplyToClient(NodeId client, const TxnId& tid, bool committed,
-                     const std::string& reason);
-
-  // ---- Raft integration ----
   void ApplyLogEntry(uint64_t index, const sim::MessagePtr& payload);
-  void ApplyPrepareResult(const LogPrepareResult& entry);
-  void ApplyCommitEntry(const LogCommit& entry);
-  /// CPC leader-failure recovery (paper §4.3.3 steps 3-5) plus coordinator
-  /// takeover; runs when this node wins an election and its log is fully
-  /// committed.
-  void OnLeadership(uint64_t term,
-                    std::vector<std::vector<kv::PendingTxn>> vote_lists);
-  void OnStepDown(uint64_t term);
-  void FinishRecoveryIfReady();
-  void DrainBuffered();
-  void TakeOverCoordination();
-
-  bool IsLeader() const { return raft_->is_leader(); }
 
   // ---- Identity / wiring ----
   PartitionId partition_;
@@ -177,32 +86,24 @@ class CarouselServer : public sim::Node {
   std::vector<NodeId> group_members_;
   std::unique_ptr<raft::RaftNode> raft_;
 
-  // ---- Participant state ----
+  // ---- Substrate shared by the roles ----
   kv::VersionedStore store_;
   kv::PendingList pending_;
-  /// Tids whose prepare result has been applied from the Raft log
-  /// (slow-path prepared), vs. merely tentative fast-path entries.
-  std::set<TxnId> logged_prepares_;
-  /// Final outcomes, for idempotent retries. true = committed.
-  std::unordered_map<TxnId, bool, TxnIdHash> decided_;
-  uint64_t committed_count_ = 0;
+  ServerContext ctx_;
 
-  // ---- Coordinator state ----
-  std::unordered_map<TxnId, CoordTxn, TxnIdHash> coord_txns_;
-  std::unordered_map<TxnId, bool, TxnIdHash> coord_decided_;
-  /// Fast/slow decisions that arrived before the CoordPrepareMsg.
-  std::unordered_map<TxnId, std::vector<std::pair<PartitionId, PrepareDecisionMsg>>,
-                     TxnIdHash>
-      orphan_decisions_;
+  // ---- Roles ----
+  std::unique_ptr<Participant> participant_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<Recovery> recovery_;
 
-  // ---- Recovery state ----
-  bool serving_ = true;
-  int recovery_outstanding_ = 0;
-  /// Tids whose fast-path prepare is being re-replicated by a new leader.
-  std::set<TxnId> recovery_tids_;
-  std::deque<std::pair<NodeId, sim::MessagePtr>> buffered_;
-  uint64_t gc_timer_gen_ = 0;
+  // ---- Routing ----
+  sim::Dispatcher dispatcher_;
+  sim::Dispatcher apply_dispatcher_;
 };
+
+inline int CarouselServer::SupermajorityFor(int group_size) {
+  return ::carousel::core::SupermajorityFor(group_size);
+}
 
 }  // namespace carousel::core
 

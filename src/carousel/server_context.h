@@ -1,0 +1,77 @@
+#ifndef CAROUSEL_CAROUSEL_SERVER_CONTEXT_H_
+#define CAROUSEL_CAROUSEL_SERVER_CONTEXT_H_
+
+#include <functional>
+#include <utility>
+
+#include "carousel/directory.h"
+#include "carousel/options.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "kv/pending_list.h"
+#include "kv/versioned_store.h"
+#include "raft/raft_node.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+
+namespace carousel::core {
+
+/// Fast-path quorum for a participant group of size n = 2f+1:
+/// ceil(3f/2) + 1 (paper §4.2).
+inline int SupermajorityFor(int group_size) {
+  const int f = (group_size - 1) / 2;
+  return (3 * f + 1) / 2 + 1;
+}
+
+/// The slice of a Carousel data server that its role modules (Participant,
+/// Coordinator, RecoveryManager) share: identity, configuration, the
+/// storage and consensus substrate, and narrow hooks back into the hosting
+/// node (send, liveness, tracing). The context owns none of it — the
+/// CarouselServer wires the pointers once at construction and the roles
+/// treat the context as their only window onto the host, which is what
+/// keeps them independently testable and reusable under future transports.
+struct ServerContext {
+  NodeId self = kInvalidNode;
+  PartitionId partition = kInvalidPartition;
+  const Directory* directory = nullptr;
+  const CarouselOptions* options = nullptr;
+
+  kv::VersionedStore* store = nullptr;
+  kv::PendingList* pending = nullptr;
+  raft::RaftNode* raft = nullptr;
+  sim::Simulator* sim = nullptr;
+
+  /// Sends a message from this server; bound to the host's network by the
+  /// CarouselServer (roles never touch the transport directly).
+  std::function<void(NodeId to, sim::MessagePtr msg)> send;
+  /// Whether the hosting node is alive (timer callbacks must re-check).
+  std::function<bool()> node_alive;
+  /// Cluster-wide phase recorder; may be null (tracing disabled).
+  TraceCollector* traces = nullptr;
+
+  bool IsLeader() const { return raft->is_leader(); }
+  SimTime now() const { return sim->now(); }
+  bool alive() const { return node_alive && node_alive(); }
+
+  void Send(NodeId to, sim::MessagePtr msg) const {
+    send(to, std::move(msg));
+  }
+
+  /// ---- Tracing (all no-ops when traces == nullptr) ----
+  void TracePhase(const TxnId& tid, TxnPhase phase) const {
+    if (traces != nullptr) traces->RecordPhase(tid, phase, now());
+  }
+  void TraceOutcome(const TxnId& tid, bool committed, bool fast_path,
+                    const std::string& reason) const {
+    if (traces != nullptr) {
+      traces->RecordOutcome(tid, committed, fast_path, reason, now());
+    }
+  }
+  void TraceSeal(const TxnId& tid) const {
+    if (traces != nullptr) traces->Seal(tid);
+  }
+};
+
+}  // namespace carousel::core
+
+#endif  // CAROUSEL_CAROUSEL_SERVER_CONTEXT_H_

@@ -1,0 +1,153 @@
+#include "common/trace.h"
+
+namespace carousel {
+
+SimTime& TxnTrace::SlotFor(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kExecuteStart:
+      return execute_start;
+    case TxnPhase::kPrepareSent:
+      return prepare_sent;
+    case TxnPhase::kExecuteDone:
+      return execute_done;
+    case TxnPhase::kFastQuorum:
+      return fast_quorum;
+    case TxnPhase::kSlowDecision:
+      return slow_decision;
+    case TxnPhase::kCommitStart:
+      return commit_start;
+    case TxnPhase::kDecided:
+      return decided;
+    case TxnPhase::kWritebackStart:
+      return writeback_start;
+    case TxnPhase::kWritebackDone:
+      return writeback_done;
+  }
+  return execute_start;  // Unreachable; keeps -Werror=return-type happy.
+}
+
+TxnTrace& TraceCollector::GetOrCreate(const TxnId& tid) {
+  auto [it, inserted] = live_.try_emplace(tid);
+  if (inserted) it->second.tid = tid;
+  return it->second;
+}
+
+void TraceCollector::Begin(const TxnId& tid, SimTime now, bool read_only) {
+  if (!enabled_) return;
+  TxnTrace& trace = GetOrCreate(tid);
+  trace.read_only = read_only;
+  SimTime& slot = trace.SlotFor(TxnPhase::kExecuteStart);
+  if (slot == 0 || now < slot) slot = now;
+}
+
+void TraceCollector::RecordPhase(const TxnId& tid, TxnPhase phase,
+                                 SimTime now) {
+  if (!enabled_) return;
+  auto it = live_.find(tid);
+  if (it == live_.end()) return;
+  TxnTrace& trace = it->second;
+  SimTime& slot = trace.SlotFor(phase);
+  if (phase == TxnPhase::kWritebackDone) {
+    // The writeback span ends at the *last* participant ack.
+    if (now > slot) slot = now;
+  } else if (slot == 0 || now < slot) {
+    // Earliest observer wins: the coordinator usually decides before the
+    // client hears about it, but messages can race on retries.
+    slot = now;
+  }
+  if (phase == TxnPhase::kDecided && trace.seal_pending) {
+    // The coordinator already finished with this trace; the client's
+    // kDecided stamp was the last missing piece.
+    Seal(tid);
+  }
+}
+
+void TraceCollector::RecordOutcome(const TxnId& tid, bool committed,
+                                   bool fast_path,
+                                   const std::string& abort_reason,
+                                   SimTime now) {
+  if (!enabled_) return;
+  auto it = live_.find(tid);
+  if (it == live_.end()) return;
+  TxnTrace& trace = it->second;
+  if (!trace.decided_known) {
+    trace.decided_known = true;
+    trace.committed = committed;
+    trace.fast_path = fast_path;
+    trace.abort_reason = abort_reason;
+  }
+  (void)now;
+}
+
+void TraceCollector::Seal(const TxnId& tid) {
+  if (!enabled_) return;
+  auto it = live_.find(tid);
+  if (it == live_.end()) return;
+  TxnTrace& trace = it->second;
+  if (!trace.seal_pending && !trace.read_only && trace.decided_known &&
+      trace.decided == 0) {
+    // Writeback finished before the commit response reached the client.
+    // Wait for the client's kDecided stamp so the commit-phase span is
+    // not lost; the client's own Seal paths (timeout, abort) pass here
+    // at most once, so a second call seals unconditionally.
+    trace.seal_pending = true;
+    return;
+  }
+  Fold(trace);
+  if (retain_all_) sealed_.push_back(std::move(it->second));
+  live_.erase(it);
+}
+
+const TxnTrace* TraceCollector::Find(const TxnId& tid) const {
+  auto it = live_.find(tid);
+  if (it != live_.end()) return &it->second;
+  for (const TxnTrace& trace : sealed_) {
+    if (trace.tid == tid) return &trace;
+  }
+  return nullptr;
+}
+
+void TraceCollector::Fold(const TxnTrace& trace) {
+  if (trace.read_only) {
+    stats_.read_only++;
+    if (trace.decided_known && !trace.committed) {
+      stats_.aborted++;
+      stats_.abort_reasons[trace.abort_reason]++;
+    } else {
+      stats_.committed++;
+    }
+    return;
+  }
+  if (trace.execute_start > 0 && trace.execute_done >= trace.execute_start) {
+    stats_.read_phase.Record(trace.execute_done - trace.execute_start);
+  }
+  if (!trace.decided_known) return;  // Timed out before any decision.
+  if (trace.committed) {
+    stats_.committed++;
+    if (trace.commit_start > 0 && trace.decided >= trace.commit_start) {
+      stats_.commit_phase.Record(trace.decided - trace.commit_start);
+    }
+    if (trace.execute_start > 0 && trace.decided >= trace.execute_start) {
+      stats_.total.Record(trace.decided - trace.execute_start);
+    }
+  } else {
+    stats_.aborted++;
+    stats_.abort_reasons[trace.abort_reason]++;
+  }
+  if (trace.fast_path) {
+    stats_.fast_path++;
+    if (trace.prepare_sent > 0 && trace.fast_quorum >= trace.prepare_sent) {
+      stats_.prepare_fast.Record(trace.fast_quorum - trace.prepare_sent);
+    }
+  } else {
+    stats_.slow_path++;
+    if (trace.prepare_sent > 0 && trace.slow_decision >= trace.prepare_sent) {
+      stats_.prepare_slow.Record(trace.slow_decision - trace.prepare_sent);
+    }
+  }
+  if (trace.decided > 0 && trace.writeback_done >= trace.decided) {
+    stats_.writeback.Record(trace.writeback_done - trace.decided);
+  }
+}
+
+}  // namespace carousel

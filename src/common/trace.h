@@ -1,0 +1,161 @@
+#ifndef CAROUSEL_COMMON_TRACE_H_
+#define CAROUSEL_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace carousel {
+
+/// Lifecycle phases of one transaction, matching the paper's Figure 2
+/// timeline. Each phase is stamped by whichever actor observes it first:
+/// the client (execute/commit boundaries), the coordinator (quorum,
+/// decision, writeback) or a participant (slow-path decision emission).
+enum class TxnPhase {
+  kExecuteStart,    // client: ReadAndPrepare issued (Read phase begins)
+  kPrepareSent,     // client: piggybacked prepare requests on the wire
+  kExecuteDone,     // client: all read results in (Read phase ends)
+  kFastQuorum,      // coordinator: first partition decided via CPC fast path
+  kSlowDecision,    // coordinator: first slow-path (replicated) decision used
+  kCommitStart,     // client: Commit() called (Commit phase begins)
+  kDecided,         // client observed the outcome (Commit phase ends)
+  kWritebackStart,  // coordinator: writeback fan-out began
+  kWritebackDone,   // coordinator: every participant acked its writeback
+};
+
+/// Per-transaction phase record. Timestamps are simulator micros; 0 means
+/// "never observed". Multiple actors may stamp the same phase (e.g. the
+/// coordinator decides and later the client learns the outcome); the
+/// earliest stamp wins, except kWritebackDone which keeps the latest so it
+/// covers the full fan-out.
+struct TxnTrace {
+  TxnId tid;
+  SimTime execute_start = 0;
+  SimTime prepare_sent = 0;
+  SimTime execute_done = 0;
+  SimTime fast_quorum = 0;
+  SimTime slow_decision = 0;
+  SimTime commit_start = 0;
+  SimTime decided = 0;
+  SimTime writeback_start = 0;
+  SimTime writeback_done = 0;
+
+  bool read_only = false;
+  /// Set when the owner sealed the trace before the client had stamped
+  /// kDecided (writeback can finish before the commit response reaches a
+  /// far client); the kDecided stamp then completes the seal.
+  bool seal_pending = false;
+  /// True when every participant partition was decided through the CPC
+  /// fast path (supermajority of identical direct replies); false when at
+  /// least one partition needed the leader's replicated slow-path decision.
+  bool fast_path = false;
+  bool decided_known = false;
+  bool committed = false;
+  std::string abort_reason;
+
+  SimTime& SlotFor(TxnPhase phase);
+};
+
+/// Aggregate view over sealed traces, consumed by the benches. Histograms
+/// are in microseconds, mirroring the client-visible phase split the paper
+/// reports (Figure 2): Read phase, Commit phase, and the end-to-end span;
+/// plus protocol-internal spans that the client cannot see.
+struct TraceStats {
+  /// ExecuteStart -> ExecuteDone, read-write transactions only.
+  Histogram read_phase;
+  /// CommitStart -> Decided, committed transactions only.
+  Histogram commit_phase;
+  /// ExecuteStart -> Decided, committed read-write transactions.
+  Histogram total;
+  /// PrepareSent -> FastQuorum (fast-path transactions).
+  Histogram prepare_fast;
+  /// PrepareSent -> SlowDecision (transactions that touched the slow path).
+  Histogram prepare_slow;
+  /// Decided -> WritebackDone (asynchronous writeback span).
+  Histogram writeback;
+
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t read_only = 0;
+  uint64_t fast_path = 0;
+  uint64_t slow_path = 0;
+  std::map<std::string, uint64_t> abort_reasons;
+
+  double FastPathFraction() const {
+    const uint64_t decided = fast_path + slow_path;
+    return decided > 0 ? static_cast<double>(fast_path) / decided : 0.0;
+  }
+};
+
+/// Collects TxnTrace records from every actor in a deployment (client,
+/// coordinator, participants all hold a pointer to the cluster's one
+/// collector). A trace accumulates stamps while the transaction is live
+/// and is *sealed* when its owner is done with it (coordinator after the
+/// decision is logged and every writeback acked; client for read-only
+/// transactions and timeouts). Sealing folds the record into TraceStats
+/// and — unless retain_all is set — drops it, so memory stays bounded at
+/// the number of in-flight transactions even in long throughput runs.
+class TraceCollector {
+ public:
+  /// Disabled collectors ignore every call (zero overhead knob for
+  /// saturation benches). Enabled by default.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Keep sealed traces for inspection (tests). Off by default.
+  void set_retain_all(bool retain) { retain_all_ = retain; }
+
+  /// Opens the trace and stamps kExecuteStart. Only the issuing client
+  /// calls this — every other actor's observations necessarily come later,
+  /// so RecordPhase/RecordOutcome ignore unknown tids rather than create
+  /// them (a late retransmission can never resurrect a sealed trace).
+  void Begin(const TxnId& tid, SimTime now, bool read_only);
+
+  /// Stamps `phase` at `now`. Earliest stamp wins (latest for
+  /// kWritebackDone); unknown (never-begun or already-sealed) tids are
+  /// ignored.
+  void RecordPhase(const TxnId& tid, TxnPhase phase, SimTime now);
+
+  /// Records the outcome: path taken, verdict, abort reason. First call
+  /// wins (the coordinator knows the path; the client only the verdict).
+  /// Does NOT stamp kDecided — the commit phase ends when the *client*
+  /// observes the outcome, so the client stamps that phase itself.
+  void RecordOutcome(const TxnId& tid, bool committed, bool fast_path,
+                     const std::string& abort_reason, SimTime now);
+
+  /// Folds the trace into the aggregate stats and forgets it (unless
+  /// retain_all). Idempotent; unknown tids are ignored. If the outcome is
+  /// known but the client has not stamped kDecided yet (writeback raced
+  /// ahead of the commit response), the seal is deferred until that stamp
+  /// arrives, so commit-phase spans of far clients are not dropped; a
+  /// second Seal call (e.g. the client's timeout path) seals immediately.
+  void Seal(const TxnId& tid);
+
+  const TraceStats& stats() const { return stats_; }
+
+  /// In-flight (unsealed) traces, for tests.
+  size_t live_count() const { return live_.size(); }
+  /// Looks up a live or retained trace; nullptr when unknown.
+  const TxnTrace* Find(const TxnId& tid) const;
+  /// Retained sealed traces, in seal order (retain_all mode).
+  const std::vector<TxnTrace>& sealed() const { return sealed_; }
+
+ private:
+  TxnTrace& GetOrCreate(const TxnId& tid);
+  void Fold(const TxnTrace& trace);
+
+  bool enabled_ = true;
+  bool retain_all_ = false;
+  std::unordered_map<TxnId, TxnTrace, TxnIdHash> live_;
+  std::vector<TxnTrace> sealed_;
+  TraceStats stats_;
+};
+
+}  // namespace carousel
+
+#endif  // CAROUSEL_COMMON_TRACE_H_

@@ -81,6 +81,15 @@ const T& As(const Message& msg) {
   return static_cast<const T&>(msg);
 }
 
+/// Checked downcast: returns nullptr unless `msg`'s type tag matches T's.
+/// T must be default-constructible (messages are plain DTOs) so the
+/// expected tag can be read off a throwaway instance.
+template <typename T>
+const T* TryAs(const Message& msg) {
+  static const int expected = T{}.type();
+  return msg.type() == expected ? static_cast<const T*>(&msg) : nullptr;
+}
+
 }  // namespace carousel::sim
 
 #endif  // CAROUSEL_SIM_MESSAGE_H_

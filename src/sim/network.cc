@@ -122,6 +122,7 @@ void Network::UnblockPair(NodeId a, NodeId b) {
 
 void Network::ResetTraffic() {
   for (auto& t : traffic_) t = Traffic{};
+  sent_by_type_.clear();
 }
 
 }  // namespace carousel::sim

@@ -9,25 +9,25 @@ TapirServer::TapirServer(const NodeInfo& info, sim::Simulator* sim,
     : sim::Node(info.id, info.dc), partition_(info.partition), cost_(cost) {
   set_cores(cost.cores);
   (void)sim;
+  dispatcher_.On<TapirReadMsg>([this](NodeId from, const TapirReadMsg& msg) {
+    HandleRead(from, msg);
+  });
+  dispatcher_.On<TapirPrepareMsg>(
+      [this](NodeId from, const TapirPrepareMsg& msg) {
+        HandlePrepare(from, msg);
+      });
+  dispatcher_.On<TapirFinalizeMsg>(
+      [this](NodeId from, const TapirFinalizeMsg& msg) {
+        HandleFinalize(from, msg);
+      });
+  dispatcher_.On<TapirDecideMsg>(
+      [this](NodeId from, const TapirDecideMsg& msg) {
+        HandleDecide(from, msg);
+      });
 }
 
 void TapirServer::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
-  switch (msg->type()) {
-    case sim::kTapirRead:
-      HandleRead(from, sim::As<TapirReadMsg>(*msg));
-      break;
-    case sim::kTapirPrepare:
-      HandlePrepare(from, sim::As<TapirPrepareMsg>(*msg));
-      break;
-    case sim::kTapirFinalize:
-      HandleFinalize(from, sim::As<TapirFinalizeMsg>(*msg));
-      break;
-    case sim::kTapirDecide:
-      HandleDecide(from, sim::As<TapirDecideMsg>(*msg));
-      break;
-    default:
-      break;
-  }
+  dispatcher_.Dispatch(from, msg);
 }
 
 SimTime TapirServer::ServiceCost(const sim::Message& msg) const {
@@ -36,24 +36,18 @@ SimTime TapirServer::ServiceCost(const sim::Message& msg) const {
       c.per_write_key == 0 && c.per_log_entry == 0) {
     return 0;
   }
-  switch (msg.type()) {
-    case sim::kTapirRead: {
-      const auto& m = sim::As<TapirReadMsg>(msg);
-      return c.base + c.per_read_key * static_cast<SimTime>(m.keys.size());
-    }
-    case sim::kTapirPrepare: {
-      const auto& m = sim::As<TapirPrepareMsg>(msg);
-      return c.base +
-             c.per_occ_key * static_cast<SimTime>(m.read_versions.size() +
-                                                  m.writes.size());
-    }
-    case sim::kTapirDecide: {
-      const auto& m = sim::As<TapirDecideMsg>(msg);
-      return c.base + c.per_write_key * static_cast<SimTime>(m.writes.size());
-    }
-    default:
-      return c.base;
+  if (const auto* m = sim::TryAs<TapirReadMsg>(msg)) {
+    return c.base + c.per_read_key * static_cast<SimTime>(m->keys.size());
   }
+  if (const auto* m = sim::TryAs<TapirPrepareMsg>(msg)) {
+    return c.base + c.per_occ_key * static_cast<SimTime>(
+                                        m->read_versions.size() +
+                                        m->writes.size());
+  }
+  if (const auto* m = sim::TryAs<TapirDecideMsg>(msg)) {
+    return c.base + c.per_write_key * static_cast<SimTime>(m->writes.size());
+  }
+  return c.base;
 }
 
 void TapirServer::HandleRead(NodeId from, const TapirReadMsg& msg) {

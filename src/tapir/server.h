@@ -7,6 +7,7 @@
 #include "common/types.h"
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
+#include "sim/dispatcher.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "tapir/messages.h"
@@ -33,6 +34,8 @@ class TapirServer : public sim::Node {
   const kv::VersionedStore& store() const { return store_; }
   size_t prepared_count() const { return prepared_.size(); }
   uint64_t committed_count() const { return committed_count_; }
+  /// Message routing table (coverage tests).
+  const sim::Dispatcher& dispatcher() const { return dispatcher_; }
 
  private:
   struct PreparedTxn {
@@ -50,6 +53,7 @@ class TapirServer : public sim::Node {
 
   PartitionId partition_;
   core::ServerCostModel cost_;
+  sim::Dispatcher dispatcher_;
   kv::VersionedStore store_;
   std::unordered_map<TxnId, PreparedTxn, TxnIdHash> prepared_;
   /// Per-key prepared reader/writer counts for O(keys) conflict checks.

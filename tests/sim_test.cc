@@ -233,6 +233,13 @@ TEST(NetworkTest, TrafficAccounting) {
   EXPECT_EQ(f.net->traffic(1).msgs_received, 1u);
   f.net->ResetTraffic();
   EXPECT_EQ(f.net->traffic(0).bytes_sent, 0u);
+  // The per-type counters are part of the measurement window too: a reset
+  // must clear them, or post-warmup readings double-count warmup traffic.
+  EXPECT_TRUE(f.net->sent_by_type().empty());
+  f.net->Send(0, 1, Ping(2));
+  f.sim->RunToCompletion();
+  ASSERT_EQ(f.net->sent_by_type().count(Ping(0)->type()), 1u);
+  EXPECT_EQ(f.net->sent_by_type().at(Ping(0)->type()), 1u);
 }
 
 /// The single-core FIFO service model: messages queue behind one another,
