@@ -1,23 +1,34 @@
 #!/usr/bin/env bash
-# CI entry point. Two legs:
+# CI entry point. Three legs:
 #   1. Tier-1 verify: RelWithDebInfo build with -Werror on library targets,
-#      full ctest suite.
-#   2. Sanitizer leg: ASan + UBSan build in a separate tree, full ctest.
+#      the fast (`-L tier1`) ctest suite.
+#   2. Chaos leg: the slow-labeled suite (pinned chaos corpus) plus a
+#      bounded seed sweep of the chaos harness. A failing seed prints a
+#      self-contained report; replay it locally with
+#        ./build/tools/carousel_chaos --seed=<N>
+#   3. Sanitizer leg: ASan + UBSan build in a separate tree, full ctest.
 #
-# Usage: scripts/ci.sh [jobs]   (defaults to nproc)
+# Usage: scripts/ci.sh [jobs]       (defaults to nproc)
+#   CHAOS_SEEDS=N                   sweep size for leg 2 (default 200)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
+CHAOS_SEEDS="${CHAOS_SEEDS:-200}"
 
 echo "== leg 1: tier-1 verify (RelWithDebInfo, -Werror on src/) =="
 cmake -B build -S . -DCAROUSEL_WERROR=ON
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS" -L tier1
 
 echo
-echo "== leg 2: ASan + UBSan =="
+echo "== leg 2: chaos corpus + ${CHAOS_SEEDS}-seed sweep =="
+ctest --test-dir build --output-on-failure -j "$JOBS" -L slow
+./build/tools/carousel_chaos --seeds="$CHAOS_SEEDS"
+
+echo
+echo "== leg 3: ASan + UBSan =="
 cmake -B build-asan -S . -DCAROUSEL_WERROR=ON -DCAROUSEL_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"

@@ -31,6 +31,9 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
   // Only the issuing client opens the trace; every later observer merely
   // stamps into it.
   if (traces_) traces_->Begin(tid, simulator()->now(), txn.read_only);
+  if (history_) {
+    history_->Invoke(tid, reads, writes, txn.read_only, simulator()->now());
+  }
 
   for (Key& k : reads) {
     txn.keys[directory_->PartitionFor(k)].reads.push_back(std::move(k));
@@ -84,6 +87,7 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
       msg->fast_path = options_.fast_path && !txn.read_only;
       msg->want_data = want_data;
       msg->is_retry = retry;
+      msg->attempt = txn.read_attempt;
       return msg;
     };
 
@@ -135,6 +139,7 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
 void CarouselClient::Write(const TxnId& tid, Key key, Value value) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) return;
+  if (history_) history_->BufferWrite(tid, key, value);
   it->second.writes[std::move(key)] = std::move(value);
 }
 
@@ -200,6 +205,13 @@ void CarouselClient::Abort(const TxnId& tid) {
                            "client abort", simulator()->now());
     traces_->Seal(tid);
   }
+  // A voluntary abort always precedes Commit(), so the coordinator cannot
+  // have decided commit (it needs our CommitRequest's write data first);
+  // recording a definite abort is sound.
+  if (history_) {
+    history_->ClientOutcome(tid, check::Outcome::kAborted, "client abort",
+                            simulator()->now());
+  }
   txns_.erase(it);
 }
 
@@ -212,6 +224,7 @@ void CarouselClient::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
       if (it == txns_.end()) return;
       ActiveTxn& txn = it->second;
       if (txn.reads_done) return;
+      if (m.attempt != txn.read_attempt) return;  // Stale attempt.
       if (txn.read_only && !m.ok) {
         txn.ro_failed = true;
         txn.awaiting_data.erase(m.partition);
@@ -267,6 +280,7 @@ void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
     read_phase_.Record(simulator()->now() - txn.read_started_at);
   }
   const TxnId tid = txn.tid;
+  if (history_) history_->ObserveReads(tid, txn.results);
   if (traces_) {
     traces_->RecordPhase(tid, TxnPhase::kExecuteDone, simulator()->now());
   }
@@ -282,6 +296,11 @@ void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
                              failed ? "read-only conflict" : "",
                              simulator()->now());
       traces_->Seal(tid);
+    }
+    if (history_) {
+      history_->ClientOutcome(
+          tid, failed ? check::Outcome::kAborted : check::Outcome::kCommitted,
+          failed ? "read-only conflict" : "", simulator()->now());
     }
     txns_.erase(tid);
     if (cb) {
@@ -311,6 +330,11 @@ void CarouselClient::FinishCommit(const TxnId& tid, bool committed,
     traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
     traces_->RecordOutcome(tid, committed, /*fast_path=*/false, reason,
                            simulator()->now());
+  }
+  if (history_) {
+    history_->ClientOutcome(
+        tid, committed ? check::Outcome::kCommitted : check::Outcome::kAborted,
+        reason, simulator()->now());
   }
   CommitCallback cb = std::move(it->second.commit_cb);
   // `reason` may alias a field of the ActiveTxn erased next (e.g.
@@ -368,6 +392,12 @@ void CarouselClient::ArmRetryTimer(const TxnId& tid) {
                                "timeout", simulator()->now());
         traces_->Seal(tid);
       }
+      // The true verdict is indeterminate: the commit may still land.
+      if (history_) {
+        history_->ClientOutcome(tid, check::Outcome::kTimedOut,
+                                in_commit ? "commit timeout" : "read timeout",
+                                simulator()->now());
+      }
       txns_.erase(it);
       if (rcb) rcb(Status::TimedOut("read phase"), {});
       if (in_commit && ccb) ccb(Status::TimedOut("commit"));
@@ -376,6 +406,21 @@ void CarouselClient::ArmRetryTimer(const TxnId& tid) {
     if (txn.commit_sent) {
       SendCommit(txn, /*broadcast=*/true);
     } else if (!txn.reads_done) {
+      if (txn.read_only) {
+        // A read-only snapshot must come from ONE attempt. Keeping results
+        // from the previous attempt and filling in only the missing
+        // partitions would merge reads taken a retry-interval apart —
+        // a fractured snapshot that breaks serializability (writers that
+        // committed in between are half-visible). Start over.
+        txn.read_attempt++;
+        txn.ro_failed = false;
+        txn.results.clear();
+        txn.versions_used.clear();
+        txn.awaiting_data.clear();
+        for (const auto& [p, rw] : txn.keys) {
+          if (!rw.reads.empty()) txn.awaiting_data.insert(p);
+        }
+      }
       SendReadPrepares(txn, /*retry=*/true);
     }
     ArmRetryTimer(tid);

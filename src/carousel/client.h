@@ -10,6 +10,7 @@
 #include "carousel/directory.h"
 #include "carousel/messages.h"
 #include "carousel/options.h"
+#include "check/history.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "common/trace.h"
@@ -65,6 +66,11 @@ class CarouselClient : public sim::Node {
   /// Aborts the transaction (fire and forget).
   void Abort(const TxnId& tid);
 
+  /// Attaches a verification history recorder (may be null). The client
+  /// stamps invocation, observed reads, buffered writes and the final
+  /// client-visible outcome of every transaction it runs.
+  void set_history(check::HistoryRecorder* history) { history_ = history; }
+
   /// Number of transactions with no local replica for some participant
   /// partition (Remote-Partition Transactions); for experiment reporting.
   uint64_t rpt_count() const { return rpt_count_; }
@@ -92,6 +98,10 @@ class CarouselClient : public sim::Node {
     ReadCallback read_cb;
     bool reads_done = false;
     bool ro_failed = false;
+    /// Bumped whenever a read-only transaction restarts its read round;
+    /// responses from older attempts are ignored so one snapshot never
+    /// mixes reads taken a retry-interval apart.
+    uint32_t read_attempt = 0;
     WriteSet writes;
     bool commit_sent = false;
     CommitCallback commit_cb;
@@ -119,6 +129,7 @@ class CarouselClient : public sim::Node {
   const Directory* directory_;
   CarouselOptions options_;
   TraceCollector* traces_;
+  check::HistoryRecorder* history_ = nullptr;
   uint64_t next_counter_ = 0;
   std::unordered_map<TxnId, ActiveTxn, TxnIdHash> txns_;
   uint64_t rpt_count_ = 0;

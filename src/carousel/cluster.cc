@@ -43,6 +43,14 @@ void Cluster::Start() {
   }
 }
 
+void Cluster::AttachHistory(check::HistoryRecorder* history) {
+  for (CarouselClient* client : client_ptrs_) client->set_history(history);
+  for (auto& [id, server] : servers_) {
+    server->set_history(history);
+    if (history != nullptr) server->mutable_store().EnableWriterLog();
+  }
+}
+
 CarouselServer* Cluster::LeaderOf(PartitionId p) {
   for (NodeId id : topology_.Replicas(p)) {
     CarouselServer* server = servers_.at(id).get();

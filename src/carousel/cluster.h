@@ -56,6 +56,12 @@ class Cluster {
   TraceCollector& traces() { return traces_; }
   const TraceCollector& traces() const { return traces_; }
 
+  /// Attaches a verification history recorder to every client and server
+  /// and enables the per-version writer log on every store. Call before
+  /// running a workload; passing null detaches the recorder (the writer
+  /// logs stay on).
+  void AttachHistory(check::HistoryRecorder* history);
+
  private:
   Topology topology_;
   sim::Simulator sim_;

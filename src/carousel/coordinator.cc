@@ -209,31 +209,51 @@ void Coordinator::EvaluateCoordTxn(CoordTxn& txn) {
   // CPC fast-path evaluation per participant partition (§4.2): identical
   // decisions from an up-to-date supermajority that includes the leader.
   if (txn.fast) {
+    const bool buggy_quorum = ctx_->options->bug_fast_path_skip_leader_check;
     for (const auto& [p, rw] : txn.keys) {
       PartState& part = txn.parts[p];
       if (part.decided) continue;
-      const FastReply* leader_reply = nullptr;
-      for (const auto& [node, reply] : part.fast_replies) {
-        if (reply.is_leader) {
-          leader_reply = &reply;
-          break;
-        }
-      }
-      if (leader_reply == nullptr) continue;
+      auto agree = [](const FastReply& a, const FastReply& b) {
+        return a.prepared == b.prepared && a.term == b.term &&
+               a.versions == b.versions;
+      };
+      const FastReply* anchor = nullptr;
       int agreeing = 0;
-      for (const auto& [node, reply] : part.fast_replies) {
-        if (reply.prepared == leader_reply->prepared &&
-            reply.term == leader_reply->term &&
-            reply.versions == leader_reply->versions) {
-          agreeing++;
+      if (buggy_quorum) {
+        // INJECTED BUG (bug_fast_path_skip_leader_check): anchor on the
+        // largest agreeing reply group, leader or not — a stale follower
+        // majority can out-vote the leader's conflict check.
+        for (const auto& [node, reply] : part.fast_replies) {
+          int n = 0;
+          for (const auto& [other, r] : part.fast_replies) {
+            if (agree(reply, r)) n++;
+          }
+          if (n > agreeing) {
+            anchor = &reply;
+            agreeing = n;
+          }
+        }
+      } else {
+        for (const auto& [node, reply] : part.fast_replies) {
+          if (reply.is_leader) {
+            anchor = &reply;
+            break;
+          }
+        }
+        if (anchor == nullptr) continue;
+        for (const auto& [node, reply] : part.fast_replies) {
+          if (agree(reply, *anchor)) agreeing++;
         }
       }
+      if (anchor == nullptr) continue;
       const int group_size =
           static_cast<int>(ctx_->directory->Replicas(p).size());
-      if (agreeing >= SupermajorityFor(group_size)) {
+      const int needed =
+          buggy_quorum ? group_size / 2 + 1 : SupermajorityFor(group_size);
+      if (agreeing >= needed) {
         part.decided = true;
-        part.prepared = leader_reply->prepared;
-        part.leader_versions = leader_reply->versions;
+        part.prepared = anchor->prepared;
+        part.leader_versions = anchor->versions;
         ctx_->TracePhase(txn.tid, TxnPhase::kFastQuorum);
       }
     }
@@ -264,15 +284,19 @@ void Coordinator::EvaluateCoordTxn(CoordTxn& txn) {
   }
 
   // All participants prepared; validate the versions the client actually
-  // read (stale local-replica reads, §4.4.1).
-  for (const auto& [key, version] : txn.client_versions) {
-    const PartitionId p = ctx_->directory->PartitionFor(key);
-    auto it = txn.parts.find(p);
-    if (it == txn.parts.end()) continue;
-    auto lv = it->second.leader_versions.find(key);
-    if (lv != it->second.leader_versions.end() && lv->second != version) {
-      Decide(txn, false, "stale read");
-      return;
+  // read (stale local-replica reads, §4.4.1). Skippable only via the
+  // injected-bug flag, to prove the checker catches the resulting
+  // lost-update anomalies.
+  if (!ctx_->options->bug_skip_stale_read_check) {
+    for (const auto& [key, version] : txn.client_versions) {
+      const PartitionId p = ctx_->directory->PartitionFor(key);
+      auto it = txn.parts.find(p);
+      if (it == txn.parts.end()) continue;
+      auto lv = it->second.leader_versions.find(key);
+      if (lv != it->second.leader_versions.end() && lv->second != version) {
+        Decide(txn, false, "stale read");
+        return;
+      }
     }
   }
   Decide(txn, true, "");
@@ -289,15 +313,9 @@ void Coordinator::Decide(CoordTxn& txn, bool commit,
   txn.committed = commit;
   txn.reason = reason;
   txn.hb_timer_gen++;  // Cancel the client-failure timer.
-  coord_decided_[txn.tid] = commit;
   // Phase record: which path decided this transaction, and the verdict.
   ctx_->TraceOutcome(txn.tid, commit, txn.fast && !txn.slow_path_used,
                      reason);
-
-  // The coordinator answers the client immediately: on commit, write data
-  // is already replicated here and prepare decisions are replicated at the
-  // participants; on abort no durability is needed (§4.1.2).
-  ReplyToClient(txn.client, txn.tid, commit, reason);
 
   if (ctx_->IsLeader()) {
     auto log = std::make_shared<LogDecision>();
@@ -305,8 +323,34 @@ void Coordinator::Decide(CoordTxn& txn, bool commit,
     log->commit = commit;
     ctx_->raft->Propose(std::move(log)).ok();
   }
-  StartWriteback(txn);
+
+  // A COMMIT is externalized immediately (§4.1.2): write data is already
+  // replicated in this group and every participant's prepare is durable
+  // (logged on the slow path; supermajority-held pending entries on the
+  // fast path), so any successor leader re-derives the same verdict.
+  //
+  // An ABORT is NOT safe to externalize yet: conflict and client-timeout
+  // aborts are time-local — a successor leader re-querying the pinned
+  // prepares can legitimately find all of them prepared and commit. The
+  // reply and the writebacks therefore wait until LogDecision is
+  // replicated (ApplyDecision); a deposed leader's abort then simply
+  // evaporates instead of surfacing a verdict the group never agreed to.
+  if (commit) {
+    Externalize(txn);
+  }
   ArmCoordRetryTimer(txn.tid);
+}
+
+void Coordinator::Externalize(CoordTxn& txn) {
+  if (txn.externalized) return;
+  txn.externalized = true;
+  coord_decided_[txn.tid] = txn.committed;
+  // Verification history: every externalized decision point lands here
+  // (original decision, heartbeat abort, post-failover re-derivation);
+  // the checker requires all of them to agree.
+  ctx_->RecordDecision(txn.tid, txn.committed, txn.reason);
+  ReplyToClient(txn.client, txn.tid, txn.committed, txn.reason);
+  StartWriteback(txn);
 }
 
 void Coordinator::StartWriteback(CoordTxn& txn) {
@@ -385,7 +429,7 @@ void Coordinator::ArmCoordRetryTimer(const TxnId& tid) {
               ctx_->Send(replica, std::move(query));
             }
           }
-        } else {
+        } else if (txn.externalized) {
           // Retransmit writebacks to all replicas of unacked partitions.
           for (const auto& [p, rw] : txn.keys) {
             if (txn.parts[p].writeback_acked) continue;
@@ -464,14 +508,55 @@ void Coordinator::HandleQueryDecision(NodeId from,
     return;
   }
   auto it = coord_txns_.find(msg.tid);
-  if (it != coord_txns_.end() && !it->second.decided) {
-    return;  // Still in progress; the writeback will arrive eventually.
+  if (it != coord_txns_.end()) {
+    if (!it->second.decided) {
+      return;  // Still in progress; the writeback will arrive eventually.
+    }
+    // Decided but not yet durable (a deferred abort): answer once the
+    // LogDecision entry applies.
+    pending_fence_queries_[msg.tid].emplace_back(from, msg.partition);
+    return;
   }
-  // Unknown transaction: fence it as aborted. Safe because a commit
-  // decision is always preceded by replicated write data in this group.
-  coord_decided_[msg.tid] = false;
-  reply->commit = false;
-  ctx_->Send(from, std::move(reply));
+  // Unknown transaction: fence it as aborted — durably. The fence must
+  // go through the log before anyone observes it: a prior leader's
+  // commit decision may still sit uncommitted in our log, and apply
+  // order (first decision wins) arbitrates between the two.
+  auto& waiters = pending_fence_queries_[msg.tid];
+  waiters.emplace_back(from, msg.partition);
+  if (waiters.size() == 1) {
+    auto log = std::make_shared<LogDecision>();
+    log->tid = msg.tid;
+    log->commit = false;
+    ctx_->raft->Propose(std::move(log)).ok();
+  }
+}
+
+void Coordinator::AnswerFenceQueries(const TxnId& tid) {
+  auto pend = pending_fence_queries_.find(tid);
+  if (pend == pending_fence_queries_.end()) return;
+  auto done = coord_decided_.find(tid);
+  if (done == coord_decided_.end()) return;
+  const bool commit = done->second;
+  auto it = coord_txns_.find(tid);
+  if (it == coord_txns_.end() && !commit) {
+    ctx_->RecordDecision(tid, false, "termination fence");
+  }
+  for (const auto& [node, partition] : pend->second) {
+    auto reply = std::make_shared<WritebackMsg>();
+    reply->tid = tid;
+    reply->partition = partition;
+    reply->coordinator = ctx_->self;
+    reply->commit = commit;
+    if (commit && it != coord_txns_.end()) {
+      for (const auto& [k, v] : it->second.writes) {
+        if (ctx_->directory->PartitionFor(k) == partition) {
+          reply->writes[k] = v;
+        }
+      }
+    }
+    ctx_->Send(node, std::move(reply));
+  }
+  pending_fence_queries_.erase(pend);
 }
 
 void Coordinator::ReplyToClient(NodeId client, const TxnId& tid,
@@ -504,6 +589,15 @@ void Coordinator::ApplyWriteData(const LogWriteData& data) {
 }
 
 void Coordinator::ApplyDecision(const LogDecision& decision) {
+  // Decisions are write-once: when a fence raced an earlier leader's
+  // decision in the log, the first applied entry stands and the later
+  // conflicting one is void (the order is the same on every replica).
+  auto existing = coord_decided_.find(decision.tid);
+  if (existing != coord_decided_.end() &&
+      existing->second != decision.commit) {
+    AnswerFenceQueries(decision.tid);
+    return;
+  }
   coord_decided_[decision.tid] = decision.commit;
   auto it = coord_txns_.find(decision.tid);
   if (it != coord_txns_.end()) {
@@ -511,17 +605,43 @@ void Coordinator::ApplyDecision(const LogDecision& decision) {
     txn.decided = true;
     txn.committed = decision.commit;
     txn.decision_logged = true;
+    if (txn.reason.empty() && !decision.commit) txn.reason = "recovered abort";
+    // A deferred abort becomes durable here; the leader may now let the
+    // client and the participants see it.
+    if (ctx_->IsLeader()) Externalize(txn);
     MaybeFinishCoordTxn(decision.tid);
   }
+  AnswerFenceQueries(decision.tid);
 }
 
 void Coordinator::TakeOverCoordination() {
   for (auto& [tid, txn] : coord_txns_) {
     txn.hb_timer_gen++;
-    if (txn.decided) {
-      StartWriteback(txn);
+    if (txn.decided && (txn.decision_logged || txn.externalized)) {
+      if (!txn.decision_logged) {
+        // Our commit was externalized but its LogDecision may have died
+        // with the old term; re-propose so the group eventually agrees.
+        auto log = std::make_shared<LogDecision>();
+        log->tid = tid;
+        log->commit = txn.committed;
+        ctx_->raft->Propose(std::move(log)).ok();
+      }
+      if (txn.externalized) {
+        StartWriteback(txn);
+      } else {
+        Externalize(txn);
+      }
       ArmCoordRetryTimer(tid);
       continue;
+    }
+    if (txn.decided) {
+      // A deferred abort whose LogDecision never became durable: the
+      // group never agreed to it and nothing outside this node saw it.
+      // Forget the verdict and re-derive from the pinned prepares, like
+      // any successor leader would (§4.3.3).
+      txn.decided = false;
+      txn.committed = false;
+      txn.reason.clear();
     }
     txn.last_heartbeat = ctx_->now();
     txn.heartbeat_timer_armed = true;

@@ -72,6 +72,10 @@ class Coordinator {
     ReadVersionMap client_versions;
     bool decided = false;
     bool committed = false;
+    /// True once the verdict has been made visible outside this node
+    /// (client reply / writebacks). Commits externalize at Decide();
+    /// aborts only once LogDecision is replicated — see Decide().
+    bool externalized = false;
     std::string reason;
     SimTime last_heartbeat = 0;
     bool heartbeat_timer_armed = false;
@@ -99,11 +103,17 @@ class Coordinator {
   /// changes.
   void EvaluateCoordTxn(CoordTxn& txn);
   void Decide(CoordTxn& txn, bool commit, const std::string& reason);
+  /// Makes the verdict visible outside this node: records it for
+  /// verification, replies to the client and starts the writebacks.
+  /// Idempotent. Aborts reach this only once LogDecision is replicated.
+  void Externalize(CoordTxn& txn);
   void StartWriteback(CoordTxn& txn);
   void SendWriteback(CoordTxn& txn, PartitionId partition, NodeId target);
   void ArmHeartbeatTimer(CoordTxn& txn);
   void ArmCoordRetryTimer(const TxnId& tid);
   void MaybeFinishCoordTxn(const TxnId& tid);
+  /// Flushes QueryDecision replies parked until the decision was durable.
+  void AnswerFenceQueries(const TxnId& tid);
   /// Replies to the client (idempotently) with the recorded outcome.
   void ReplyToClient(NodeId client, const TxnId& tid, bool committed,
                      const std::string& reason);
@@ -116,6 +126,11 @@ class Coordinator {
                      std::vector<std::pair<PartitionId, PrepareDecisionMsg>>,
                      TxnIdHash>
       orphan_decisions_;
+  /// QueryDecision askers waiting for a decision (or its abort fence) to
+  /// become durable; answered from ApplyDecision.
+  std::unordered_map<TxnId, std::vector<std::pair<NodeId, PartitionId>>,
+                     TxnIdHash>
+      pending_fence_queries_;
 };
 
 }  // namespace carousel::core

@@ -43,6 +43,10 @@ struct ReadPrepareMsg final : sim::Message {
   /// True when this is a recovery re-send (coordinator QueryPrepare or
   /// client retry); recipients must answer idempotently.
   bool is_retry = false;
+  /// Read-attempt number, echoed in the response. A read-only client
+  /// discards its partial results when it retries and must not merge a
+  /// late response from an earlier attempt into the fresh snapshot.
+  uint32_t attempt = 0;
 
   int type() const override { return sim::kCarouselReadPrepare; }
   size_t SizeBytes() const override {
@@ -58,6 +62,8 @@ struct ReadResponseMsg final : sim::Message {
   /// False only for read-only transactions that failed OCC validation.
   bool ok = true;
   bool from_leader = true;
+  /// Echo of ReadPrepareMsg::attempt.
+  uint32_t attempt = 0;
   std::map<Key, VersionedValue> reads;
 
   int type() const override { return sim::kCarouselReadResponse; }

@@ -53,6 +53,20 @@ struct CarouselOptions {
   /// and the coordinator notification are lost).
   SimTime pending_gc_interval = 20'000'000;  // 20 s
 
+  /// ---- Flag-gated protocol bugs (verification harness only) ----
+  /// These deliberately weaken the protocol so the chaos harness can prove
+  /// the serializability checker catches real violations. Never set them
+  /// outside tests/tools.
+
+  /// CPC fast path accepts any f+1 identical prepare replies without
+  /// requiring the partition leader among them — a plausible misreading of
+  /// §4.2's quorum rule that lets a stale follower majority out-vote the
+  /// leader's conflict check.
+  bool bug_fast_path_skip_leader_check = false;
+  /// Coordinator skips the stale-read version validation (§4.4.1), so a
+  /// transaction that read a stale local replica commits anyway.
+  bool bug_skip_stale_read_check = false;
+
   raft::RaftOptions raft;
   ServerCostModel cost;
 };

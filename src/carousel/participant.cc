@@ -42,6 +42,7 @@ void Participant::SendReadData(const ReadPrepareMsg& msg, bool from_leader) {
   reply->tid = msg.tid;
   reply->partition = ctx_->partition;
   reply->from_leader = from_leader;
+  reply->attempt = msg.attempt;
   for (const Key& k : msg.read_keys) reply->reads[k] = ctx_->store->Get(k);
   ctx_->Send(msg.client, std::move(reply));
 }
@@ -61,6 +62,7 @@ void Participant::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
     reply->tid = msg.tid;
     reply->partition = ctx_->partition;
     reply->from_leader = true;
+    reply->attempt = msg.attempt;
     // OCC validation: fail if any read key has a pending writer (§4.4.2).
     reply->ok = !ctx_->pending->HasPendingWriter(msg.read_keys);
     if (reply->ok) {
@@ -78,6 +80,12 @@ void Participant::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
       SendDecision(msg.coordinator, msg.tid, done->second, {},
                    ctx_->raft->term(), /*is_leader=*/true,
                    /*via_fast_path=*/false);
+      return;
+    }
+    if (refused_.count(msg.tid) > 0) {
+      // Durably refused: the verdict is pinned; never prepare it afresh.
+      SendDecision(msg.coordinator, msg.tid, false, {}, ctx_->raft->term(),
+                   /*is_leader=*/true, /*via_fast_path=*/false);
       return;
     }
     if (ctx_->pending->Contains(msg.tid)) {
@@ -122,8 +130,12 @@ void Participant::LeaderPrepare(const TxnId& tid, const KeyList& reads,
     ctx_->pending->Add(std::move(entry)).ok();
   }
 
-  if (fast_path) {
+  if (fast_path && prepared) {
     // CPC: the leader's direct (fast) reply goes out before replication.
+    // Only successful prepares may be announced early: they are
+    // recoverable from the supermajority's pending entries (§4.3.3), but
+    // a refusal leaves no reconstructible state, so it travels the slow
+    // path and is only announced once it is durable (ApplyPrepareResult).
     SendDecision(coordinator, tid, prepared, versions, term, true, true);
   }
 
@@ -144,7 +156,10 @@ void Participant::FollowerFastPrepare(const ReadPrepareMsg& msg) {
     SendReadData(msg, /*from_leader=*/false);
   }
 
-  if (decided_.count(msg.tid) > 0 || ctx_->pending->Contains(msg.tid)) return;
+  if (decided_.count(msg.tid) > 0 || refused_.count(msg.tid) > 0 ||
+      ctx_->pending->Contains(msg.tid)) {
+    return;
+  }
 
   ReadVersionMap versions;
   for (const Key& k : msg.read_keys) versions[k] = ctx_->store->GetVersion(k);
@@ -190,6 +205,12 @@ void Participant::HandleQueryPrepare(NodeId from, const QueryPrepareMsg& msg) {
   if (done != decided_.end()) {
     SendDecision(msg.coordinator, msg.tid, done->second, {},
                  ctx_->raft->term(), true, false);
+    return;
+  }
+  if (refused_.count(msg.tid) > 0) {
+    // Durably refused: the verdict is pinned; never prepare it afresh.
+    SendDecision(msg.coordinator, msg.tid, false, {}, ctx_->raft->term(),
+                 true, false);
     return;
   }
   if (ctx_->pending->Contains(msg.tid)) {
@@ -248,8 +269,24 @@ void Participant::ArmPendingGcTimer() {
 }
 
 void Participant::ApplyPrepareResult(const LogPrepareResult& entry) {
+  // Prepare results are write-once: after a leader change, a second
+  // LogPrepareResult for the same tid (from a fresh re-prepare) may carry
+  // the opposite verdict; the first applied entry stands — the log order
+  // is the same on every replica, so the pin is identical group-wide.
+  bool prepared = entry.prepared;
+  ReadVersionMap versions = entry.read_versions;
+  uint64_t term = entry.term;
   if (decided_.count(entry.tid) == 0) {
-    if (entry.prepared) {
+    if (refused_.count(entry.tid) > 0) {
+      prepared = false;
+      versions.clear();
+    } else if (logged_prepares_.count(entry.tid) > 0) {
+      prepared = true;
+      if (const kv::PendingTxn* pinned = ctx_->pending->Find(entry.tid)) {
+        versions = pinned->read_versions;
+        term = pinned->term;
+      }
+    } else if (entry.prepared) {
       if (!ctx_->pending->Contains(entry.tid)) {
         kv::PendingTxn pend;
         pend.tid = entry.tid;
@@ -263,9 +300,10 @@ void Participant::ApplyPrepareResult(const LogPrepareResult& entry) {
       }
       logged_prepares_.insert(entry.tid);
     } else {
-      // The leader decided abort; any tentative fast-path entry is void.
+      // The leader refused the prepare; any tentative fast-path entry is
+      // void and the refusal is pinned from here on.
       ctx_->pending->Remove(entry.tid);
-      logged_prepares_.erase(entry.tid);
+      refused_.insert(entry.tid);
     }
   }
 
@@ -273,9 +311,8 @@ void Participant::ApplyPrepareResult(const LogPrepareResult& entry) {
   // result is durably replicated — i.e., exactly now, on the leader.
   if (ctx_->IsLeader()) {
     ctx_->TracePhase(entry.tid, TxnPhase::kSlowDecision);
-    SendDecision(entry.coordinator, entry.tid, entry.prepared,
-                 entry.read_versions, entry.term, /*is_leader=*/true,
-                 /*via_fast_path=*/false);
+    SendDecision(entry.coordinator, entry.tid, prepared, versions, term,
+                 /*is_leader=*/true, /*via_fast_path=*/false);
   }
   // The recovery module tracks fast-path prepares it is re-replicating
   // after an election (§4.3.3 step 5) and unblocks serving when done.
@@ -286,8 +323,11 @@ void Participant::ApplyCommitEntry(const LogCommit& entry) {
   if (decided_.count(entry.tid) > 0) return;  // Duplicate writeback.
   ctx_->pending->Remove(entry.tid);
   logged_prepares_.erase(entry.tid);
+  refused_.erase(entry.tid);
   if (entry.commit) {
-    for (const auto& [k, v] : entry.writes) ctx_->store->Apply(k, v);
+    for (const auto& [k, v] : entry.writes) {
+      ctx_->store->Apply(k, v, entry.tid);
+    }
     committed_count_++;
   }
   decided_[entry.tid] = entry.commit;

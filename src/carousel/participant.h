@@ -74,6 +74,11 @@ class Participant {
   /// Tids whose prepare result has been applied from the Raft log
   /// (slow-path prepared), vs. merely tentative fast-path entries.
   std::set<TxnId> logged_prepares_;
+  /// Tids durably REFUSED at prepare (conflict). Prepare results are
+  /// write-once: a refusal must stay a refusal across leader changes, or
+  /// two coordinator leaders re-deriving the decision at different times
+  /// could reach opposite verdicts (the conflict may have evaporated).
+  std::set<TxnId> refused_;
   /// Final outcomes, for idempotent retries. true = committed.
   std::unordered_map<TxnId, bool, TxnIdHash> decided_;
   uint64_t committed_count_ = 0;

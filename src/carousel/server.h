@@ -56,6 +56,11 @@ class CarouselServer : public sim::Node {
   /// ---- Introspection (tests, benches) ----
   raft::RaftNode* raft() { return raft_.get(); }
   const kv::VersionedStore& store() const { return store_; }
+  /// Mutable store access for verification runs (writer-log enablement).
+  kv::VersionedStore& mutable_store() { return store_; }
+  /// Attaches a verification history recorder (may be null); coordinators
+  /// stamp their decision points into it.
+  void set_history(check::HistoryRecorder* history) { ctx_.history = history; }
   const kv::PendingList& pending() const { return pending_; }
   PartitionId partition() const { return partition_; }
   /// False while a newly elected leader is still running the CPC

@@ -6,6 +6,7 @@
 
 #include "carousel/directory.h"
 #include "carousel/options.h"
+#include "check/history.h"
 #include "common/trace.h"
 #include "common/types.h"
 #include "kv/pending_list.h"
@@ -48,6 +49,8 @@ struct ServerContext {
   std::function<bool()> node_alive;
   /// Cluster-wide phase recorder; may be null (tracing disabled).
   TraceCollector* traces = nullptr;
+  /// Verification history; may be null (recording disabled).
+  check::HistoryRecorder* history = nullptr;
 
   bool IsLeader() const { return raft->is_leader(); }
   SimTime now() const { return sim->now(); }
@@ -69,6 +72,15 @@ struct ServerContext {
   }
   void TraceSeal(const TxnId& tid) const {
     if (traces != nullptr) traces->Seal(tid);
+  }
+
+  /// Records a coordinator decision point in the verification history
+  /// (no-op when history == nullptr).
+  void RecordDecision(const TxnId& tid, bool committed,
+                      const std::string& reason) const {
+    if (history != nullptr) {
+      history->CoordinatorDecision(tid, self, committed, reason, now());
+    }
   }
 };
 

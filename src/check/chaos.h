@@ -1,0 +1,53 @@
+#ifndef CAROUSEL_CHECK_CHAOS_H_
+#define CAROUSEL_CHECK_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "check/history.h"
+#include "check/serializability.h"
+
+namespace carousel::check {
+
+/// One chaos run: from a single seed, sample a topology, a workload mix and
+/// a nemesis schedule; run the full stack under them; certify the resulting
+/// history. Shared by the carousel_chaos CLI and the corpus test so a seed
+/// that fails in CI replays identically under the tool.
+struct ChaosConfig {
+  uint64_t seed = 1;
+  /// Target number of transaction invocations (the sampled client/key mix
+  /// decides how many actually run before the workload window closes).
+  int txns = 120;
+  /// Flag-gated protocol bugs (see CarouselOptions); used to prove the
+  /// checker catches real violations.
+  bool inject_bug_fast_path = false;
+  bool inject_bug_stale_read = false;
+};
+
+struct ChaosResult {
+  uint64_t seed = 0;
+  /// One-line summary of the sampled deployment and workload.
+  std::string setup;
+  /// The sampled fault plan, one event per line.
+  std::string nemesis_schedule;
+  size_t txns_invoked = 0;
+  size_t faults_injected = 0;
+  CheckResult check;
+  /// Kept for reporting: the full history and ground-truth write order.
+  HistoryRecorder history;
+  WriterChains chains;
+
+  bool ok() const { return check.ok(); }
+  /// Compact one-line summary for sweep output.
+  std::string Summary() const;
+  /// Full failure dump: setup, nemesis schedule, every violation with the
+  /// offending transactions' records. Self-contained bug report.
+  std::string Report() const;
+};
+
+/// Runs one seed end to end. Deterministic: same config, same result.
+ChaosResult RunChaosSeed(const ChaosConfig& config);
+
+}  // namespace carousel::check
+
+#endif  // CAROUSEL_CHECK_CHAOS_H_

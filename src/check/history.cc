@@ -1,0 +1,95 @@
+#include "check/history.h"
+
+#include <sstream>
+
+namespace carousel::check {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kUnknown:
+      return "unknown";
+    case Outcome::kCommitted:
+      return "committed";
+    case Outcome::kAborted:
+      return "aborted";
+    case Outcome::kTimedOut:
+      return "timed-out";
+  }
+  return "?";
+}
+
+std::string TxnRecord::ToString() const {
+  std::ostringstream out;
+  out << "txn " << tid.ToString() << " [" << OutcomeName(outcome);
+  if (!reason.empty()) out << ": " << reason;
+  out << "] invoked@" << invoked_at;
+  if (finished_at > 0) out << " finished@" << finished_at;
+  out << "\n  reads:";
+  if (reads.empty()) out << " (none)";
+  for (const auto& [k, vv] : reads) {
+    out << " " << k << "@v" << vv.version << "='" << vv.value << "'";
+  }
+  out << "\n  writes:";
+  if (writes.empty()) out << " (none)";
+  for (const auto& [k, v] : writes) out << " " << k << "='" << v << "'";
+  for (const DecisionEvent& d : decisions) {
+    out << "\n  decision@" << d.at << " coord=" << d.coordinator << " "
+        << (d.committed ? "commit" : "abort");
+    if (!d.reason.empty()) out << " (" << d.reason << ")";
+  }
+  return out.str();
+}
+
+TxnRecord& HistoryRecorder::GetOrCreate(const TxnId& tid) {
+  auto [it, inserted] = index_.emplace(tid, records_.size());
+  if (inserted) {
+    records_.emplace_back();
+    records_.back().tid = tid;
+  }
+  return records_[it->second];
+}
+
+void HistoryRecorder::Invoke(const TxnId& tid, const KeyList& reads,
+                             const KeyList& writes, bool read_only,
+                             SimTime now) {
+  TxnRecord& rec = GetOrCreate(tid);
+  rec.invoked_at = now;
+  rec.read_only = read_only;
+  rec.read_keys = reads;
+  rec.write_keys = writes;
+}
+
+void HistoryRecorder::ObserveReads(
+    const TxnId& tid, const std::map<Key, VersionedValue>& results) {
+  TxnRecord& rec = GetOrCreate(tid);
+  for (const auto& [k, vv] : results) rec.reads[k] = vv;
+}
+
+void HistoryRecorder::BufferWrite(const TxnId& tid, const Key& key,
+                                  const Value& value) {
+  GetOrCreate(tid).writes[key] = value;
+}
+
+void HistoryRecorder::ClientOutcome(const TxnId& tid, Outcome outcome,
+                                    const std::string& reason, SimTime now) {
+  TxnRecord& rec = GetOrCreate(tid);
+  if (rec.outcome != Outcome::kUnknown) return;  // First outcome wins.
+  rec.outcome = outcome;
+  rec.reason = reason;
+  rec.finished_at = now;
+}
+
+void HistoryRecorder::CoordinatorDecision(const TxnId& tid, NodeId coordinator,
+                                          bool committed,
+                                          const std::string& reason,
+                                          SimTime now) {
+  GetOrCreate(tid).decisions.push_back(
+      DecisionEvent{coordinator, committed, reason, now});
+}
+
+const TxnRecord* HistoryRecorder::Find(const TxnId& tid) const {
+  auto it = index_.find(tid);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+}  // namespace carousel::check

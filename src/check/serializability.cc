@@ -1,0 +1,372 @@
+#include "check/serializability.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+
+namespace carousel::check {
+namespace {
+
+/// Internal graph representation: nodes are committed transactions, edges
+/// carry their DSG label for reporting.
+struct Graph {
+  std::map<TxnId, std::vector<DsgEdge>> out;
+
+  void AddEdge(const TxnId& from, const TxnId& to, char kind, const Key& key,
+               Version version) {
+    if (from == to) return;  // A txn never orders against itself.
+    out[from].push_back(DsgEdge{from, to, kind, key, version});
+    out.try_emplace(to);  // Ensure every endpoint is a node.
+  }
+
+  size_t edge_count() const {
+    size_t n = 0;
+    for (const auto& [tid, edges] : out) n += edges.size();
+    return n;
+  }
+};
+
+/// Finds any cycle via iterative three-color DFS; returns it as a node
+/// sequence (first == last omitted), or empty when the graph is acyclic.
+std::vector<TxnId> FindCycle(const Graph& g) {
+  enum Color { kWhite, kGray, kBlack };
+  std::map<TxnId, Color> color;
+  for (const auto& [tid, edges] : g.out) color[tid] = kWhite;
+
+  struct Frame {
+    TxnId tid;
+    size_t next_edge = 0;
+  };
+  for (const auto& [root, root_edges] : g.out) {
+    if (color[root] != kWhite) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto it = g.out.find(frame.tid);
+      const std::vector<DsgEdge>& edges = it->second;
+      if (frame.next_edge >= edges.size()) {
+        color[frame.tid] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId next = edges[frame.next_edge++].to;
+      if (color[next] == kGray) {
+        // Back edge: the cycle is the stack suffix starting at `next`.
+        std::vector<TxnId> cycle;
+        size_t start = 0;
+        while (start < stack.size() && !(stack[start].tid == next)) start++;
+        for (size_t i = start; i < stack.size(); ++i) {
+          cycle.push_back(stack[i].tid);
+        }
+        return cycle;
+      }
+      if (color[next] == kWhite) {
+        color[next] = kGray;
+        stack.push_back({next, 0});
+      }
+    }
+  }
+  return {};
+}
+
+/// BFS shortest path from `src` to `dst`; returns the edge sequence, or
+/// empty when unreachable.
+std::vector<DsgEdge> ShortestPath(const Graph& g, const TxnId& src,
+                                  const TxnId& dst) {
+  std::map<TxnId, DsgEdge> parent;  // node -> edge that reached it
+  std::deque<TxnId> queue{src};
+  std::set<TxnId> seen{src};
+  while (!queue.empty()) {
+    const TxnId cur = queue.front();
+    queue.pop_front();
+    if (cur == dst) break;
+    auto it = g.out.find(cur);
+    if (it == g.out.end()) continue;
+    for (const DsgEdge& e : it->second) {
+      if (!seen.insert(e.to).second) continue;
+      parent.emplace(e.to, e);
+      queue.push_back(e.to);
+    }
+  }
+  if (seen.count(dst) == 0 || src == dst) return {};
+  std::vector<DsgEdge> path;
+  for (TxnId cur = dst; !(cur == src);) {
+    const DsgEdge& e = parent.at(cur);
+    path.push_back(e);
+    cur = e.from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Shrinks a DFS-found cycle to a minimal one: for every edge (u -> v) on
+/// the cycle, the shortest v -> u path plus that edge is the smallest cycle
+/// through it; keep the overall minimum. The result is what gets dumped,
+/// so smaller is strictly better for debugging.
+std::vector<DsgEdge> MinimizeCycle(const Graph& g,
+                                   const std::vector<TxnId>& cycle) {
+  std::vector<DsgEdge> best;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    const TxnId& u = cycle[i];
+    const TxnId& v = cycle[(i + 1) % cycle.size()];
+    auto it = g.out.find(u);
+    if (it == g.out.end()) continue;
+    const DsgEdge* uv = nullptr;
+    for (const DsgEdge& e : it->second) {
+      if (e.to == v) {
+        uv = &e;
+        break;
+      }
+    }
+    if (uv == nullptr) continue;
+    std::vector<DsgEdge> back = ShortestPath(g, v, u);
+    if (back.empty() && !(v == u)) continue;
+    back.insert(back.begin(), *uv);
+    if (best.empty() || back.size() < best.size()) best = std::move(back);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string DsgEdge::ToString() const {
+  const char* name = kind == 'w' ? "ww" : kind == 'r' ? "wr" : "rw";
+  std::ostringstream out;
+  out << from.ToString() << " -[" << name << " " << key << "@v" << version
+      << "]-> " << to.ToString();
+  return out.str();
+}
+
+CheckResult CheckSerializability(const HistoryRecorder& history,
+                                 const WriterChains& chains) {
+  CheckResult result;
+  auto violate = [&result](const std::string& kind,
+                           const std::string& description) {
+    result.violations.push_back(Violation{kind, description, {}});
+  };
+
+  // Index: which chains does each tid appear in, and how often per key.
+  std::map<TxnId, std::map<Key, int>> chain_occurrences;
+  for (const auto& [key, chain] : chains) {
+    for (const TxnId& tid : chain) chain_occurrences[tid][key]++;
+  }
+
+  // Effective verdict per txn: indeterminate outcomes resolve to whatever
+  // the chains say (both verdicts are legal for them).
+  std::set<TxnId> committed;
+  for (const TxnRecord& rec : history.records()) {
+    const bool in_chain = chain_occurrences.count(rec.tid) > 0;
+    switch (rec.outcome) {
+      case Outcome::kCommitted:
+        committed.insert(rec.tid);
+        result.committed++;
+        break;
+      case Outcome::kAborted:
+        result.aborted++;
+        if (in_chain) {
+          violate("aborted-write-visible",
+                  "aborted " + rec.tid.ToString() +
+                      " installed a version (abort had visible effects)");
+        }
+        break;
+      case Outcome::kUnknown:
+      case Outcome::kTimedOut:
+        result.indeterminate++;
+        if (in_chain) committed.insert(rec.tid);
+        break;
+    }
+
+    // Coordinator decision points must agree with each other and with the
+    // client-visible outcome (CPC fast/slow agreement, failover
+    // re-derivation, termination fences).
+    for (const DecisionEvent& d : rec.decisions) {
+      const DecisionEvent& first = rec.decisions.front();
+      if (d.committed != first.committed) {
+        violate("divergent-decision",
+                rec.tid.ToString() + ": coordinator " +
+                    std::to_string(first.coordinator) +
+                    (first.committed ? " committed" : " aborted") +
+                    " but coordinator " + std::to_string(d.coordinator) +
+                    (d.committed ? " committed" : " aborted"));
+        break;
+      }
+    }
+    if (!rec.decisions.empty()) {
+      const bool coord_commit = rec.decisions.front().committed;
+      if (rec.outcome == Outcome::kCommitted && !coord_commit) {
+        violate("divergent-decision",
+                rec.tid.ToString() +
+                    ": client saw commit, coordinator decided abort");
+      }
+      if (rec.outcome == Outcome::kAborted && coord_commit &&
+          rec.reason != "client abort") {
+        violate("divergent-decision",
+                rec.tid.ToString() +
+                    ": client saw abort, coordinator decided commit");
+      }
+    }
+  }
+
+  // Chain sanity: every chain entry must be a recorded transaction that
+  // buffered a write for that key; committed writes must appear exactly
+  // once per written key (atomically, across all written keys).
+  for (const auto& [key, chain] : chains) {
+    for (const TxnId& tid : chain) {
+      const TxnRecord* rec = history.Find(tid);
+      if (rec == nullptr) {
+        violate("unrecorded-writer", "store version of '" + key +
+                                         "' written by unknown txn " +
+                                         tid.ToString());
+      } else if (rec->writes.count(key) == 0) {
+        violate("ghost-write", tid.ToString() + " installed a version of '" +
+                                   key + "' it never buffered");
+      }
+    }
+  }
+  for (const TxnId& tid : committed) {
+    const TxnRecord* rec = history.Find(tid);
+    if (rec == nullptr) continue;
+    const auto occ = chain_occurrences.find(tid);
+    for (const auto& [key, value] : rec->writes) {
+      const int n = occ == chain_occurrences.end() ? 0 : [&] {
+        auto it = occ->second.find(key);
+        return it == occ->second.end() ? 0 : it->second;
+      }();
+      if (n == 0) {
+        violate("lost-write", tid.ToString() + " committed ('" +
+                                  OutcomeName(rec->outcome) +
+                                  "') but its write to '" + key +
+                                  "' is not in the final state");
+      } else if (n > 1) {
+        violate("double-apply", tid.ToString() + " write to '" + key +
+                                    "' was applied " + std::to_string(n) +
+                                    " times");
+      }
+    }
+  }
+
+  // Read well-formedness (all transactions, committed or not: observing a
+  // version that was never installed, or an aborted writer's value, is a
+  // dirty read regardless of the reader's own fate).
+  for (const TxnRecord& rec : history.records()) {
+    for (const auto& [key, vv] : rec.reads) {
+      if (vv.version == 0) {
+        if (!vv.value.empty()) {
+          violate("dirty-read", rec.tid.ToString() + " read '" + key +
+                                    "'@v0 with non-initial value '" +
+                                    vv.value + "'");
+        }
+        continue;
+      }
+      const auto chain_it = chains.find(key);
+      const std::vector<TxnId>* chain =
+          chain_it == chains.end() ? nullptr : &chain_it->second;
+      if (chain == nullptr || vv.version > chain->size()) {
+        violate("dirty-read",
+                rec.tid.ToString() + " read '" + key + "'@v" +
+                    std::to_string(vv.version) +
+                    " which was never durably installed");
+        continue;
+      }
+      const TxnId& writer = (*chain)[vv.version - 1];
+      const TxnRecord* wrec = history.Find(writer);
+      if (wrec != nullptr) {
+        if (wrec->outcome == Outcome::kAborted) {
+          violate("dirty-read", rec.tid.ToString() + " read '" + key +
+                                    "'@v" + std::to_string(vv.version) +
+                                    " written by aborted " +
+                                    writer.ToString());
+        }
+        auto w = wrec->writes.find(key);
+        if (w != wrec->writes.end() && w->second != vv.value) {
+          violate("corrupt-read",
+                  rec.tid.ToString() + " read '" + key + "'@v" +
+                      std::to_string(vv.version) + " = '" + vv.value +
+                      "' but " + writer.ToString() + " wrote '" + w->second +
+                      "'");
+        }
+      }
+    }
+  }
+
+  // ---- Direct serialization graph over the committed transactions ----
+  Graph graph;
+  for (const TxnId& tid : committed) graph.out.try_emplace(tid);
+
+  // ww: the chain order itself.
+  for (const auto& [key, chain] : chains) {
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      if (committed.count(chain[i]) == 0 || committed.count(chain[i + 1]) == 0)
+        continue;
+      graph.AddEdge(chain[i], chain[i + 1], 'w', key,
+                    static_cast<Version>(i + 2));
+    }
+  }
+  // wr and rw: anchored on each committed reader's observed versions.
+  for (const TxnRecord& rec : history.records()) {
+    if (committed.count(rec.tid) == 0) continue;
+    for (const auto& [key, vv] : rec.reads) {
+      const auto chain_it = chains.find(key);
+      if (chain_it == chains.end()) continue;
+      const std::vector<TxnId>& chain = chain_it->second;
+      if (vv.version > chain.size()) continue;  // Already flagged above.
+      if (vv.version >= 1) {
+        const TxnId& writer = chain[vv.version - 1];
+        if (committed.count(writer) > 0) {
+          graph.AddEdge(writer, rec.tid, 'r', key, vv.version);
+        }
+      }
+      if (vv.version < chain.size()) {
+        const TxnId& overwriter = chain[vv.version];
+        if (committed.count(overwriter) > 0) {
+          graph.AddEdge(rec.tid, overwriter, 'a', key, vv.version + 1);
+        }
+      }
+    }
+  }
+  result.edges = graph.edge_count();
+
+  const std::vector<TxnId> cycle = FindCycle(graph);
+  if (!cycle.empty()) {
+    std::vector<DsgEdge> minimal = MinimizeCycle(graph, cycle);
+    Violation v;
+    v.kind = "cycle";
+    std::ostringstream desc;
+    desc << "dependency cycle over " << minimal.size()
+         << " committed transactions:";
+    for (const DsgEdge& e : minimal) {
+      desc << "\n    " << e.ToString();
+      v.cycle.push_back(e.from);
+    }
+    if (v.cycle.empty()) {
+      // Minimization failed (should not happen); fall back to the DFS cycle.
+      v.cycle = cycle;
+      for (const TxnId& tid : cycle) desc << "\n    " << tid.ToString();
+    }
+    v.description = desc.str();
+    result.violations.push_back(std::move(v));
+  }
+
+  return result;
+}
+
+std::string CheckResult::Report(const HistoryRecorder& history) const {
+  std::ostringstream out;
+  out << "serializability check: " << committed << " committed, " << aborted
+      << " aborted, " << indeterminate << " indeterminate, " << edges
+      << " DSG edges, " << violations.size() << " violation(s)\n";
+  std::set<TxnId> dumped;
+  for (const Violation& v : violations) {
+    out << "VIOLATION [" << v.kind << "] " << v.description << "\n";
+    for (const TxnId& tid : v.cycle) {
+      if (!dumped.insert(tid).second) continue;
+      const TxnRecord* rec = history.Find(tid);
+      if (rec != nullptr) out << rec->ToString() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace carousel::check

@@ -1,0 +1,81 @@
+#ifndef CAROUSEL_CHECK_SERIALIZABILITY_H_
+#define CAROUSEL_CHECK_SERIALIZABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "common/types.h"
+
+namespace carousel::check {
+
+/// Ground-truth write order, extracted from the versioned store after a
+/// run: for each key, chain[v - 1] is the transaction whose committed
+/// write installed version v. Versions increment by one per committed
+/// write, so the chain *is* the per-key commit order.
+using WriterChains = std::map<Key, std::vector<TxnId>>;
+
+/// One certified defect in a history. `cycle` is filled for
+/// non-serializable histories: a minimal dependency cycle over committed
+/// transactions.
+struct Violation {
+  std::string kind;         // e.g. "cycle", "lost-write", "dirty-read"
+  std::string description;  // human-readable, self-contained
+  std::vector<TxnId> cycle;
+};
+
+/// A dependency edge of the direct serialization graph, kept for reporting.
+struct DsgEdge {
+  TxnId from;
+  TxnId to;
+  char kind;  // 'w' = ww, 'r' = wr, 'a' = rw (anti-dependency)
+  Key key;
+  Version version;  // the version the edge is anchored on
+
+  std::string ToString() const;
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+  /// Statistics over the checked history.
+  size_t committed = 0;
+  size_t aborted = 0;
+  size_t indeterminate = 0;  // unknown / timed-out at the client
+  size_t edges = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line report of every violation, with the full record of each
+  /// transaction on an offending cycle (the replayable failure dump).
+  std::string Report(const HistoryRecorder& history) const;
+};
+
+/// Certifies that a history is serializable and that aborted transactions
+/// left no visible effects.
+///
+/// The checker builds the direct serialization graph over committed
+/// transactions — ww edges from each key's writer chain, wr edges from
+/// writer to every transaction that read the installed version, and rw
+/// anti-dependency edges from each reader to the writer that overwrote the
+/// version it read — and reports any cycle (a committed history is
+/// serializable iff its DSG is acyclic). On top of the graph test it
+/// checks, per transaction:
+///
+///  * committed writes are durable: each written key appears exactly once
+///    in that key's chain (zero = lost write, two+ = double apply);
+///  * aborted transactions are invisible: they never appear in a chain and
+///    no transaction observed one of their writes;
+///  * reads are well-formed: every observed (key, version) exists in the
+///    chain and its value matches what the chain writer buffered;
+///  * decisions agree: all coordinator decision events for a tid match
+///    each other and the client-visible outcome.
+///
+/// Transactions with indeterminate client outcomes (unknown / timed-out)
+/// are treated as committed when they appear in a chain and as aborted
+/// otherwise — both verdicts are legal for them.
+CheckResult CheckSerializability(const HistoryRecorder& history,
+                                 const WriterChains& chains);
+
+}  // namespace carousel::check
+
+#endif  // CAROUSEL_CHECK_SERIALIZABILITY_H_

@@ -1,7 +1,9 @@
 #ifndef CAROUSEL_KV_VERSIONED_STORE_H_
 #define CAROUSEL_KV_VERSIONED_STORE_H_
 
+#include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 
@@ -33,12 +35,27 @@ class VersionedStore {
     return it == records_.end() ? 0 : it->second.version;
   }
 
-  /// Applies a committed write; returns the new version (old + 1).
-  Version Apply(const Key& key, Value value) {
+  /// Applies a committed write; returns the new version (old + 1). When
+  /// the writer log is enabled, `writer` is appended to the key's chain so
+  /// chain[v - 1] names the transaction that installed version v — the
+  /// ground-truth commit order the serializability checker runs against.
+  Version Apply(const Key& key, Value value,
+                const TxnId& writer = TxnId{}) {
     VersionedValue& rec = records_[key];
     rec.value = std::move(value);
     rec.version++;
+    if (writer_log_enabled_) writer_log_[key].push_back(writer);
     return rec.version;
+  }
+
+  /// Turns on per-version writer recording (off by default: it grows
+  /// without bound, so only verification runs pay for it).
+  void EnableWriterLog() { writer_log_enabled_ = true; }
+
+  /// Per-key writer chains; empty unless EnableWriterLog() was called
+  /// before the writes of interest. Ordered for deterministic iteration.
+  const std::map<Key, std::vector<TxnId>>& writer_log() const {
+    return writer_log_;
   }
 
   /// Number of materialized (written at least once) keys.
@@ -46,6 +63,8 @@ class VersionedStore {
 
  private:
   std::unordered_map<Key, VersionedValue> records_;
+  bool writer_log_enabled_ = false;
+  std::map<Key, std::vector<TxnId>> writer_log_;
 };
 
 }  // namespace carousel::kv

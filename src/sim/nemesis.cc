@@ -1,0 +1,91 @@
+#include "sim/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace carousel::sim {
+
+void Nemesis::Note(SimTime at, std::string what) {
+  plan_.push_back(PlannedEvent{at, std::move(what)});
+}
+
+void Nemesis::CrashAt(SimTime at, NodeId id) {
+  Note(at, "crash node " + std::to_string(id));
+  net_->simulator()->ScheduleAt(at, [this, id] {
+    if (!crashed_.insert(id).second) return;
+    faults_injected_++;
+    net_->Crash(id);
+  });
+}
+
+void Nemesis::RecoverAt(SimTime at, NodeId id) {
+  Note(at, "recover node " + std::to_string(id));
+  net_->simulator()->ScheduleAt(at, [this, id] {
+    if (crashed_.erase(id) == 0) return;
+    net_->Recover(id);
+  });
+}
+
+void Nemesis::PartitionAt(SimTime at, std::vector<NodeId> side_a,
+                          std::vector<NodeId> side_b) {
+  std::ostringstream what;
+  what << "partition {";
+  for (size_t i = 0; i < side_a.size(); ++i)
+    what << (i ? "," : "") << side_a[i];
+  what << "} | {";
+  for (size_t i = 0; i < side_b.size(); ++i)
+    what << (i ? "," : "") << side_b[i];
+  what << "}";
+  Note(at, what.str());
+  net_->simulator()->ScheduleAt(
+      at, [this, a = std::move(side_a), b = std::move(side_b)] {
+        for (NodeId x : a) {
+          for (NodeId y : b) {
+            auto pair = std::minmax(x, y);
+            if (!blocked_.insert({pair.first, pair.second}).second) continue;
+            faults_injected_++;
+            net_->BlockPair(x, y);
+          }
+        }
+      });
+}
+
+void Nemesis::HealPartitionAt(SimTime at, std::vector<NodeId> side_a,
+                              std::vector<NodeId> side_b) {
+  Note(at, "heal partition");
+  net_->simulator()->ScheduleAt(
+      at, [this, a = std::move(side_a), b = std::move(side_b)] {
+        for (NodeId x : a) {
+          for (NodeId y : b) {
+            auto pair = std::minmax(x, y);
+            if (blocked_.erase({pair.first, pair.second}) == 0) continue;
+            net_->UnblockPair(x, y);
+          }
+        }
+      });
+}
+
+void Nemesis::HealAllAt(SimTime at) {
+  Note(at, "heal all");
+  net_->simulator()->ScheduleAt(at, [this] {
+    for (NodeId id : crashed_) net_->Recover(id);
+    crashed_.clear();
+    for (const auto& [a, b] : blocked_) net_->UnblockPair(a, b);
+    blocked_.clear();
+  });
+}
+
+std::string Nemesis::Describe() const {
+  std::vector<PlannedEvent> sorted = plan_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const PlannedEvent& a, const PlannedEvent& b) {
+                     return a.at < b.at;
+                   });
+  std::ostringstream out;
+  for (const PlannedEvent& e : sorted) {
+    out << "  t=" << e.at << "us " << e.what << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace carousel::sim

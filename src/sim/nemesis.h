@@ -1,0 +1,71 @@
+#ifndef CAROUSEL_SIM_NEMESIS_H_
+#define CAROUSEL_SIM_NEMESIS_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace carousel::sim {
+
+/// Schedulable fault injector over the Network's primitive hooks. A chaos
+/// run builds a schedule up front (crashes, recoveries, partitions, heals)
+/// so the whole fault plan is part of the seed's deterministic replay and
+/// can be printed alongside a failing history.
+///
+/// The nemesis tracks what it injected, so HealAllAt() undoes exactly the
+/// outstanding faults — it never "recovers" a node it did not crash.
+class Nemesis {
+ public:
+  explicit Nemesis(Network* net) : net_(net) {}
+
+  /// Crashes `id` at virtual time `at` (no-op if already crashed then).
+  void CrashAt(SimTime at, NodeId id);
+
+  /// Recovers `id` at `at` (no-op unless this nemesis crashed it).
+  void RecoverAt(SimTime at, NodeId id);
+
+  /// Cuts all links between `side_a` and `side_b` at `at`.
+  void PartitionAt(SimTime at, std::vector<NodeId> side_a,
+                   std::vector<NodeId> side_b);
+
+  /// Restores the links between `side_a` and `side_b` at `at` (only pairs
+  /// this nemesis actually blocked). Lets a partition heal mid-run — e.g.
+  /// mid-2PC — rather than only at the final heal-all.
+  void HealPartitionAt(SimTime at, std::vector<NodeId> side_a,
+                       std::vector<NodeId> side_b);
+
+  /// Heals every fault still outstanding at `at`: recovers every node this
+  /// nemesis crashed and unblocks every pair it partitioned. Schedule one
+  /// before the quiesce window so the run can converge.
+  void HealAllAt(SimTime at);
+
+  /// The full schedule, one line per event in time order — printed with a
+  /// failing seed so the fault plan is part of the bug report.
+  std::string Describe() const;
+
+  /// Events injected so far (fired, not just scheduled).
+  size_t faults_injected() const { return faults_injected_; }
+
+ private:
+  struct PlannedEvent {
+    SimTime at;
+    std::string what;
+  };
+
+  void Note(SimTime at, std::string what);
+
+  Network* net_;
+  /// Live fault state, updated as events fire.
+  std::set<NodeId> crashed_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::vector<PlannedEvent> plan_;
+  size_t faults_injected_ = 0;
+};
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_NEMESIS_H_

@@ -13,11 +13,8 @@ class CarouselBasicTest : public ::testing::Test {
  protected:
   std::unique_ptr<Cluster> MakeCluster(CarouselOptions options,
                                        int num_dcs = 3, int partitions = 3) {
-    auto cluster = std::make_unique<Cluster>(
-        SmallTopology(num_dcs, partitions), options, sim::NetworkOptions{},
-        /*seed=*/7);
-    cluster->Start();
-    return cluster;
+    return MakeSmallCluster(std::move(options), /*seed=*/7, num_dcs,
+                            partitions);
   }
 };
 

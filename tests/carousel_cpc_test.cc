@@ -9,36 +9,9 @@ namespace {
 using core::CarouselOptions;
 using core::Cluster;
 
-CarouselOptions FastOptions() {
-  CarouselOptions options = FastRaftOptions();
-  options.fast_path = true;
-  options.local_reads = true;
-  return options;
-}
-
-/// Builds the paper's EC2 deployment (5 DCs, 5 partitions, replication 3)
-/// with one client in `client_dc`.
-std::unique_ptr<Cluster> Ec2Cluster(CarouselOptions options, DcId client_dc,
-                                    uint64_t seed = 11) {
-  Topology topo = Topology::PaperEc2();
-  topo.PlacePartitions(5, 3);
-  topo.AddClient(client_dc);
-  auto cluster = std::make_unique<Cluster>(std::move(topo), options,
-                                           sim::NetworkOptions{}, seed);
-  cluster->Start();
-  return cluster;
-}
-
-/// A key owned by `partition`, found by probing.
-Key KeyInPartition(const Cluster& cluster, PartitionId p,
-                   const std::string& tag) {
-  for (int i = 0; i < 100000; ++i) {
-    Key k = tag + std::to_string(i);
-    if (cluster.directory().PartitionFor(k) == p) return k;
-  }
-  ADD_FAILURE() << "no key found for partition " << p;
-  return "";
-}
+// Deployment fixtures (FastCpcOptions, Ec2Cluster, KeyInPartition) come
+// from test_util.h.
+CarouselOptions FastOptions() { return FastCpcOptions(); }
 
 TEST(CarouselCpcTest, FastPathCommits) {
   auto cluster = Ec2Cluster(FastOptions(), /*client_dc=*/2);

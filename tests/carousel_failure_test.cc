@@ -9,27 +9,15 @@ namespace {
 using core::CarouselOptions;
 using core::Cluster;
 
-CarouselOptions FastOptions() {
-  CarouselOptions options = FastRaftOptions();
-  options.fast_path = true;
-  options.local_reads = true;
-  return options;
-}
+CarouselOptions FastOptions() { return FastCpcOptions(); }
 
 std::unique_ptr<Cluster> MakeCluster(CarouselOptions options,
                                      uint64_t seed = 21) {
-  auto cluster = std::make_unique<Cluster>(SmallTopology(), options,
-                                           sim::NetworkOptions{}, seed);
-  cluster->Start();
-  return cluster;
+  return MakeSmallCluster(std::move(options), seed);
 }
 
 Key KeyIn(const Cluster& cluster, PartitionId p, const std::string& tag) {
-  for (int i = 0; i < 100000; ++i) {
-    Key k = tag + std::to_string(i);
-    if (cluster.directory().PartitionFor(k) == p) return k;
-  }
-  return "";
+  return KeyInPartition(cluster, p, tag);
 }
 
 /// Crashing f followers of a partition must not block transactions

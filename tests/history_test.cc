@@ -1,0 +1,101 @@
+// Unit tests for the history recorder (src/check/history.cc): the
+// append-only per-run record the serializability checker consumes.
+
+#include <gtest/gtest.h>
+
+#include "check/history.h"
+
+namespace carousel::check {
+namespace {
+
+TxnId Tid(ClientId client, uint64_t counter) { return TxnId{client, counter}; }
+
+TEST(HistoryTest, RecordsKeepInvocationOrder) {
+  HistoryRecorder h;
+  h.Invoke(Tid(0, 1), {"a"}, {"a"}, /*read_only=*/false, /*now=*/10);
+  h.Invoke(Tid(1, 1), {"b"}, {}, /*read_only=*/true, /*now=*/20);
+  h.Invoke(Tid(0, 2), {}, {"c"}, /*read_only=*/false, /*now=*/30);
+
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.records()[0].tid, Tid(0, 1));
+  EXPECT_EQ(h.records()[1].tid, Tid(1, 1));
+  EXPECT_EQ(h.records()[2].tid, Tid(0, 2));
+  EXPECT_TRUE(h.records()[1].read_only);
+  EXPECT_EQ(h.records()[0].invoked_at, 10);
+
+  const TxnRecord* rec = h.Find(Tid(1, 1));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->read_keys, KeyList{"b"});
+  EXPECT_EQ(h.Find(Tid(9, 9)), nullptr);
+}
+
+TEST(HistoryTest, ReadsAndWritesAccumulate) {
+  HistoryRecorder h;
+  h.Invoke(Tid(0, 1), {"x", "y"}, {"x"}, false, 0);
+  h.ObserveReads(Tid(0, 1), {{"x", {"vx", 3}}});
+  h.ObserveReads(Tid(0, 1), {{"y", {"vy", 1}}});
+  h.BufferWrite(Tid(0, 1), "x", "new");
+
+  const TxnRecord* rec = h.Find(Tid(0, 1));
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->reads.size(), 2u);
+  EXPECT_EQ(rec->reads.at("x").version, 3u);
+  EXPECT_EQ(rec->writes.at("x"), "new");
+}
+
+TEST(HistoryTest, LaterReadOfSameKeyOverwrites) {
+  // A read-only retry observes a fresh snapshot; the record must keep the
+  // last observation, not a mix.
+  HistoryRecorder h;
+  h.ObserveReads(Tid(0, 1), {{"x", {"old", 1}}});
+  h.ObserveReads(Tid(0, 1), {{"x", {"new", 2}}});
+  EXPECT_EQ(h.Find(Tid(0, 1))->reads.at("x").version, 2u);
+  EXPECT_EQ(h.Find(Tid(0, 1))->reads.at("x").value, "new");
+}
+
+TEST(HistoryTest, FirstClientOutcomeWins) {
+  // A transaction finishes once at its client; a late duplicate reply
+  // (e.g. a retransmitted decision) must not rewrite history.
+  HistoryRecorder h;
+  h.Invoke(Tid(0, 1), {}, {"x"}, false, 0);
+  h.ClientOutcome(Tid(0, 1), Outcome::kAborted, "conflict", 50);
+  h.ClientOutcome(Tid(0, 1), Outcome::kCommitted, "", 60);
+
+  const TxnRecord* rec = h.Find(Tid(0, 1));
+  EXPECT_EQ(rec->outcome, Outcome::kAborted);
+  EXPECT_EQ(rec->reason, "conflict");
+  EXPECT_EQ(rec->finished_at, 50);
+}
+
+TEST(HistoryTest, CoordinatorDecisionsOnUnknownTidCreateRecord) {
+  // A coordinator can heartbeat-abort a transaction whose client never ran
+  // under this recorder; the decision must still be auditable.
+  HistoryRecorder h;
+  h.CoordinatorDecision(Tid(7, 3), /*coordinator=*/2, /*committed=*/false,
+                        "heartbeat abort", 100);
+  h.CoordinatorDecision(Tid(7, 3), /*coordinator=*/4, /*committed=*/false,
+                        "termination fence", 200);
+
+  const TxnRecord* rec = h.Find(Tid(7, 3));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->outcome, Outcome::kUnknown);
+  ASSERT_EQ(rec->decisions.size(), 2u);
+  EXPECT_EQ(rec->decisions[0].coordinator, 2);
+  EXPECT_EQ(rec->decisions[1].reason, "termination fence");
+}
+
+TEST(HistoryTest, ToStringIsSelfContained) {
+  HistoryRecorder h;
+  h.Invoke(Tid(0, 1), {"x"}, {"x"}, false, 10);
+  h.ObserveReads(Tid(0, 1), {{"x", {"v", 1}}});
+  h.BufferWrite(Tid(0, 1), "x", "w");
+  h.ClientOutcome(Tid(0, 1), Outcome::kCommitted, "", 20);
+
+  const std::string s = h.Find(Tid(0, 1))->ToString();
+  EXPECT_NE(s.find("0.1"), std::string::npos) << s;
+  EXPECT_NE(s.find("committed"), std::string::npos) << s;
+  EXPECT_NE(s.find("x@v1"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace carousel::check

@@ -12,13 +12,7 @@ using core::Cluster;
 using core::ReconnaissanceRunner;
 
 std::unique_ptr<Cluster> MakeCluster(uint64_t seed = 61) {
-  auto options = FastRaftOptions();
-  options.fast_path = true;
-  options.local_reads = true;
-  auto cluster = std::make_unique<Cluster>(SmallTopology(), options,
-                                           sim::NetworkOptions{}, seed);
-  cluster->Start();
-  return cluster;
+  return MakeSmallCluster(FastCpcOptions(), seed);
 }
 
 /// Seeds an index entry name -> id and the record id -> balance.

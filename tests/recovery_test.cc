@@ -1,0 +1,173 @@
+// Tests for the recovery role (src/carousel/recovery.cc): the CPC
+// failure-handling protocol (§4.3.3), the serving gate, and coordinator
+// failover reconciliation — a new coordinator-group leader must reach a
+// decision consistent with everything already externalized.
+
+#include <gtest/gtest.h>
+
+#include "carousel/cluster.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselOptions;
+using core::Cluster;
+
+/// After a participant-leader crash, every alive node eventually serves
+/// again: the new leader finishes §4.3.3 and opens its gate; the restarted
+/// node rejoins as a follower and serves immediately (OnHostRecover).
+TEST(RecoveryTest, ServingGateReopensAfterFailover) {
+  auto cluster = MakeSmallCluster(FastCpcOptions(), /*seed=*/71);
+  const Key k = KeyInPartition(*cluster, 1, "sg");
+  const NodeId old_leader = cluster->topology().InitialLeader(1);
+
+  // Leave a fast-path prepare in flight so recovery has work to do.
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  client->ReadAndPrepare(
+      tid, {k}, {k},
+      [](Status, const core::CarouselClient::ReadResults&) {});
+  cluster->sim().RunFor(45 * kMicrosPerMilli);
+  cluster->Crash(old_leader);
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+
+  core::CarouselServer* new_leader = cluster->LeaderOf(1);
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader->id(), old_leader);
+  EXPECT_TRUE(new_leader->serving()) << "serving gate stuck closed";
+
+  cluster->Recover(old_leader);
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    EXPECT_TRUE(cluster->server(replica)->serving()) << "node " << replica;
+  }
+
+  // The partition still takes transactions (a fresh key — the abandoned
+  // transaction's client is alive and heartbeating, so k stays pinned).
+  const Key k2 = KeyInPartition(*cluster, 1, "sg2-");
+  TxnOutcome out = RunTxn(*cluster, 1, {k2}, {{k2, "after"}});
+  ASSERT_TRUE(out.commit_done);
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+
+  // And once the abandoned transaction aborts, k frees up too.
+  client->Abort(tid);
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  TxnOutcome freed = RunTxn(*cluster, 1, {k}, {{k, "after"}});
+  ASSERT_TRUE(freed.commit_done);
+  EXPECT_TRUE(freed.commit_status.ok()) << freed.commit_status;
+}
+
+/// Coordinator failover with a dead client: the original leader's
+/// heartbeat abort (§4.3.1) must reconcile with the new leader — no
+/// replica may apply the write, no pending entry may survive.
+TEST(RecoveryTest, CoordinatorFailoverReconcilesHeartbeatAbort) {
+  auto cluster = MakeSmallCluster(FastCpcOptions(), /*seed=*/73);
+  const Key k = KeyInPartition(*cluster, 1, "hba");
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  client->ReadAndPrepare(tid, {k}, {k},
+                         [&](Status, const core::CarouselClient::ReadResults&) {
+                           // The client dies instead of committing.
+                           cluster->Crash(client->id());
+                         });
+  cluster->sim().RunFor(2 * kMicrosPerSecond);
+
+  // Crash the coordinator right around its heartbeat-abort deadline, so
+  // the decision may or may not have been externalized; either way the
+  // new leader must reach the same verdict.
+  cluster->Crash(cluster->topology().InitialLeader(0));
+  cluster->sim().RunFor(40 * kMicrosPerSecond);
+
+  EXPECT_EQ(LeaderValue(*cluster, k).version, 0u)
+      << "write of a transaction whose client never committed was applied";
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    if (!cluster->network().IsAlive(replica)) continue;
+    EXPECT_EQ(cluster->server(replica)->pending().size(), 0u)
+        << "pending entry leaked on replica " << replica;
+  }
+}
+
+/// Coordinator failover after the commit was externalized: the client's
+/// acknowledged write must survive the crash (decision re-derivation,
+/// §4.3.3), including when the crash lands mid-writeback.
+TEST(RecoveryTest, CoordinatorFailoverPreservesAcknowledgedCommit) {
+  for (const SimTime crash_delay_ms : {0, 5, 50}) {
+    auto cluster = MakeSmallCluster(FastCpcOptions(), /*seed=*/79);
+    const Key k = KeyInPartition(*cluster, 1, "ack");
+    TxnOutcome out = RunTxn(*cluster, 0, {k}, {{k, "must-survive"}});
+    ASSERT_TRUE(out.commit_status.ok()) << out.commit_status;
+
+    cluster->sim().RunFor(crash_delay_ms * kMicrosPerMilli);
+    cluster->Crash(cluster->topology().InitialLeader(0));
+    cluster->sim().RunFor(30 * kMicrosPerSecond);
+
+    EXPECT_EQ(LeaderValue(*cluster, k).value, "must-survive")
+        << "acknowledged commit lost (crash_delay=" << crash_delay_ms
+        << "ms)";
+    for (NodeId replica : cluster->topology().Replicas(1)) {
+      if (!cluster->network().IsAlive(replica)) continue;
+      EXPECT_EQ(cluster->server(replica)->pending().size(), 0u);
+    }
+  }
+}
+
+/// A voluntarily aborted transaction stays aborted across coordinator
+/// failover: the abort releases the pending entries and no later leader
+/// may resurrect the write.
+TEST(RecoveryTest, CoordinatorFailoverKeepsVoluntaryAbort) {
+  auto cluster = MakeSmallCluster(FastCpcOptions(), /*seed=*/83);
+  const Key k = KeyInPartition(*cluster, 1, "va");
+  core::CarouselClient* client = cluster->client(0);
+  const TxnId tid = client->Begin();
+  bool aborted = false;
+  client->ReadAndPrepare(tid, {k}, {k},
+                         [&](Status, const core::CarouselClient::ReadResults&) {
+                           client->Abort(tid);
+                           aborted = true;
+                         });
+  cluster->sim().RunFor(2 * kMicrosPerSecond);
+  ASSERT_TRUE(aborted);
+
+  cluster->Crash(cluster->topology().InitialLeader(0));
+  cluster->sim().RunFor(30 * kMicrosPerSecond);
+
+  EXPECT_EQ(LeaderValue(*cluster, k).version, 0u) << "aborted write applied";
+  for (NodeId replica : cluster->topology().Replicas(1)) {
+    if (!cluster->network().IsAlive(replica)) continue;
+    EXPECT_EQ(cluster->server(replica)->pending().size(), 0u);
+  }
+  // The key is free for the next transaction.
+  TxnOutcome out = RunTxn(*cluster, 1, {k}, {{k, "next"}});
+  EXPECT_TRUE(out.commit_status.ok()) << out.commit_status;
+}
+
+/// Double failover: the coordinator group loses two leaders in a row
+/// around one transaction; the surviving replica still terminates it
+/// consistently (f = 1, so the second crash only lands after the first
+/// node recovered).
+TEST(RecoveryTest, BackToBackCoordinatorFailovers) {
+  auto cluster = MakeSmallCluster(FastCpcOptions(), /*seed=*/89);
+  const Key k = KeyInPartition(*cluster, 1, "bb");
+  TxnOutcome out = RunTxn(*cluster, 0, {k}, {{k, "v1"}});
+  ASSERT_TRUE(out.commit_status.ok());
+
+  const NodeId first = cluster->topology().InitialLeader(0);
+  cluster->Crash(first);
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  cluster->Recover(first);
+  cluster->sim().RunFor(5 * kMicrosPerSecond);
+  core::CarouselServer* second = cluster->LeaderOf(0);
+  ASSERT_NE(second, nullptr);
+  cluster->Crash(second->id());
+  cluster->sim().RunFor(10 * kMicrosPerSecond);
+
+  EXPECT_EQ(LeaderValue(*cluster, k).value, "v1");
+  TxnOutcome after = RunTxn(*cluster, 1, {k}, {{k, "v2"}});
+  ASSERT_TRUE(after.commit_done);
+  EXPECT_TRUE(after.commit_status.ok()) << after.commit_status;
+  EXPECT_EQ(after.reads.at(k).value, "v1");
+}
+
+}  // namespace
+}  // namespace carousel::test

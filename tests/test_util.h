@@ -26,6 +26,15 @@ inline core::CarouselOptions FastRaftOptions() {
   return options;
 }
 
+/// FastRaftOptions plus the Carousel Fast features (CPC fast path and
+/// local-replica reads) that most failure/CPC tests exercise.
+inline core::CarouselOptions FastCpcOptions() {
+  core::CarouselOptions options = FastRaftOptions();
+  options.fast_path = true;
+  options.local_reads = true;
+  return options;
+}
+
 inline Topology SmallTopology(int num_dcs = 3, int partitions = 3,
                               int replication = 3, int clients_per_dc = 2,
                               double rtt_ms = 20) {
@@ -35,6 +44,42 @@ inline Topology SmallTopology(int num_dcs = 3, int partitions = 3,
     for (int i = 0; i < clients_per_dc; ++i) topo.AddClient(dc);
   }
   return topo;
+}
+
+/// A started cluster over SmallTopology() — the common fixture for
+/// cluster-level tests.
+inline std::unique_ptr<core::Cluster> MakeSmallCluster(
+    core::CarouselOptions options, uint64_t seed = 21, int num_dcs = 3,
+    int partitions = 3) {
+  auto cluster = std::make_unique<core::Cluster>(
+      SmallTopology(num_dcs, partitions), options, sim::NetworkOptions{},
+      seed);
+  cluster->Start();
+  return cluster;
+}
+
+/// A started cluster over the paper's EC2 deployment (5 DCs, 5 partitions,
+/// replication 3) with one client in `client_dc`.
+inline std::unique_ptr<core::Cluster> Ec2Cluster(core::CarouselOptions options,
+                                                 DcId client_dc,
+                                                 uint64_t seed = 11) {
+  Topology topo = Topology::PaperEc2();
+  topo.PlacePartitions(5, 3);
+  topo.AddClient(client_dc);
+  auto cluster = std::make_unique<core::Cluster>(
+      std::move(topo), options, sim::NetworkOptions{}, seed);
+  cluster->Start();
+  return cluster;
+}
+
+/// A key owned by `partition`, found by probing `tag`-prefixed names.
+inline Key KeyInPartition(const core::Cluster& cluster, PartitionId p,
+                          const std::string& tag) {
+  for (int i = 0; i < 100000; ++i) {
+    Key k = tag + std::to_string(i);
+    if (cluster.directory().PartitionFor(k) == p) return k;
+  }
+  return "";
 }
 
 /// Synchronous-looking transaction execution for tests: issues the

@@ -1,0 +1,126 @@
+// carousel_chaos — seed-sweeping chaos harness.
+//
+// Each seed deterministically samples a deployment (topology, replication,
+// latency, loss), a workload mix, and a nemesis schedule (leader crashes,
+// client crashes, DC partitions that heal mid-run), runs the full Carousel
+// stack under it, and certifies the resulting history with the
+// direct-serialization-graph checker. A violation prints the seed, the
+// nemesis schedule and a minimized offending history — replay it with
+// --seed=<N> and the same flags.
+//
+// Examples:
+//   carousel_chaos --seeds=500                    # CI sweep
+//   carousel_chaos --seed=1234 --verbose          # replay one seed
+//   carousel_chaos --seeds=50 --inject-bug=fast-path   # checker self-test
+//
+// Flags:
+//   --seeds=N            sweep seeds seed-base .. seed-base+N-1 (default 20)
+//   --seed=N             run exactly one seed (full report)
+//   --seed-base=N        first seed of a sweep (default 1)
+//   --txns=N             transaction invocations per seed (default 120)
+//   --inject-bug=fast-path|stale-read   enable a flag-gated protocol bug
+//   --verbose            print a summary line for every seed, not only fails
+//   --report-dir=PATH    also write each failing seed's full report to
+//                        PATH/seed-<N>.txt (for CI artifact upload)
+//
+// Exit status: 0 when every seed checked clean, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "check/chaos.h"
+
+namespace {
+
+bool ParseU64(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 20;
+  uint64_t seed_base = 1;
+  uint64_t single_seed = 0;
+  bool have_single_seed = false;
+  uint64_t txns = 120;
+  std::string bug;
+  std::string report_dir;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (ParseU64(arg, "--seeds", &seeds)) continue;
+    if (ParseU64(arg, "--seed-base", &seed_base)) continue;
+    if (ParseU64(arg, "--seed", &value)) {
+      single_seed = value;
+      have_single_seed = true;
+      continue;
+    }
+    if (ParseU64(arg, "--txns", &txns)) continue;
+    if (std::strncmp(arg, "--inject-bug=", 13) == 0) {
+      bug = arg + 13;
+      continue;
+    }
+    if (std::strncmp(arg, "--report-dir=", 13) == 0) {
+      report_dir = arg + 13;
+      continue;
+    }
+    if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s (see header comment)\n", arg);
+    return 2;
+  }
+  if (!bug.empty() && bug != "fast-path" && bug != "stale-read") {
+    std::fprintf(stderr, "--inject-bug must be fast-path or stale-read\n");
+    return 2;
+  }
+
+  const uint64_t first = have_single_seed ? single_seed : seed_base;
+  const uint64_t count = have_single_seed ? 1 : seeds;
+  uint64_t failures = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    carousel::check::ChaosConfig config;
+    config.seed = first + i;
+    config.txns = static_cast<int>(txns);
+    config.inject_bug_fast_path = bug == "fast-path";
+    config.inject_bug_stale_read = bug == "stale-read";
+    carousel::check::ChaosResult result =
+        carousel::check::RunChaosSeed(config);
+    if (result.ok()) {
+      if (verbose || have_single_seed) {
+        std::printf("%s\n", result.Summary().c_str());
+      }
+      continue;
+    }
+    failures++;
+    const std::string replay =
+        "replay: carousel_chaos --seed=" + std::to_string(config.seed) +
+        " --txns=" + std::to_string(txns) +
+        (bug.empty() ? "" : " --inject-bug=" + bug) + "\n";
+    std::printf("%s%s", result.Report().c_str(), replay.c_str());
+    if (!report_dir.empty()) {
+      // The directory must exist (CI creates it); a write failure only
+      // costs the artifact, never the exit status.
+      std::ofstream out(report_dir + "/seed-" + std::to_string(config.seed) +
+                        ".txt");
+      if (out) out << result.Report() << replay;
+    }
+  }
+  std::printf("chaos: %llu/%llu seed(s) failed (seeds %llu..%llu, txns=%llu%s%s)\n",
+              (unsigned long long)failures, (unsigned long long)count,
+              (unsigned long long)first,
+              (unsigned long long)(first + count - 1),
+              (unsigned long long)txns,
+              bug.empty() ? "" : ", bug=", bug.c_str());
+  return failures == 0 ? 0 : 1;
+}
