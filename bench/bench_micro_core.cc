@@ -5,12 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/consistent_hash.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/topology.h"
 #include "common/zipfian.h"
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
+#include "sim/arena.h"
+#include "sim/batcher.h"
+#include "sim/network.h"
+#include "sim/node.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -127,6 +134,90 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+/// The realistic event shape: captures that overflow std::function's
+/// 16-byte small buffer (EventFn keeps them inline) and a mix of
+/// near-future deliveries with a sparse far-future timer tail, which is
+/// what the calendar event queue is tuned for.
+void BM_SimulatorDeliveryPattern(benchmark::State& state) {
+  struct Payload {
+    uint64_t sum = 0;
+  };
+  auto shared = std::make_shared<Payload>();
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+      const NodeId from = static_cast<NodeId>(i % 16);
+      const NodeId to = static_cast<NodeId>((i * 7) % 16);
+      // Delivery-like captures: two ids + a shared_ptr (40 bytes).
+      sim.Schedule(static_cast<SimTime>(rng.UniformInt(0, 5000)),
+                   [shared, from, to] {
+                     shared->sum += static_cast<uint64_t>(from + to);
+                   });
+      if (i % 50 == 0) {
+        // Timer-like far-future event (overflow heap territory).
+        sim.Schedule(static_cast<SimTime>(1'000'000 + i), [shared] {
+          shared->sum++;
+        });
+      }
+    }
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(state.iterations() * 1020);
+}
+BENCHMARK(BM_SimulatorDeliveryPattern);
+
+struct BenchMsg final : sim::Message {
+  uint64_t a = 0, b = 0;
+  int type() const override { return sim::kPing; }
+  size_t SizeBytes() const override { return 24; }
+};
+
+/// Pooled message allocation (sim/arena.h) as used by every protocol send.
+void BM_ArenaMakeMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    auto msg = sim::MakeMessage<BenchMsg>();
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaMakeMessage);
+
+class SinkNode : public sim::Node {
+ public:
+  using sim::Node::Node;
+  void HandleMessage(NodeId /*from*/,
+                     const sim::MessagePtr& /*msg*/) override {
+    received_++;
+  }
+  uint64_t received_ = 0;
+};
+
+/// Egress batcher hot path: bursts to one destination, drained through
+/// the network each window.
+void BM_BatcherSendFlush(benchmark::State& state) {
+  sim::Simulator sim(1);
+  Topology topo = Topology::Uniform(1, 1.0);
+  topo.AddClient(0);
+  topo.AddClient(0);
+  sim::Network net(&sim, &topo, sim::NetworkOptions{});
+  SinkNode sender(0, 0), receiver(1, 0);
+  net.Register(&sender);
+  net.Register(&receiver);
+  sim::MessageBatcher::Options opts;
+  opts.flush_interval = 50;
+  sim::MessageBatcher batcher(&sender, opts);
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      batcher.Send(1, sim::MakeMessage<BenchMsg>());
+    }
+    sim.RunFor(100);
+  }
+  benchmark::DoNotOptimize(receiver.received_);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_BatcherSendFlush);
 
 }  // namespace
 }  // namespace carousel

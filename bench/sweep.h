@@ -16,9 +16,12 @@ struct SweepPoint {
   int64_t p50_us = 0;
 };
 
-/// The target-throughput axis of Figures 5 and 6.
+/// The target-throughput axis of Figures 5 and 6. The fast-mode top
+/// target (6000) sits past the unbatched Carousel knee (~4.3 k) but
+/// before the batched one (~7 k), so the smoke run still demonstrates the
+/// batching win at a CPU-bound point.
 inline std::vector<double> SweepTargets() {
-  if (FastMode()) return {1000, 4000, 8000};
+  if (FastMode()) return {1000, 4000, 6000};
   return {500, 1000, 2000, 3000, 4000, 5000, 6000, 8000, 10000};
 }
 
@@ -26,7 +29,8 @@ inline std::vector<double> SweepTargets() {
 /// the target-throughput sweep: 5 DCs at 5 ms RTT, Retwis over 10 M keys,
 /// the calibrated server CPU model, open-loop arrivals.
 inline std::vector<SweepPoint> ThroughputSweep(SystemKind kind,
-                                               uint64_t seed = 77) {
+                                               uint64_t seed = 77,
+                                               bool batching = false) {
   workload::WorkloadOptions wopts;
   wopts.num_keys = FastMode() ? 1'000'000 : 10'000'000;
 
@@ -34,16 +38,18 @@ inline std::vector<SweepPoint> ThroughputSweep(SystemKind kind,
   for (double target : SweepTargets()) {
     workload::DriverOptions dopts;
     dopts.target_tps = target;
-    dopts.duration = (FastMode() ? 10 : 16) * kMicrosPerSecond;
+    dopts.duration = (FastMode() ? 6 : 16) * kMicrosPerSecond;
     dopts.warmup = (FastMode() ? 2 : 4) * kMicrosPerSecond;
-    dopts.cooldown = (FastMode() ? 2 : 4) * kMicrosPerSecond;
+    dopts.cooldown = (FastMode() ? 1 : 4) * kMicrosPerSecond;
 
     auto generator = workload::MakeRetwisGenerator(wopts);
     // Paper: up to 8 client machines per DC; we provision enough client
     // slots that the client pool is not the bottleneck below saturation.
-    BenchRun run = RunSystem(kind, LocalClusterTopology(/*clients_per_dc=*/120),
-                             generator.get(), dopts, ThroughputCostModel(),
-                             seed);
+    // Fast mode halves the pool — 300 clients still cover 6 k tps with
+    // p50 ~12 ms latencies — because idle clients cost simulator events.
+    BenchRun run = RunSystem(
+        kind, LocalClusterTopology(/*clients_per_dc=*/FastMode() ? 60 : 120),
+        generator.get(), dopts, ThroughputCostModel(), seed, batching);
     SweepPoint point;
     point.target_tps = target;
     point.committed_tps = run.result.CommittedTps();

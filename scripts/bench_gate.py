@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare BENCH_*.json results against committed
+baselines.
+
+Usage:
+    scripts/bench_gate.py --baseline-dir bench/baselines --result-dir DIR \
+        [--tolerance 0.10]
+
+For every BENCH_<name>.json in the baseline directory, the same file must
+exist in the result directory, and every (config, metric) in the baseline
+must be present there and within +/-tolerance (relative). The comparison
+is strict in one direction only for presence: extra configs/metrics in the
+result are allowed (a new bench config is not a regression), but anything
+recorded in the baseline must still exist.
+
+Baselines hold only deterministic simulated metrics (throughput, ratios) —
+never wall-clock, which is machine-dependent. Regenerate with the recipe
+in EXPERIMENTS.md after an intentional performance change.
+
+Exit status: 0 when all metrics are within tolerance, 1 on regression or
+missing data, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_bench(path):
+    """Returns {config_name: {metric: value}} from one BENCH_*.json."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for config in doc.get("configs", []):
+        out[config["name"]] = dict(config.get("metrics", {}))
+    return out
+
+
+def compare(name, baseline, result, tolerance, rows):
+    """Appends delta rows; returns the number of failures."""
+    failures = 0
+    for config, metrics in sorted(baseline.items()):
+        if config not in result:
+            rows.append((name, config, "<config missing>", "", "", "FAIL"))
+            failures += 1
+            continue
+        for metric, base_value in metrics.items():
+            if metric not in result[config]:
+                rows.append((name, config, metric, f"{base_value:g}", "missing",
+                             "FAIL"))
+                failures += 1
+                continue
+            new_value = result[config][metric]
+            if base_value == 0:
+                ok = abs(new_value) < 1e-9
+                delta = "n/a" if ok else "inf"
+            else:
+                rel = (new_value - base_value) / base_value
+                delta = f"{rel:+.1%}"
+                ok = abs(rel) <= tolerance
+            rows.append((name, config, metric, f"{base_value:g}",
+                         f"{new_value:g}", delta if ok else f"{delta} FAIL"))
+            if not ok:
+                failures += 1
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--result-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"bench_gate: baseline dir not found: {args.baseline_dir}")
+        return 2
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"bench_gate: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 2
+
+    rows = []
+    failures = 0
+    for fname in baselines:
+        base_path = os.path.join(args.baseline_dir, fname)
+        result_path = os.path.join(args.result_dir, fname)
+        if not os.path.isfile(result_path):
+            print(f"bench_gate: result file missing: {result_path}")
+            failures += 1
+            continue
+        failures += compare(fname, load_bench(base_path),
+                            load_bench(result_path), args.tolerance, rows)
+
+    widths = [max(len(str(row[i])) for row in
+                  rows + [("file", "config", "metric", "baseline", "result",
+                           "delta")])
+              for i in range(6)]
+    header = ("file", "config", "metric", "baseline", "result", "delta")
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+    if failures:
+        print(f"\nbench_gate: FAIL — {failures} metric(s) outside "
+              f"+/-{args.tolerance:.0%} of baseline")
+        print("If the change is intentional, regenerate bench/baselines/ "
+              "(see EXPERIMENTS.md) and commit the new numbers.")
+        return 1
+    print(f"\nbench_gate: OK — all metrics within +/-{args.tolerance:.0%} "
+          f"of baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
-# CI entry point. Three legs:
+# CI entry point. Four legs:
 #   1. Tier-1 verify: RelWithDebInfo build with -Werror on library targets,
 #      the fast (`-L tier1`) ctest suite.
-#   2. Chaos leg: the slow-labeled suite (pinned chaos corpus) plus a
-#      bounded seed sweep of the chaos harness. A failing seed prints a
-#      self-contained report; replay it locally with
+#   2. Chaos leg: the slow-labeled suite (pinned chaos corpus, batched and
+#      unbatched) plus a bounded seed sweep of the chaos harness. A failing
+#      seed prints a self-contained report; replay it locally with
 #        ./build/tools/carousel_chaos --seed=<N>
 #   3. Sanitizer leg: ASan + UBSan build in a separate tree, full ctest.
+#   4. Bench leg: smoke-scale Figure-5 throughput sweep (batched and
+#      unbatched configs) plus the core microbenchmarks; writes BENCH_*.json
+#      into $BENCH_JSON_DIR and gates the simulated-throughput metrics
+#      against bench/baselines/ (+/-10%). Wall-clock is never gated.
 #
 # Usage: scripts/ci.sh [jobs]       (defaults to nproc)
 #   CHAOS_SEEDS=N                   sweep size for leg 2 (default 200)
+#   BENCH_JSON_DIR=PATH             output dir for leg 4 JSONs
+#                                   (default build/bench-json)
+#   SKIP_BENCH_GATE=1               run leg 4 benches but skip the gate
+#                                   (for branches that intentionally move
+#                                   the numbers; regenerate baselines
+#                                   before merging — see EXPERIMENTS.md)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-200}"
+BENCH_JSON_DIR="${BENCH_JSON_DIR:-build/bench-json}"
 
 echo "== leg 1: tier-1 verify (RelWithDebInfo, -Werror on src/) =="
 cmake -B build -S . -DCAROUSEL_WERROR=ON
@@ -33,6 +44,24 @@ cmake -B build-asan -S . -DCAROUSEL_WERROR=ON -DCAROUSEL_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo
+echo "== leg 4: bench smoke + gate =="
+mkdir -p "$BENCH_JSON_DIR"
+CAROUSEL_BENCH_FAST=1 CAROUSEL_BENCH_JSON_DIR="$BENCH_JSON_DIR" \
+    ./build/bench/bench_fig5_throughput
+# The installed google-benchmark wants a plain double for min_time (the
+# "0.05s" suffix form is newer). The JSON goes to artifacts only — micro
+# wall-clock is too machine-dependent to gate.
+./build/bench/bench_micro_core --benchmark_min_time=0.05 \
+    --benchmark_out="$BENCH_JSON_DIR/BENCH_micro_core.json" \
+    --benchmark_out_format=json
+if [[ "${SKIP_BENCH_GATE:-0}" != "1" ]]; then
+  python3 scripts/bench_gate.py --baseline-dir bench/baselines \
+      --result-dir "$BENCH_JSON_DIR"
+else
+  echo "bench gate skipped (SKIP_BENCH_GATE=1)"
+fi
 
 echo
 echo "CI: all legs passed"

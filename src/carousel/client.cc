@@ -1,6 +1,8 @@
 #include "carousel/client.h"
 
 #include <memory>
+
+#include "sim/arena.h"
 #include <utility>
 
 #include "sim/simulator.h"
@@ -54,7 +56,7 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
     for (const auto& [p, rw] : txn.keys) participants.insert(p);
     txn.coordinator = directory_->CoordinatorFor(dc(), participants);
 
-    auto notify = std::make_shared<CoordPrepareMsg>();
+    auto notify = sim::MakeMessage<CoordPrepareMsg>();
     notify->tid = tid;
     notify->client = id();
     notify->fast_path = options_.fast_path;
@@ -76,7 +78,7 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
   for (const auto& [p, rw] : txn.keys) {
     const bool need_data = txn.awaiting_data.count(p) > 0;
     auto make_msg = [&](bool want_data) {
-      auto msg = std::make_shared<ReadPrepareMsg>();
+      auto msg = sim::MakeMessage<ReadPrepareMsg>();
       msg->tid = txn.tid;
       msg->partition = p;
       msg->client = id();
@@ -172,7 +174,7 @@ void CarouselClient::Commit(const TxnId& tid, CommitCallback callback) {
 }
 
 void CarouselClient::SendCommit(ActiveTxn& txn, bool broadcast) {
-  auto msg = std::make_shared<CommitRequestMsg>();
+  auto msg = sim::MakeMessage<CommitRequestMsg>();
   msg->tid = txn.tid;
   msg->client = id();
   msg->writes = txn.writes;
@@ -194,7 +196,7 @@ void CarouselClient::Abort(const TxnId& tid) {
   if (it == txns_.end()) return;
   ActiveTxn& txn = it->second;
   if (!txn.read_only && txn.coordinator != kInvalidNode) {
-    auto msg = std::make_shared<AbortRequestMsg>();
+    auto msg = sim::MakeMessage<AbortRequestMsg>();
     msg->tid = tid;
     msg->client = id();
     network()->Send(id(), txn.coordinator, std::move(msg));
@@ -358,7 +360,7 @@ void CarouselClient::ArmHeartbeat(const TxnId& tid) {
     if (it == txns_.end() || it->second.hb_gen != gen) return;
     ActiveTxn& txn = it->second;
     if (txn.commit_sent) return;
-    auto msg = std::make_shared<HeartbeatMsg>();
+    auto msg = sim::MakeMessage<HeartbeatMsg>();
     msg->tid = tid;
     msg->client = id();
     network()->Send(id(), txn.coordinator, msg);

@@ -6,6 +6,9 @@ Cluster::Cluster(Topology topology, CarouselOptions options,
                  sim::NetworkOptions net_options, uint64_t seed)
     : topology_(std::move(topology)), sim_(seed) {
   directory_ = std::make_unique<Directory>(&topology_);
+  // The batching config is the single switch benches flip; carry its
+  // simulator-level half into the network options here.
+  net_options.coalesce_deliveries |= options.batching.coalesce_deliveries;
   network_ = std::make_unique<sim::Network>(&sim_, &topology_, net_options);
 
   ClientId next_client_id = 0;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/arena.h"
+
 namespace {
 // Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
 bool TraceEnabled() {
@@ -92,7 +94,7 @@ void Coordinator::HandleCoordPrepare(NodeId from, const CoordPrepareMsg& msg) {
 
   if (!txn.info_proposed) {
     txn.info_proposed = true;
-    auto log = std::make_shared<LogTxnInfo>();
+    auto log = sim::MakeMessage<LogTxnInfo>();
     log->tid = msg.tid;
     log->client = msg.client;
     log->fast_path = msg.fast_path;
@@ -106,7 +108,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
                                       const CommitRequestMsg& msg) {
   (void)from;
   if (!ctx_->IsLeader()) {
-    auto redirect = std::make_shared<NotLeaderMsg>();
+    auto redirect = sim::MakeMessage<NotLeaderMsg>();
     redirect->tid = msg.tid;
     redirect->partition = ctx_->partition;
     redirect->leader_hint = ctx_->raft->leader_hint();
@@ -131,7 +133,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
     // The prepare notification was lost (e.g., coordinator failover):
     // replicate transaction info now, from the copy in the commit request.
     txn.info_proposed = true;
-    auto info = std::make_shared<LogTxnInfo>();
+    auto info = sim::MakeMessage<LogTxnInfo>();
     info->tid = msg.tid;
     info->client = msg.client;
     info->fast_path = txn.fast;
@@ -139,7 +141,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
     ctx_->raft->Propose(std::move(info)).ok();
   }
 
-  auto log = std::make_shared<LogWriteData>();
+  auto log = sim::MakeMessage<LogWriteData>();
   log->tid = msg.tid;
   log->writes = msg.writes;
   log->client_versions = msg.read_versions;
@@ -318,7 +320,7 @@ void Coordinator::Decide(CoordTxn& txn, bool commit,
                      reason);
 
   if (ctx_->IsLeader()) {
-    auto log = std::make_shared<LogDecision>();
+    auto log = sim::MakeMessage<LogDecision>();
     log->tid = txn.tid;
     log->commit = commit;
     ctx_->raft->Propose(std::move(log)).ok();
@@ -365,7 +367,7 @@ void Coordinator::StartWriteback(CoordTxn& txn) {
 
 void Coordinator::SendWriteback(CoordTxn& txn, PartitionId partition,
                                 NodeId target) {
-  auto msg = std::make_shared<WritebackMsg>();
+  auto msg = sim::MakeMessage<WritebackMsg>();
   msg->tid = txn.tid;
   msg->partition = partition;
   msg->coordinator = ctx_->self;
@@ -420,7 +422,7 @@ void Coordinator::ArmCoordRetryTimer(const TxnId& tid) {
             auto part = txn.parts.find(p);
             if (part != txn.parts.end() && part->second.decided) continue;
             for (NodeId replica : ctx_->directory->Replicas(p)) {
-              auto query = std::make_shared<QueryPrepareMsg>();
+              auto query = sim::MakeMessage<QueryPrepareMsg>();
               query->tid = tid;
               query->partition = p;
               query->coordinator = ctx_->self;
@@ -486,7 +488,7 @@ void Coordinator::HandleHeartbeat(NodeId from, const HeartbeatMsg& msg) {
 void Coordinator::HandleQueryDecision(NodeId from,
                                       const QueryDecisionMsg& msg) {
   if (!ctx_->IsLeader()) return;
-  auto reply = std::make_shared<WritebackMsg>();
+  auto reply = sim::MakeMessage<WritebackMsg>();
   reply->tid = msg.tid;
   reply->partition = msg.partition;
   reply->coordinator = ctx_->self;
@@ -524,7 +526,7 @@ void Coordinator::HandleQueryDecision(NodeId from,
   auto& waiters = pending_fence_queries_[msg.tid];
   waiters.emplace_back(from, msg.partition);
   if (waiters.size() == 1) {
-    auto log = std::make_shared<LogDecision>();
+    auto log = sim::MakeMessage<LogDecision>();
     log->tid = msg.tid;
     log->commit = false;
     ctx_->raft->Propose(std::move(log)).ok();
@@ -542,7 +544,7 @@ void Coordinator::AnswerFenceQueries(const TxnId& tid) {
     ctx_->RecordDecision(tid, false, "termination fence");
   }
   for (const auto& [node, partition] : pend->second) {
-    auto reply = std::make_shared<WritebackMsg>();
+    auto reply = sim::MakeMessage<WritebackMsg>();
     reply->tid = tid;
     reply->partition = partition;
     reply->coordinator = ctx_->self;
@@ -562,7 +564,7 @@ void Coordinator::AnswerFenceQueries(const TxnId& tid) {
 void Coordinator::ReplyToClient(NodeId client, const TxnId& tid,
                                 bool committed, const std::string& reason) {
   if (client == kInvalidNode) return;
-  auto msg = std::make_shared<CommitResponseMsg>();
+  auto msg = sim::MakeMessage<CommitResponseMsg>();
   msg->tid = tid;
   msg->committed = committed;
   msg->reason = reason;
@@ -621,7 +623,7 @@ void Coordinator::TakeOverCoordination() {
       if (!txn.decision_logged) {
         // Our commit was externalized but its LogDecision may have died
         // with the old term; re-propose so the group eventually agrees.
-        auto log = std::make_shared<LogDecision>();
+        auto log = sim::MakeMessage<LogDecision>();
         log->tid = tid;
         log->commit = txn.committed;
         ctx_->raft->Propose(std::move(log)).ok();
@@ -651,7 +653,7 @@ void Coordinator::TakeOverCoordination() {
       auto part = txn.parts.find(p);
       if (part != txn.parts.end() && part->second.decided) continue;
       for (NodeId replica : ctx_->directory->Replicas(p)) {
-        auto query = std::make_shared<QueryPrepareMsg>();
+        auto query = sim::MakeMessage<QueryPrepareMsg>();
         query->tid = tid;
         query->partition = p;
         query->coordinator = ctx_->self;

@@ -3,6 +3,7 @@
 
 #include "common/types.h"
 #include "raft/raft_node.h"
+#include "sim/batcher.h"
 
 namespace carousel::core {
 
@@ -16,11 +17,44 @@ struct ServerCostModel {
   SimTime per_occ_key = 0;      // conflict-check per key
   SimTime per_write_key = 0;    // apply per written key
   SimTime per_log_entry = 0;    // raft append/apply per entry
+  /// Dispatch overhead for a message arriving inside a BatchEnvelopeMsg:
+  /// the envelope pays `base` once (syscall/RPC framing) and each carried
+  /// message only this smaller demux charge plus its payload-proportional
+  /// terms. Batching's throughput win is exactly base - per_batched_item
+  /// per amortized message. Defaults to base when <0 (i.e. no win) so the
+  /// term is harmless when unset.
+  SimTime per_batched_item = -1;
   /// CPU cores per server. Carousel's prototype (Go, goroutine-per-
   /// request) exploits all cores of the paper's 8-vCPU instances, whereas
   /// TAPIR's reference implementation processes requests on a single
   /// event loop; benches model that difference here.
   int cores = 1;
+};
+
+/// Egress batching of server-to-server traffic (prepare fan-out, CPC
+/// votes, Raft appends, writebacks). Off by default: unbatched is the
+/// historical behavior and the ablation baseline.
+struct BatchingOptions {
+  bool enabled = false;
+  /// Egress flush window / idle threshold (sim/batcher.h semantics).
+  /// Must stay well below Raft election timeouts and client retry
+  /// timeouts; 50 us matches a tight syscall-coalescing loop, not an
+  /// artificial delay.
+  SimTime flush_interval = 50;
+  /// Early-flush threshold per destination window.
+  size_t max_batch_items = 64;
+  /// Also coalesce same-edge same-tick deliveries inside the simulator
+  /// (sim::NetworkOptions::coalesce_deliveries). A wall-clock
+  /// optimization; gated here so the cluster wiring can set it in one
+  /// place.
+  bool coalesce_deliveries = false;
+
+  sim::MessageBatcher::Options ToBatcherOptions() const {
+    sim::MessageBatcher::Options o;
+    o.flush_interval = flush_interval;
+    o.max_items = max_batch_items;
+    return o;
+  }
 };
 
 /// Configuration of a Carousel deployment.
@@ -69,6 +103,7 @@ struct CarouselOptions {
 
   raft::RaftOptions raft;
   ServerCostModel cost;
+  BatchingOptions batching;
 };
 
 }  // namespace carousel::core

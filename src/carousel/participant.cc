@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/arena.h"
+
 namespace {
 // Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
 bool TraceEnabled() {
@@ -38,7 +40,7 @@ void Participant::RegisterApply(sim::Dispatcher* apply) {
 }
 
 void Participant::SendReadData(const ReadPrepareMsg& msg, bool from_leader) {
-  auto reply = std::make_shared<ReadResponseMsg>();
+  auto reply = sim::MakeMessage<ReadResponseMsg>();
   reply->tid = msg.tid;
   reply->partition = ctx_->partition;
   reply->from_leader = from_leader;
@@ -58,7 +60,7 @@ void Participant::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
   }
   if (msg.read_only) {
     if (!ctx_->IsLeader()) return;  // Read-only reads go to leaders only.
-    auto reply = std::make_shared<ReadResponseMsg>();
+    auto reply = sim::MakeMessage<ReadResponseMsg>();
     reply->tid = msg.tid;
     reply->partition = ctx_->partition;
     reply->from_leader = true;
@@ -139,7 +141,7 @@ void Participant::LeaderPrepare(const TxnId& tid, const KeyList& reads,
     SendDecision(coordinator, tid, prepared, versions, term, true, true);
   }
 
-  auto log = std::make_shared<LogPrepareResult>();
+  auto log = sim::MakeMessage<LogPrepareResult>();
   log->tid = tid;
   log->coordinator = coordinator;
   log->prepared = prepared;
@@ -186,7 +188,18 @@ void Participant::SendDecision(NodeId coordinator, const TxnId& tid,
                                uint64_t term, bool is_leader,
                                bool via_fast_path) {
   if (coordinator == kInvalidNode) return;
-  auto msg = std::make_shared<PrepareDecisionMsg>();
+  if (TraceEnabled()) {
+    std::string vs;
+    for (const auto& [k, v] : versions) {
+      vs += k + "@v" + std::to_string(v) + " ";
+    }
+    fprintf(stderr,
+            "[%lld] node %d SendDecision tid %s to coord %d prepared=%d "
+            "leader=%d fast=%d versions=[%s]\n",
+            (long long)ctx_->now(), ctx_->self, tid.ToString().c_str(),
+            coordinator, prepared, is_leader, via_fast_path, vs.c_str());
+  }
+  auto msg = sim::MakeMessage<PrepareDecisionMsg>();
   msg->tid = tid;
   msg->partition = ctx_->partition;
   msg->replica = ctx_->self;
@@ -232,13 +245,13 @@ void Participant::HandleWriteback(NodeId from, const WritebackMsg& msg) {
   if (!ctx_->IsLeader()) return;
   auto done = decided_.find(msg.tid);
   if (done != decided_.end()) {
-    auto ack = std::make_shared<WritebackAckMsg>();
+    auto ack = sim::MakeMessage<WritebackAckMsg>();
     ack->tid = msg.tid;
     ack->partition = ctx_->partition;
     ctx_->Send(msg.coordinator, std::move(ack));
     return;
   }
-  auto log = std::make_shared<LogCommit>();
+  auto log = sim::MakeMessage<LogCommit>();
   log->tid = msg.tid;
   log->coordinator = msg.coordinator;
   log->commit = msg.commit;
@@ -256,7 +269,7 @@ void Participant::ArmPendingGcTimer() {
       for (const kv::PendingTxn& entry : ctx_->pending->Snapshot()) {
         if (entry.prepared_at_micros < cutoff &&
             entry.coordinator != kInvalidNode) {
-          auto probe = std::make_shared<QueryDecisionMsg>();
+          auto probe = sim::MakeMessage<QueryDecisionMsg>();
           probe->tid = entry.tid;
           probe->partition = ctx_->partition;
           ctx_->Send(entry.coordinator, std::move(probe));
@@ -287,17 +300,25 @@ void Participant::ApplyPrepareResult(const LogPrepareResult& entry) {
         term = pinned->term;
       }
     } else if (entry.prepared) {
-      if (!ctx_->pending->Contains(entry.tid)) {
-        kv::PendingTxn pend;
-        pend.tid = entry.tid;
-        pend.read_keys = entry.read_keys;
-        pend.write_keys = entry.write_keys;
-        pend.read_versions = entry.read_versions;
-        pend.term = entry.term;
-        pend.coordinator = entry.coordinator;
-        pend.prepared_at_micros = ctx_->now();
-        ctx_->pending->Add(std::move(pend)).ok();
-      }
+      // The durable entry is the group-agreed prepare. A live tentative
+      // fast-path entry here may disagree with it — e.g. this replica's
+      // fast vote pinned older read versions, while the prepare that
+      // actually went through the log was taken afresh by the leader at a
+      // later store state (the original prepare never reached it). The
+      // log wins: every later quote of this prepare — QueryPrepare
+      // answers, recovery re-announcements — must carry the logged
+      // versions, or the coordinator's stale-read validation is defeated
+      // and a lost update can commit (chaos seed 1598).
+      ctx_->pending->Remove(entry.tid);
+      kv::PendingTxn pend;
+      pend.tid = entry.tid;
+      pend.read_keys = entry.read_keys;
+      pend.write_keys = entry.write_keys;
+      pend.read_versions = entry.read_versions;
+      pend.term = entry.term;
+      pend.coordinator = entry.coordinator;
+      pend.prepared_at_micros = ctx_->now();
+      ctx_->pending->Add(std::move(pend)).ok();
       logged_prepares_.insert(entry.tid);
     } else {
       // The leader refused the prepare; any tentative fast-path entry is
@@ -332,7 +353,7 @@ void Participant::ApplyCommitEntry(const LogCommit& entry) {
   }
   decided_[entry.tid] = entry.commit;
   if (ctx_->IsLeader()) {
-    auto ack = std::make_shared<WritebackAckMsg>();
+    auto ack = sim::MakeMessage<WritebackAckMsg>();
     ack->tid = entry.tid;
     ack->partition = ctx_->partition;
     ctx_->Send(entry.coordinator, std::move(ack));

@@ -1,7 +1,18 @@
 #include "carousel/recovery.h"
 
+#include <cstdio>
 #include <map>
 #include <memory>
+
+#include "sim/arena.h"
+
+namespace {
+// Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
+bool TraceEnabled() {
+  static const bool enabled = ::getenv("CAROUSEL_TRACE") != nullptr;
+  return enabled;
+}
+}  // namespace
 
 namespace carousel::core {
 
@@ -53,6 +64,13 @@ void Recovery::OnLeadership(
   }
   const bool enough_lists = static_cast<int>(lists.size()) >= f + 1;
   const int majority_needed = (f + 1) / 2 + 1;
+  if (TraceEnabled()) {
+    fprintf(stderr,
+            "[%lld] node %d CPC recovery term=%llu lists=%zu (need %d) "
+            "own_pending=%zu\n",
+            (long long)ctx_->now(), ctx_->self, (unsigned long long)term,
+            lists.size(), f + 1, lists.front().size());
+  }
 
   std::vector<kv::PendingTxn> survivors;
   if (enough_lists && f > 0) {
@@ -73,6 +91,11 @@ void Recovery::OnLeadership(
           agreeing++;
         }
       }
+      if (TraceEnabled()) {
+        fprintf(stderr, "[%lld] node %d CPC recovery tid %s agreeing=%d/%d\n",
+                (long long)ctx_->now(), ctx_->self, tid.ToString().c_str(),
+                agreeing, majority_needed);
+      }
       if (agreeing < majority_needed) continue;
 
       // Step 4: exclude stale versions (the failed leader always had the
@@ -84,7 +107,13 @@ void Recovery::OnLeadership(
           break;
         }
       }
-      if (stale) continue;
+      if (stale) {
+        if (TraceEnabled()) {
+          fprintf(stderr, "[%lld] node %d CPC recovery tid %s STALE\n",
+                  (long long)ctx_->now(), ctx_->self, tid.ToString().c_str());
+        }
+        continue;
+      }
       // ... and conflicts with slow-path prepared transactions.
       bool conflicts = false;
       for (const kv::PendingTxn& logged : ctx_->pending->Snapshot()) {
@@ -105,6 +134,10 @@ void Recovery::OnLeadership(
         }
       }
       if (conflicts) continue;
+      if (TraceEnabled()) {
+        fprintf(stderr, "[%lld] node %d CPC recovery tid %s SURVIVES\n",
+                (long long)ctx_->now(), ctx_->self, tid.ToString().c_str());
+      }
       survivors.push_back(*sample);
     }
   }
@@ -131,7 +164,7 @@ void Recovery::OnLeadership(
     }
     recovery_tids_.insert(s.tid);
     recovery_outstanding_++;
-    auto log = std::make_shared<LogPrepareResult>();
+    auto log = sim::MakeMessage<LogPrepareResult>();
     log->tid = s.tid;
     log->coordinator = s.coordinator;
     log->prepared = true;

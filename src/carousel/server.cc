@@ -38,7 +38,8 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
       partition_(info.partition),
       directory_(directory),
       options_(options),
-      group_members_(directory->Replicas(info.partition)) {
+      group_members_(directory->Replicas(info.partition)),
+      batcher_(this, options.batching.ToBatcherOptions()) {
   set_cores(options.cost.cores);
   raft_ = std::make_unique<raft::RaftNode>(partition_, id(), group_members_,
                                            sim, options.raft);
@@ -53,7 +54,7 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
   ctx_.raft = raft_.get();
   ctx_.sim = sim;
   ctx_.send = [this](NodeId to, sim::MessagePtr msg) {
-    network()->Send(id(), to, std::move(msg));
+    SendRouted(to, std::move(msg));
   };
   ctx_.node_alive = [this]() { return alive(); };
   ctx_.traces = traces;
@@ -83,8 +84,12 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
   apply_dispatcher_.OnRaw(
       sim::kLogNoop, [](NodeId /*from*/, const sim::MessagePtr& /*msg*/) {});
 
+  // Raft traffic is always server-to-server, so it shares the egress
+  // batcher: one flush can carry an AppendEntries plus CPC votes bound for
+  // the same replica. Raft tolerates the added <=flush_interval delay; it
+  // sits orders of magnitude under election timeouts.
   raft_->set_send_fn([this](NodeId to, sim::MessagePtr msg) {
-    network()->Send(id(), to, std::move(msg));
+    SendRouted(to, std::move(msg));
   });
   raft_->set_apply_fn([this](uint64_t index, const sim::MessagePtr& payload) {
     ApplyLogEntry(index, payload);
@@ -108,12 +113,46 @@ void CarouselServer::Start() {
   participant_->ArmPendingGcTimer();
 }
 
+void CarouselServer::SendRouted(NodeId to, sim::MessagePtr msg) {
+  if (options_.batching.enabled &&
+      !directory_->topology().node(to).is_client) {
+    batcher_.Send(to, std::move(msg));
+    return;
+  }
+  network()->Send(id(), to, std::move(msg));
+}
+
 void CarouselServer::HandleMessage(NodeId from, const sim::MessagePtr& msg) {
+  // A batch envelope unwraps here: each carried message takes the exact
+  // path it would have taken arriving alone (recovery buffering included),
+  // in its original send order. Envelopes never nest.
+  if (const auto* env = sim::TryAs<sim::BatchEnvelopeMsg>(*msg)) {
+    for (const sim::MessagePtr& item : env->items) {
+      HandleMessage(from, item);
+    }
+    return;
+  }
   // A freshly elected leader buffers requests until the CPC
   // failure-handling protocol completes (paper §4.3.3 step 1). Responses
   // (decisions, acks, heartbeats) and Raft traffic pass straight through.
   if (recovery_->MaybeBuffer(from, msg)) return;
   dispatcher_.Dispatch(from, msg);
+}
+
+SimTime CarouselServer::PayloadCost(const sim::Message& msg) const {
+  const ServerCostModel& c = options_.cost;
+  if (const auto* m = sim::TryAs<ReadPrepareMsg>(msg)) {
+    return c.per_read_key * static_cast<SimTime>(m->read_keys.size()) +
+           c.per_occ_key *
+               static_cast<SimTime>(m->read_keys.size() + m->write_keys.size());
+  }
+  if (const auto* m = sim::TryAs<raft::AppendEntriesMsg>(msg)) {
+    return c.per_log_entry * static_cast<SimTime>(m->entries.size());
+  }
+  if (const auto* m = sim::TryAs<WritebackMsg>(msg)) {
+    return c.per_write_key * static_cast<SimTime>(m->writes.size());
+  }
+  return 0;
 }
 
 SimTime CarouselServer::ServiceCost(const sim::Message& msg) const {
@@ -122,22 +161,24 @@ SimTime CarouselServer::ServiceCost(const sim::Message& msg) const {
       c.per_write_key == 0 && c.per_log_entry == 0) {
     return 0;
   }
-  if (const auto* m = sim::TryAs<ReadPrepareMsg>(msg)) {
-    return c.base +
-           c.per_read_key * static_cast<SimTime>(m->read_keys.size()) +
-           c.per_occ_key *
-               static_cast<SimTime>(m->read_keys.size() + m->write_keys.size());
+  // An envelope pays the per-message base once; each carried message pays
+  // only the cheaper demux charge plus its payload-proportional work.
+  // This cost split is where protocol batching buys simulated throughput.
+  if (const auto* env = sim::TryAs<sim::BatchEnvelopeMsg>(msg)) {
+    const SimTime per_item =
+        c.per_batched_item < 0 ? c.base : c.per_batched_item;
+    SimTime total = c.base;
+    for (const sim::MessagePtr& item : env->items) {
+      total += per_item + PayloadCost(*item);
+    }
+    return total;
   }
-  if (const auto* m = sim::TryAs<raft::AppendEntriesMsg>(msg)) {
-    return c.base + c.per_log_entry * static_cast<SimTime>(m->entries.size());
-  }
-  if (const auto* m = sim::TryAs<WritebackMsg>(msg)) {
-    return c.base + c.per_write_key * static_cast<SimTime>(m->writes.size());
-  }
-  return c.base;
+  return c.base + PayloadCost(msg);
 }
 
 void CarouselServer::OnCrash() {
+  // Buffered egress dies with the process, like bytes in a socket buffer.
+  batcher_.Clear();
   raft_->OnCrash();
   participant_->OnCrash();
 }

@@ -15,6 +15,7 @@
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
 #include "raft/raft_node.h"
+#include "sim/batcher.h"
 #include "sim/dispatcher.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -72,6 +73,11 @@ class CarouselServer : public sim::Node {
   Participant& participant() { return *participant_; }
   Coordinator& coordinator() { return *coordinator_; }
   Recovery& recovery() { return *recovery_; }
+  /// Egress batcher statistics (tests, benches). Counters stay zero when
+  /// batching is disabled.
+  const sim::MessageBatcher::Stats& batcher_stats() const {
+    return batcher_.stats();
+  }
   /// Network-message routing table (coverage tests).
   const sim::Dispatcher& dispatcher() const { return dispatcher_; }
   /// Raft log payload routing table (coverage tests).
@@ -83,6 +89,13 @@ class CarouselServer : public sim::Node {
 
  private:
   void ApplyLogEntry(uint64_t index, const sim::MessagePtr& payload);
+  /// Outbound routing: server-to-server traffic goes through the egress
+  /// batcher when batching is on; client-bound and all unbatched traffic
+  /// goes straight to the network.
+  void SendRouted(NodeId to, sim::MessagePtr msg);
+  /// CPU charge for one message's payload-proportional work (per-key,
+  /// per-entry terms), excluding the per-message dispatch base.
+  SimTime PayloadCost(const sim::Message& msg) const;
 
   // ---- Identity / wiring ----
   PartitionId partition_;
@@ -104,6 +117,7 @@ class CarouselServer : public sim::Node {
   // ---- Routing ----
   sim::Dispatcher dispatcher_;
   sim::Dispatcher apply_dispatcher_;
+  sim::MessageBatcher batcher_;
 };
 
 inline int CarouselServer::SupermajorityFor(int group_size) {

@@ -90,6 +90,8 @@ ChaosResult RunChaosSeed(const ChaosConfig& config) {
   options.pending_gc_interval = 5'000'000;
   options.bug_fast_path_skip_leader_check = config.inject_bug_fast_path;
   options.bug_skip_stale_read_check = config.inject_bug_stale_read;
+  options.batching.enabled = config.batching;
+  options.batching.coalesce_deliveries = config.batching;
 
   sim::NetworkOptions net;
   net.loss_fraction =
@@ -105,6 +107,7 @@ ChaosResult RunChaosSeed(const ChaosConfig& config) {
           << " fast_path=" << options.fast_path
           << " local_reads=" << options.local_reads
           << " closest_reads=" << options.closest_reads;
+    if (config.batching) setup << " batching=1";
     if (config.inject_bug_fast_path) setup << " BUG=fast-path-quorum";
     if (config.inject_bug_stale_read) setup << " BUG=skip-stale-read";
     result.setup = setup.str();

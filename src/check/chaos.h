@@ -18,6 +18,10 @@ struct ChaosConfig {
   /// Target number of transaction invocations (the sampled client/key mix
   /// decides how many actually run before the workload window closes).
   int txns = 120;
+  /// Run with egress batching + delivery coalescing on (CarouselOptions::
+  /// batching). Same seed with/without exercises the batch paths against
+  /// identical fault schedules.
+  bool batching = false;
   /// Flag-gated protocol bugs (see CarouselOptions); used to prove the
   /// checker catches real violations.
   bool inject_bug_fast_path = false;

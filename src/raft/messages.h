@@ -70,7 +70,9 @@ struct AppendEntriesMsg final : sim::Message {
   size_t SizeBytes() const override {
     size_t sz = 48;
     for (const auto& e : entries) {
-      sz += 16 + (e.payload ? e.payload->SizeBytes() : 0);
+      // WireSize: payloads are shared with the log and re-measured on
+      // every retransmission; never re-walk their key lists.
+      sz += 16 + (e.payload ? e.payload->WireSize() : 0);
     }
     return sz;
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "sim/arena.h"
+
 namespace carousel::raft {
 
 size_t PendingTxnWireSize(const kv::PendingTxn& txn) {
@@ -137,7 +139,7 @@ void RaftNode::BecomeCandidate() {
   leader_hint_ = kInvalidNode;
   ResetElectionTimer();
 
-  auto msg = std::make_shared<RequestVoteMsg>();
+  auto msg = sim::MakeMessage<RequestVoteMsg>();
   msg->group = group_;
   msg->term = term_;
   msg->candidate = self_;
@@ -163,7 +165,7 @@ void RaftNode::BecomeLeader() {
 
   // Append a no-op so entries from earlier terms become committable and we
   // can detect when the log is fully replicated (leader init).
-  log_.push_back(LogEntry{term_, std::make_shared<NoopPayload>()});
+  log_.push_back(LogEntry{term_, sim::MakeMessage<NoopPayload>()});
   leader_init_index_ = log_.size();
   leader_init_done_ = false;
   match_index_[SelfSlot()] = log_.size();
@@ -205,7 +207,7 @@ void RaftNode::BroadcastAppendEntries() {
 
 void RaftNode::SendAppendEntries(NodeId peer) {
   const int slot = SlotOf(peer);
-  auto msg = std::make_shared<AppendEntriesMsg>();
+  auto msg = sim::MakeMessage<AppendEntriesMsg>();
   msg->group = group_;
   msg->term = term_;
   msg->leader = self_;
@@ -228,7 +230,7 @@ void RaftNode::SendAppendEntries(NodeId peer) {
 void RaftNode::HandleRequestVote(NodeId from, const RequestVoteMsg& msg) {
   if (msg.term > term_) BecomeFollower(msg.term);
 
-  auto reply = std::make_shared<VoteResponseMsg>();
+  auto reply = sim::MakeMessage<VoteResponseMsg>();
   reply->group = group_;
   reply->term = term_;
   reply->voter = self_;
@@ -264,7 +266,7 @@ void RaftNode::HandleVoteResponse(NodeId from, const VoteResponseMsg& msg) {
 }
 
 void RaftNode::HandleAppendEntries(NodeId from, const AppendEntriesMsg& msg) {
-  auto reply = std::make_shared<AppendResponseMsg>();
+  auto reply = sim::MakeMessage<AppendResponseMsg>();
   reply->group = group_;
   reply->follower = self_;
 

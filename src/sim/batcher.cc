@@ -1,0 +1,63 @@
+#include "sim/batcher.h"
+
+#include <utility>
+
+#include "sim/arena.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace carousel::sim {
+
+void MessageBatcher::Send(NodeId to, MessagePtr msg) {
+  if (to == owner_->id()) {
+    owner_->network()->Send(owner_->id(), to, std::move(msg));
+    return;
+  }
+  Queue& q = QueueFor(to);
+  q.items.push_back(std::move(msg));
+  if (q.items.size() >= options_.max_items) {
+    Flush(to);
+    return;
+  }
+  if (!q.flush_scheduled) {
+    q.flush_scheduled = true;
+    const uint64_t epoch = q.epoch;
+    owner_->simulator()->Schedule(options_.flush_interval,
+                                  [this, to, epoch]() {
+                                    Queue& cur = QueueFor(to);
+                                    if (cur.epoch != epoch) return;
+                                    Flush(to);
+                                  });
+  }
+}
+
+void MessageBatcher::Flush(NodeId to) {
+  Queue& q = QueueFor(to);
+  q.epoch++;  // Any scheduled callback for the old window is now stale.
+  q.flush_scheduled = false;
+  if (q.items.empty()) return;
+  if (q.items.size() == 1) {
+    stats_.single_flushes++;
+    MessagePtr only = std::move(q.items.front());
+    q.items.clear();
+    owner_->network()->Send(owner_->id(), to, std::move(only));
+    return;
+  }
+  stats_.envelopes++;
+  stats_.enveloped_items += q.items.size();
+  auto envelope = MakeMessage<BatchEnvelopeMsg>();
+  envelope->items = std::move(q.items);
+  q.items.clear();
+  owner_->network()->Send(owner_->id(), to, std::move(envelope));
+}
+
+void MessageBatcher::Clear() {
+  for (Queue& q : queues_) {
+    q.items.clear();
+    q.epoch++;
+    q.flush_scheduled = false;
+  }
+}
+
+}  // namespace carousel::sim

@@ -1,0 +1,122 @@
+#ifndef CAROUSEL_SIM_INLINE_FUNCTION_H_
+#define CAROUSEL_SIM_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace carousel::sim {
+
+/// Move-only callable holder for simulator events, sized so typical event
+/// captures (a network/node pointer, a couple of node ids, a MessagePtr)
+/// live inline instead of on the heap. std::function's small-object buffer
+/// is 16 bytes on libstdc++, which every delivery and service-completion
+/// lambda overflows — at millions of events per simulated second those
+/// heap round-trips are a measurable slice of bench wall-clock. Oversized
+/// callables transparently fall back to one heap allocation.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 56;
+
+  EventFn() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT: implicit so call sites just pass lambdas.
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst's storage from src's and destructs src's; the
+    /// caller is responsible for clearing src's ops_.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static void InlineInvoke(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+  template <typename Fn>
+  static void InlineRelocate(void* dst, void* src) {
+    ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+    static_cast<Fn*>(src)->~Fn();
+  }
+  template <typename Fn>
+  static void InlineDestroy(void* p) {
+    static_cast<Fn*>(p)->~Fn();
+  }
+  template <typename Fn>
+  static constexpr Ops kInlineOps{&InlineInvoke<Fn>, &InlineRelocate<Fn>,
+                                  &InlineDestroy<Fn>};
+
+  template <typename Fn>
+  static Fn*& HeapSlot(void* p) {
+    return *static_cast<Fn**>(p);
+  }
+  template <typename Fn>
+  static void HeapInvoke(void* p) {
+    (*HeapSlot<Fn>(p))();
+  }
+  template <typename Fn>
+  static void HeapRelocate(void* dst, void* src) {
+    ::new (dst) Fn*(HeapSlot<Fn>(src));
+  }
+  template <typename Fn>
+  static void HeapDestroy(void* p) {
+    delete HeapSlot<Fn>(p);
+  }
+  template <typename Fn>
+  static constexpr Ops kHeapOps{&HeapInvoke<Fn>, &HeapRelocate<Fn>,
+                                &HeapDestroy<Fn>};
+
+  void MoveFrom(EventFn&& other) {
+    if (other.ops_ == nullptr) return;
+    ops_ = other.ops_;
+    ops_->relocate(buf_, other.buf_);
+    other.ops_ = nullptr;
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_INLINE_FUNCTION_H_

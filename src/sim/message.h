@@ -1,7 +1,9 @@
 #ifndef CAROUSEL_SIM_MESSAGE_H_
 #define CAROUSEL_SIM_MESSAGE_H_
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 namespace carousel::sim {
 
@@ -14,6 +16,7 @@ enum MessageType : int {
   // sim/test messages: 1..99
   kPing = 1,
   kPong = 2,
+  kBatchEnvelope = 10,
 
   // raft: 100..199
   kRaftRequestVote = 100,
@@ -70,6 +73,19 @@ class Message {
   /// Approximate serialized size in bytes (payload only; the network adds
   /// per-message header overhead). Used for Figure 7 bandwidth accounting.
   virtual size_t SizeBytes() const = 0;
+
+  /// Memoized SizeBytes. A message is frozen once handed to the network
+  /// (MessagePtr is pointer-to-const), but its size keeps being read: by
+  /// traffic accounting at send and delivery, and — the expensive case —
+  /// by every AppendEntries that carries it as a log payload, across
+  /// every (re)transmission to every follower. Hot paths must use this.
+  size_t WireSize() const {
+    if (wire_size_ == 0) wire_size_ = SizeBytes();
+    return wire_size_;
+  }
+
+ private:
+  mutable size_t wire_size_ = 0;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
@@ -80,6 +96,29 @@ template <typename T>
 const T& As(const Message& msg) {
   return static_cast<const T&>(msg);
 }
+
+/// A frame of coalesced messages sent as one wire message: the egress
+/// batcher (sim/batcher.h) wraps everything buffered for one destination
+/// in a single envelope per flush. Receivers unwrap and handle each item
+/// as if it had arrived alone; the win is one network header and one
+/// per-message CPU charge amortized over all items (the cost model charges
+/// a smaller per-item rate for enveloped messages, see
+/// ServerCostModel::per_batched_item).
+struct BatchEnvelopeMsg final : Message {
+  /// Per-item length-prefix/framing bytes inside the envelope.
+  static constexpr size_t kPerItemFramingBytes = 8;
+
+  std::vector<MessagePtr> items;
+
+  int type() const override { return kBatchEnvelope; }
+  size_t SizeBytes() const override {
+    size_t total = 8;  // Envelope's own item-count framing.
+    for (const auto& m : items) {
+      total += m->WireSize() + kPerItemFramingBytes;
+    }
+    return total;
+  }
+};
 
 /// Checked downcast: returns nullptr unless `msg`'s type tag matches T's.
 /// T must be default-constructible (messages are plain DTOs) so the

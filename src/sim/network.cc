@@ -34,15 +34,21 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
   if (!sender->alive()) return;
   if (blocked_.count({std::min(from, to), std::max(from, to)}) > 0) {
     // Partitioned: bytes still leave the sender's NIC but never arrive.
-    traffic_[from].bytes_sent += msg->SizeBytes() + options_.header_bytes;
+    traffic_[from].bytes_sent += msg->WireSize() + options_.header_bytes;
     traffic_[from].msgs_sent++;
     return;
   }
 
-  const size_t wire_bytes = msg->SizeBytes() + options_.header_bytes;
+  const size_t wire_bytes = msg->WireSize() + options_.header_bytes;
   traffic_[from].bytes_sent += wire_bytes;
   traffic_[from].msgs_sent++;
-  sent_by_type_[msg->type()]++;
+  const size_t type_slot = static_cast<size_t>(msg->type());
+  sent_by_type_counts_[type_slot]++;
+  bytes_by_type_counts_[type_slot] += wire_bytes;
+  if (const auto* env = TryAs<BatchEnvelopeMsg>(*msg)) {
+    envelopes_sent_++;
+    enveloped_items_sent_ += env->items.size();
+  }
 
   if (options_.loss_fraction > 0 && from != to &&
       rng_.Bernoulli(options_.loss_fraction)) {
@@ -57,8 +63,37 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
     row[to] = arrival;
   }
 
-  sim_->ScheduleAt(arrival, [this, from, to, msg = std::move(msg)]() {
-    Deliver(from, to, std::move(msg));
+  ScheduleDelivery(from, to, arrival, std::move(msg));
+}
+
+void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
+                               MessagePtr msg) {
+  if (!options_.coalesce_deliveries) {
+    sim_->ScheduleAt(arrival, [this, from, to, msg = std::move(msg)]() {
+      Deliver(from, to, std::move(msg));
+    });
+    return;
+  }
+  // Bucket per (edge, tick): the first message of a tick schedules the
+  // single delivery event; followers just append. Send order within the
+  // bucket is preserved, so fifo_pairs semantics are unchanged.
+  auto& bucket = pending_coalesced_[{from, to}][arrival];
+  bucket.push_back(std::move(msg));
+  if (bucket.size() > 1) {
+    deliveries_coalesced_++;
+    return;
+  }
+  sim_->ScheduleAt(arrival, [this, from, to, arrival]() {
+    auto edge_it = pending_coalesced_.find({from, to});
+    if (edge_it == pending_coalesced_.end()) return;
+    auto tick_it = edge_it->second.find(arrival);
+    if (tick_it == edge_it->second.end()) return;
+    std::vector<MessagePtr> msgs = std::move(tick_it->second);
+    edge_it->second.erase(tick_it);
+    if (edge_it->second.empty()) pending_coalesced_.erase(edge_it);
+    for (auto& m : msgs) {
+      Deliver(from, to, std::move(m));
+    }
   });
 }
 
@@ -66,7 +101,7 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg) {
   Node* receiver = nodes_[to];
   if (!receiver->alive()) return;  // Dropped at a dead host.
 
-  traffic_[to].bytes_received += msg->SizeBytes() + options_.header_bytes;
+  traffic_[to].bytes_received += msg->WireSize() + options_.header_bytes;
   traffic_[to].msgs_received++;
 
   const SimTime cost = receiver->ServiceCost(*msg);
@@ -121,8 +156,16 @@ void Network::UnblockPair(NodeId a, NodeId b) {
 }
 
 void Network::ResetTraffic() {
+  // Every counter a measurement window reads must reset here, or sweep
+  // points bleed into each other: the per-node Traffic rows, BOTH by-type
+  // maps (bytes_by_type_ was added for Fig. 7 batching accounting and
+  // must not be forgotten), and the batching/coalescing tallies.
   for (auto& t : traffic_) t = Traffic{};
-  sent_by_type_.clear();
+  sent_by_type_counts_.fill(0);
+  bytes_by_type_counts_.fill(0);
+  envelopes_sent_ = 0;
+  enveloped_items_sent_ = 0;
+  deliveries_coalesced_ = 0;
 }
 
 }  // namespace carousel::sim

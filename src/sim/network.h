@@ -1,6 +1,7 @@
 #ifndef CAROUSEL_SIM_NETWORK_H_
 #define CAROUSEL_SIM_NETWORK_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -34,6 +35,13 @@ struct NetworkOptions {
   /// (loopback is exempt). The asynchronous-network model of §3.1:
   /// protocols must stay correct; timers and retransmissions mask it.
   double loss_fraction = 0.0;
+  /// When true, messages on the same (from, to) edge that arrive at the
+  /// same tick are delivered by ONE simulator event that hands each
+  /// message to the receiver in send order. Pure wall-clock optimization
+  /// for the simulator's own overhead: simulated results are unchanged
+  /// except for same-tick interleaving with other nodes' events, so it is
+  /// flag-gated (off = historical event-per-message behavior).
+  bool coalesce_deliveries = false;
 };
 
 /// Per-node traffic counters for Figure 7 bandwidth accounting.
@@ -91,11 +99,30 @@ class Network {
   uint64_t messages_delivered() const { return messages_delivered_; }
 
   /// Messages sent per message type (diagnostics / traffic breakdowns).
-  const std::map<int, uint64_t>& sent_by_type() const { return sent_by_type_; }
+  /// Materialized from flat per-type counters on demand: the per-send
+  /// increment is an array index, not a map lookup.
+  std::map<int, uint64_t> sent_by_type() const {
+    return MaterializeByType(sent_by_type_counts_);
+  }
+
+  /// Wire bytes sent per message type (Fig. 7 bandwidth breakdowns; an
+  /// envelope's bytes are charged to kBatchEnvelope, not its items).
+  std::map<int, uint64_t> bytes_by_type() const {
+    return MaterializeByType(bytes_by_type_counts_);
+  }
+
+  /// Batching accounting for the measurement window: envelopes sent, the
+  /// messages carried inside them, and deliveries saved by same-edge
+  /// same-tick coalescing.
+  uint64_t envelopes_sent() const { return envelopes_sent_; }
+  uint64_t enveloped_items_sent() const { return enveloped_items_sent_; }
+  uint64_t deliveries_coalesced() const { return deliveries_coalesced_; }
 
  private:
   SimTime OneWayLatency(NodeId from, NodeId to);
   void Deliver(NodeId from, NodeId to, MessagePtr msg);
+  void ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
+                        MessagePtr msg);
 
   Simulator* sim_;
   const Topology* topology_;
@@ -106,8 +133,28 @@ class Network {
   /// Last scheduled arrival per (from, to), for fifo_pairs.
   std::vector<std::vector<SimTime>> last_arrival_;
   std::set<std::pair<NodeId, NodeId>> blocked_;
+  /// One slot per MessageType value (flat enum, < 400 everywhere).
+  static constexpr size_t kMaxMessageType = 512;
+
+  static std::map<int, uint64_t> MaterializeByType(
+      const std::array<uint64_t, kMaxMessageType>& counts) {
+    std::map<int, uint64_t> out;
+    for (size_t t = 0; t < counts.size(); ++t) {
+      if (counts[t] != 0) out.emplace(static_cast<int>(t), counts[t]);
+    }
+    return out;
+  }
+
   uint64_t messages_delivered_ = 0;
-  std::map<int, uint64_t> sent_by_type_;
+  std::array<uint64_t, kMaxMessageType> sent_by_type_counts_{};
+  std::array<uint64_t, kMaxMessageType> bytes_by_type_counts_{};
+  uint64_t envelopes_sent_ = 0;
+  uint64_t enveloped_items_sent_ = 0;
+  uint64_t deliveries_coalesced_ = 0;
+  /// Same-tick delivery buckets per edge, keyed by (from, to) then
+  /// arrival tick; only populated when coalesce_deliveries is on.
+  std::map<std::pair<NodeId, NodeId>, std::map<SimTime, std::vector<MessagePtr>>>
+      pending_coalesced_;
 };
 
 }  // namespace carousel::sim

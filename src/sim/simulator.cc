@@ -4,10 +4,7 @@ namespace carousel::sim {
 
 bool Simulator::RunOne() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately after.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  EventQueue::Event ev = queue_.PopMin();
   now_ = ev.time;
   events_processed_++;
   ev.fn();
@@ -15,7 +12,7 @@ bool Simulator::RunOne() {
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
+  while (!queue_.empty() && queue_.PeekTime() <= t) {
     RunOne();
   }
   if (now_ < t) now_ = t;

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/event_queue.h"
 
 namespace carousel::sim {
 
@@ -27,14 +27,14 @@ class Simulator {
 
   /// Schedules `fn` to run `delay` microseconds from now (clamped to >= 0).
   /// Events with equal times run in scheduling order.
-  void Schedule(SimTime delay, std::function<void()> fn) {
+  void Schedule(SimTime delay, EventFn fn) {
     ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
   /// Schedules `fn` at absolute time `t` (clamped to >= now).
-  void ScheduleAt(SimTime t, std::function<void()> fn) {
+  void ScheduleAt(SimTime t, EventFn fn) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    queue_.Push(EventQueue::Event{t, next_seq_++, std::move(fn)});
   }
 
   /// Runs the earliest event; returns false if the queue is empty.
@@ -57,22 +57,10 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   carousel::Rng rng_;
 };
 

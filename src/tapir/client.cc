@@ -1,6 +1,8 @@
 #include "tapir/client.h"
 
 #include <memory>
+
+#include "sim/arena.h"
 #include <utility>
 
 #include "sim/simulator.h"
@@ -90,7 +92,7 @@ void TapirClient::StartReads(ActiveTxn& txn) {
   }
   for (const auto& [p, rw] : txn.keys) {
     if (rw.reads.empty()) continue;
-    auto msg = std::make_shared<TapirReadMsg>();
+    auto msg = sim::MakeMessage<TapirReadMsg>();
     msg->tid = txn.tid;
     msg->partition = p;
     msg->client = id();
@@ -120,7 +122,7 @@ void TapirClient::Commit(const TxnId& tid, CommitCallback callback) {
       static_cast<uint64_t>(client_id_ % 1024);
 
   for (const auto& [p, rw] : txn.keys) {
-    auto msg = std::make_shared<TapirPrepareMsg>();
+    auto msg = sim::MakeMessage<TapirPrepareMsg>();
     msg->tid = tid;
     msg->partition = p;
     msg->client = id();
@@ -251,7 +253,7 @@ void TapirClient::EvaluatePartition(ActiveTxn& txn, PartitionId p) {
     if (ok >= FaultThresholdFor(p) + 1) {
       part.finalizing = true;
       slow_path_count_++;
-      auto msg = std::make_shared<TapirFinalizeMsg>();
+      auto msg = sim::MakeMessage<TapirFinalizeMsg>();
       msg->tid = txn.tid;
       msg->partition = p;
       msg->vote = Vote::kOk;
@@ -284,7 +286,7 @@ void TapirClient::Decide(ActiveTxn& txn, bool commit) {
   txn.timer_gen++;
 
   for (const auto& [p, rw] : txn.keys) {
-    auto msg = std::make_shared<TapirDecideMsg>();
+    auto msg = sim::MakeMessage<TapirDecideMsg>();
     msg->tid = txn.tid;
     msg->partition = p;
     msg->commit = commit;
@@ -363,7 +365,7 @@ void TapirClient::ArmFastPathTimer(const TxnId& tid) {
       if (ok >= FaultThresholdFor(p) + 1) {
         part.finalizing = true;
         slow_path_count_++;
-        auto msg = std::make_shared<TapirFinalizeMsg>();
+        auto msg = sim::MakeMessage<TapirFinalizeMsg>();
         msg->tid = txn.tid;
         msg->partition = p;
         msg->vote = Vote::kOk;

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "sim/arena.h"
+
 namespace carousel::tapir {
 
 TapirServer::TapirServer(const NodeInfo& info, sim::Simulator* sim,
@@ -52,7 +54,7 @@ SimTime TapirServer::ServiceCost(const sim::Message& msg) const {
 
 void TapirServer::HandleRead(NodeId from, const TapirReadMsg& msg) {
   (void)from;
-  auto reply = std::make_shared<TapirReadReplyMsg>();
+  auto reply = sim::MakeMessage<TapirReadReplyMsg>();
   reply->tid = msg.tid;
   reply->partition = partition_;
   for (const Key& k : msg.keys) reply->reads[k] = store_.Get(k);
@@ -77,7 +79,7 @@ Vote TapirServer::Validate(const TapirPrepareMsg& msg) const {
 
 void TapirServer::HandlePrepare(NodeId from, const TapirPrepareMsg& msg) {
   (void)from;
-  auto reply = std::make_shared<TapirPrepareReplyMsg>();
+  auto reply = sim::MakeMessage<TapirPrepareReplyMsg>();
   reply->tid = msg.tid;
   reply->partition = partition_;
   reply->replica = id();
@@ -105,7 +107,7 @@ void TapirServer::HandlePrepare(NodeId from, const TapirPrepareMsg& msg) {
 void TapirServer::HandleFinalize(NodeId from, const TapirFinalizeMsg& msg) {
   // IR slow path: persist the consensus result. A replica that had voted
   // differently adopts the finalized result.
-  auto reply = std::make_shared<TapirFinalizeReplyMsg>();
+  auto reply = sim::MakeMessage<TapirFinalizeReplyMsg>();
   reply->tid = msg.tid;
   reply->partition = partition_;
   reply->replica = id();
@@ -131,7 +133,7 @@ void TapirServer::RemovePrepared(const TxnId& tid) {
 }
 
 void TapirServer::HandleDecide(NodeId from, const TapirDecideMsg& msg) {
-  auto ack = std::make_shared<TapirDecideAckMsg>();
+  auto ack = sim::MakeMessage<TapirDecideAckMsg>();
   ack->tid = msg.tid;
   ack->partition = partition_;
   ack->replica = id();

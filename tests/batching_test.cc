@@ -1,0 +1,280 @@
+// Batching correctness (sim/batcher.h, BatchEnvelopeMsg, delivery
+// coalescing): flush-boundary behavior around crashes, deterministic
+// replay with coalescing on, batched-vs-unbatched state equivalence, and
+// the traffic-counter reset that the Figure 7 accounting depends on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carousel/cluster.h"
+#include "common/topology.h"
+#include "sim/arena.h"
+#include "sim/batcher.h"
+#include "sim/message.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace carousel {
+namespace {
+
+struct ItemMsg final : sim::Message {
+  int payload = 0;
+  int type() const override { return sim::kPing; }
+  size_t SizeBytes() const override { return 64; }
+};
+
+sim::MessagePtr Item(int payload) {
+  auto msg = sim::MakeMessage<ItemMsg>();
+  msg->payload = payload;
+  return msg;
+}
+
+/// Records every delivery, unwrapping batch envelopes like a real server.
+class UnwrappingNode : public sim::Node {
+ public:
+  using sim::Node::Node;
+
+  void HandleMessage(NodeId from, const sim::MessagePtr& msg) override {
+    if (const auto* envelope = sim::TryAs<sim::BatchEnvelopeMsg>(*msg)) {
+      envelopes++;
+      for (const auto& item : envelope->items) HandleMessage(from, item);
+      return;
+    }
+    payloads.push_back(sim::As<ItemMsg>(*msg).payload);
+  }
+
+  std::vector<int> payloads;
+  int envelopes = 0;
+};
+
+struct BatcherFixture {
+  explicit BatcherFixture(sim::MessageBatcher::Options opts = {}) {
+    topo = Topology::Uniform(2, 1.0);
+    topo.PlacePartitions(2, 1);  // Nodes 0 (DC0) and 1 (DC1).
+    sim = std::make_unique<sim::Simulator>(5);
+    net = std::make_unique<sim::Network>(sim.get(), &topo,
+                                         sim::NetworkOptions{});
+    sender = std::make_unique<UnwrappingNode>(0, 0);
+    receiver = std::make_unique<UnwrappingNode>(1, 1);
+    net->Register(sender.get());
+    net->Register(receiver.get());
+    batcher = std::make_unique<sim::MessageBatcher>(sender.get(), opts);
+  }
+
+  Topology topo;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<UnwrappingNode> sender, receiver;
+  std::unique_ptr<sim::MessageBatcher> batcher;
+};
+
+// ---------------------------------------------------------------------------
+// MessageBatcher unit behavior
+// ---------------------------------------------------------------------------
+
+TEST(BatcherTest, WindowCoalescesIntoOneEnvelope) {
+  BatcherFixture f;
+  for (int i = 0; i < 5; ++i) f.batcher->Send(1, Item(i));
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.receiver->payloads, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(f.receiver->envelopes, 1);
+  EXPECT_EQ(f.batcher->stats().envelopes, 1u);
+  EXPECT_EQ(f.batcher->stats().enveloped_items, 5u);
+}
+
+TEST(BatcherTest, LoneMessageShipsBareAfterWindow) {
+  BatcherFixture f;
+  f.batcher->Send(1, Item(7));
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.receiver->payloads, (std::vector<int>{7}));
+  EXPECT_EQ(f.receiver->envelopes, 0);
+  EXPECT_EQ(f.batcher->stats().single_flushes, 1u);
+}
+
+TEST(BatcherTest, MaxItemsFlushesEarly) {
+  sim::MessageBatcher::Options opts;
+  opts.flush_interval = 1'000'000;  // Would stall without the size cap.
+  opts.max_items = 3;
+  BatcherFixture f(opts);
+  for (int i = 0; i < 3; ++i) f.batcher->Send(1, Item(i));
+  f.sim->RunFor(1000);  // Far less than the window.
+  EXPECT_EQ(f.receiver->payloads, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BatcherTest, SuccessiveWindowsPreserveFifo) {
+  BatcherFixture f;
+  for (int i = 0; i < 4; ++i) f.batcher->Send(1, Item(i));
+  f.sim->RunFor(200);  // First window flushes.
+  for (int i = 4; i < 8; ++i) f.batcher->Send(1, Item(i));
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.receiver->payloads, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(f.receiver->envelopes, 2);
+}
+
+/// The flush boundary under a crash: messages buffered but not yet
+/// flushed drop (like bytes in a dead process's socket buffer), the
+/// stale flush timer must not resurrect them, and traffic after recovery
+/// is delivered exactly once.
+TEST(BatcherTest, ClearAtCrashDropsBufferedBatchOnce) {
+  BatcherFixture f;
+  for (int i = 0; i < 3; ++i) f.batcher->Send(1, Item(i));
+  f.batcher->Clear();  // Owner crashed mid-window.
+  f.sim->RunFor(1000);  // The scheduled flush fires and must be a no-op.
+  EXPECT_TRUE(f.receiver->payloads.empty());
+  for (int i = 10; i < 13; ++i) f.batcher->Send(1, Item(i));
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.receiver->payloads, (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(f.receiver->envelopes, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery coalescing determinism
+// ---------------------------------------------------------------------------
+
+/// Same-tick deliveries on one edge collapse into one event when
+/// coalescing is on; the observable order must be identical to the
+/// uncoalesced run and stable across runs.
+TEST(CoalescingTest, SameTickOrderMatchesUncoalescedAndReplays) {
+  auto run = [](bool coalesce) {
+    Topology topo = Topology::Uniform(2, 1.0);
+    topo.PlacePartitions(2, 1);
+    sim::Simulator sim(9);
+    sim::NetworkOptions opts;
+    opts.jitter_fraction = 0.0;  // Same-tick arrivals on purpose.
+    opts.coalesce_deliveries = coalesce;
+    sim::Network net(&sim, &topo, opts);
+    UnwrappingNode a(0, 0), b(1, 1);
+    net.Register(&a);
+    net.Register(&b);
+    for (int i = 0; i < 20; ++i) net.Send(0, 1, Item(i));
+    sim.RunToCompletion();
+    return b.payloads;
+  };
+
+  const std::vector<int> plain = run(false);
+  const std::vector<int> coalesced = run(true);
+  EXPECT_EQ(plain, coalesced);
+  EXPECT_EQ(coalesced, run(true)) << "coalesced replay diverged";
+}
+
+// ---------------------------------------------------------------------------
+// Traffic counter reset (Figure 7 accounting)
+// ---------------------------------------------------------------------------
+
+/// ResetTraffic must zero every counter the bandwidth accounting reads:
+/// per-node traffic, per-type message and byte counts, and the batching
+/// counters. The byte/batch counters were added for the Figure 7
+/// breakdown and were originally missed by the reset.
+TEST(NetworkResetTest, ResetTrafficClearsAllCounters) {
+  BatcherFixture f;
+  for (int i = 0; i < 4; ++i) f.batcher->Send(1, Item(i));
+  f.net->Send(0, 1, Item(99));  // A bare send alongside the envelope.
+  f.sim->RunToCompletion();
+
+  ASSERT_GT(f.net->envelopes_sent(), 0u);
+  ASSERT_GT(f.net->enveloped_items_sent(), 0u);
+  ASSERT_FALSE(f.net->sent_by_type().empty());
+  ASSERT_FALSE(f.net->bytes_by_type().empty());
+  ASSERT_GT(f.net->traffic(0).msgs_sent, 0u);
+  ASSERT_GT(f.net->traffic(0).bytes_sent, 0u);
+
+  f.net->ResetTraffic();
+
+  EXPECT_EQ(f.net->envelopes_sent(), 0u);
+  EXPECT_EQ(f.net->enveloped_items_sent(), 0u);
+  EXPECT_EQ(f.net->deliveries_coalesced(), 0u);
+  EXPECT_TRUE(f.net->sent_by_type().empty());
+  EXPECT_TRUE(f.net->bytes_by_type().empty());
+  EXPECT_EQ(f.net->traffic(0).msgs_sent, 0u);
+  EXPECT_EQ(f.net->traffic(0).bytes_sent, 0u);
+  EXPECT_EQ(f.net->traffic(1).msgs_received, 0u);
+  EXPECT_EQ(f.net->traffic(1).bytes_received, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level batching
+// ---------------------------------------------------------------------------
+
+core::CarouselOptions BatchedOptions() {
+  core::CarouselOptions options = test::FastRaftOptions();
+  options.batching.enabled = true;
+  options.batching.coalesce_deliveries = true;
+  return options;
+}
+
+/// A fixed sequence of non-conflicting transactions — each completes
+/// before the next is issued, so commit outcomes cannot depend on
+/// timing — must leave the identical versioned store state whether or
+/// not the message path batches.
+TEST(ClusterBatchingTest, BatchedMatchesUnbatchedFinalState) {
+  auto run = [](bool batching) {
+    core::CarouselOptions options = test::FastRaftOptions();
+    options.batching.enabled = batching;
+    options.batching.coalesce_deliveries = batching;
+    auto cluster = test::MakeSmallCluster(options, /*seed=*/33);
+    std::vector<std::pair<Key, VersionedValue>> state;
+    for (int i = 0; i < 12; ++i) {
+      const Key key =
+          test::KeyInPartition(*cluster, static_cast<PartitionId>(i % 3),
+                               "bk" + std::to_string(i) + "_");
+      const auto outcome =
+          test::RunTxn(*cluster, i % 3, {key},
+                       {{key, "v" + std::to_string(i)}});
+      EXPECT_TRUE(outcome.commit_status.ok()) << "txn " << i;
+      state.emplace_back(key, test::LeaderValue(*cluster, key));
+    }
+    return state;
+  };
+
+  const auto unbatched = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(unbatched.size(), batched.size());
+  for (size_t i = 0; i < unbatched.size(); ++i) {
+    EXPECT_EQ(unbatched[i].first, batched[i].first);
+    EXPECT_EQ(unbatched[i].second, batched[i].second)
+        << "key " << unbatched[i].first;
+  }
+}
+
+/// A batch straddling a leader crash: a commit the client saw acknowledged
+/// must survive the crash (durable before the ack), while the batches
+/// buffered in the dead leader's egress queues drop without wedging
+/// recovery — the next transaction on the same partition succeeds and
+/// neither value applies twice (versions stay distinct and final).
+TEST(ClusterBatchingTest, AckedCommitSurvivesLeaderCrashMidWindow) {
+  core::CarouselOptions options = BatchedOptions();
+  // A wide window so the crash reliably lands inside one.
+  options.batching.flush_interval = 2000;
+  auto cluster = test::MakeSmallCluster(options, /*seed=*/44);
+
+  const Key key = test::KeyInPartition(*cluster, 0, "crash_");
+  const auto first = test::RunTxn(*cluster, 0, {key}, {{key, "before"}});
+  ASSERT_TRUE(first.commit_status.ok());
+
+  // Crash the partition leader immediately — its egress queues still hold
+  // unflushed batches from the commit round.
+  cluster->Crash(cluster->topology().InitialLeader(0));
+  cluster->sim().RunFor(5 * kMicrosPerSecond);  // Election + recovery.
+
+  const VersionedValue recovered = test::LeaderValue(*cluster, key);
+  EXPECT_EQ(recovered.value, "before") << "acked commit lost at flush boundary";
+
+  const auto second = test::RunTxn(*cluster, 1, {key}, {{key, "after"}});
+  EXPECT_TRUE(second.commit_status.ok());
+  // The writeback to the participant leader lands on the coordinator's
+  // retry cadence (1.5 s under FastRaftOptions), plus a batch window; let
+  // it flush before reading the store.
+  cluster->sim().RunFor(3 * kMicrosPerSecond);
+  const VersionedValue final_value = test::LeaderValue(*cluster, key);
+  EXPECT_EQ(final_value.value, "after");
+  EXPECT_GT(final_value.version, recovered.version)
+      << "replayed batch re-applied an old write";
+}
+
+}  // namespace
+}  // namespace carousel

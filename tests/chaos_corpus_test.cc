@@ -19,12 +19,13 @@ namespace carousel::check {
 namespace {
 
 ChaosResult RunSeed(uint64_t seed, bool fast_path_bug = false,
-                bool stale_read_bug = false) {
+                bool stale_read_bug = false, bool batching = false) {
   ChaosConfig config;
   config.seed = seed;
   config.txns = 120;
   config.inject_bug_fast_path = fast_path_bug;
   config.inject_bug_stale_read = stale_read_bug;
+  config.batching = batching;
   return RunChaosSeed(config);
 }
 
@@ -53,11 +54,37 @@ TEST(ChaosCorpusTest, Seed465PrepareRefusalFlipped) {
   EXPECT_TRUE(r.ok()) << r.Report();
 }
 
+/// Seed 1598 (batched) once committed a lost update: a transaction's
+/// prepare reached only followers (tentative fast-path entries at version
+/// v), the coordinator's re-query made the leader prepare it afresh at a
+/// later version v', and the leader crashed right after proposing that
+/// LogPrepareResult. When the entry committed under the next leader, the
+/// replica's stale tentative entry shadowed the logged versions, so the
+/// new leader quoted v — matching the client's stale read — and the
+/// coordinator's stale-read validation was defeated. The durable log
+/// entry now overwrites tentative fast-path pending state on apply.
+TEST(ChaosCorpusTest, Seed1598TentativePrepareShadowedLoggedVersions) {
+  ChaosResult r = RunSeed(1598, /*fast_path_bug=*/false,
+                          /*stale_read_bug=*/false, /*batching=*/true);
+  EXPECT_TRUE(r.ok()) << r.Report();
+}
+
 /// A few ordinary seeds so the corpus is not only former failures.
 TEST(ChaosCorpusTest, OrdinarySeedsStayClean) {
   for (uint64_t seed : {1, 2, 3}) {
     ChaosResult r = RunSeed(seed);
     EXPECT_TRUE(r.ok()) << "seed " << seed << "\n" << r.Report();
+  }
+}
+
+/// The same corpus with egress batching + delivery coalescing on: crashes
+/// and partitions now hit whole batches (the nemesis drops envelopes, not
+/// individual messages), and the serializability checker must stay clean.
+TEST(ChaosCorpusTest, BatchedSeedsStayClean) {
+  for (uint64_t seed : {1, 2, 3, 24, 465, 484, 1598}) {
+    ChaosResult r = RunSeed(seed, /*fast_path_bug=*/false,
+                            /*stale_read_bug=*/false, /*batching=*/true);
+    EXPECT_TRUE(r.ok()) << "batched seed " << seed << "\n" << r.Report();
   }
 }
 

@@ -19,6 +19,7 @@
 //   --seed-base=N        first seed of a sweep (default 1)
 //   --txns=N             transaction invocations per seed (default 120)
 //   --inject-bug=fast-path|stale-read   enable a flag-gated protocol bug
+//   --batching           run with egress batching + delivery coalescing on
 //   --verbose            print a summary line for every seed, not only fails
 //   --report-dir=PATH    also write each failing seed's full report to
 //                        PATH/seed-<N>.txt (for CI artifact upload)
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   std::string bug;
   std::string report_dir;
   bool verbose = false;
+  bool batching = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -71,6 +73,10 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(arg, "--report-dir=", 13) == 0) {
       report_dir = arg + 13;
+      continue;
+    }
+    if (std::strcmp(arg, "--batching") == 0) {
+      batching = true;
       continue;
     }
     if (std::strcmp(arg, "--verbose") == 0) {
@@ -94,6 +100,7 @@ int main(int argc, char** argv) {
     config.txns = static_cast<int>(txns);
     config.inject_bug_fast_path = bug == "fast-path";
     config.inject_bug_stale_read = bug == "stale-read";
+    config.batching = batching;
     carousel::check::ChaosResult result =
         carousel::check::RunChaosSeed(config);
     if (result.ok()) {
@@ -106,6 +113,7 @@ int main(int argc, char** argv) {
     const std::string replay =
         "replay: carousel_chaos --seed=" + std::to_string(config.seed) +
         " --txns=" + std::to_string(txns) +
+        (batching ? " --batching" : "") +
         (bug.empty() ? "" : " --inject-bug=" + bug) + "\n";
     std::printf("%s%s", result.Report().c_str(), replay.c_str());
     if (!report_dir.empty()) {
