@@ -44,10 +44,12 @@ int main() {
     Histogram latency;
     double abort_rate = 0;
     double fast_fraction = 0;
+    obs::WanrtStats wanrt;
     for (int rep = 0; rep < Repeats(); ++rep) {
       core::CarouselOptions options;
       options.fast_path = config.fast_path;
       options.local_reads = config.local_reads;
+      options.metrics.enabled = true;
       core::Cluster cluster(Ec2Topology(20), options, sim::NetworkOptions{},
                             3000 + rep);
       cluster.Start();
@@ -60,6 +62,9 @@ int main() {
       latency.Merge(result.latency);
       abort_rate += result.AbortRate() / Repeats();
       fast_fraction += cluster.traces().stats().FastPathFraction() / Repeats();
+      // The WANRT block reports the first rep's ledger: hop counts are a
+      // protocol property, identical in distribution across reps.
+      if (rep == 0) wanrt = cluster.wanrt().stats();
     }
     std::printf("%-20s %9.0f %9.0f %9.0f %7.2f%%\n", config.name,
                 latency.Quantile(0.5) / 1000.0, latency.Quantile(0.9) / 1000.0,
@@ -68,6 +73,7 @@ int main() {
     json.Metric(config.name, "p90_ms", latency.Quantile(0.9) / 1000.0);
     json.Metric(config.name, "abort_rate", abort_rate);
     json.Metric(config.name, "fast_path_fraction", fast_fraction);
+    json.Wanrt(config.name, wanrt);
   }
   std::printf("\nexpected: each ingredient lowers the distribution; local "
               "reads matter most for clients whose participant leaders are "

@@ -57,6 +57,7 @@ int main() {
     core::CarouselOptions options;
     options.fast_path = config.fast_path;
     options.local_reads = config.local_reads;
+    options.metrics.enabled = true;
     core::Cluster cluster(Ec2Topology(20), options, sim::NetworkOptions{},
                           6000);
     cluster.Start();
@@ -89,6 +90,7 @@ int main() {
     json.Metric(config.name, "fast_path_fraction", stats.FastPathFraction());
     json.Metric(config.name, "committed", static_cast<double>(stats.committed));
     json.Metric(config.name, "aborted", static_cast<double>(stats.aborted));
+    json.Wanrt(config.name, cluster.wanrt().stats());
   }
   std::printf("\nreading: local reads collapse the read phase when replicas "
               "are local; CPC trims the commit phase by removing the slow "

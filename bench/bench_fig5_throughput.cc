@@ -73,6 +73,16 @@ int main() {
               basic_peak > 0 ? basic_b_peak / basic_peak : 0);
   json.Metric("Carousel Fast (batched)", "batching_peak_speedup",
               fast_peak > 0 ? fast_b_peak / fast_peak : 0);
+  // Per-phase WANRT block at the lowest (uncongested) target, where the
+  // hop counts reflect the protocol rather than queueing.
+  if (basic[0].has_wanrt) json.Wanrt("Carousel Basic", basic[0].wanrt);
+  if (fast[0].has_wanrt) json.Wanrt("Carousel Fast", fast[0].wanrt);
+  if (basic_b[0].has_wanrt) {
+    json.Wanrt("Carousel Basic (batched)", basic_b[0].wanrt);
+  }
+  if (fast_b[0].has_wanrt) {
+    json.Wanrt("Carousel Fast (batched)", fast_b[0].wanrt);
+  }
 
   std::printf("\nunbatched peaks: TAPIR %.0f, Carousel Basic %.0f, "
               "Carousel Fast %.0f\n",

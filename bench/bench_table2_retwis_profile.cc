@@ -96,6 +96,7 @@ int main() {
   core::CarouselOptions copts;
   copts.fast_path = true;
   copts.local_reads = true;
+  copts.metrics.enabled = true;
   core::Cluster cluster(bench::Ec2Topology(20), copts, sim::NetworkOptions{},
                         7000);
   cluster.Start();
@@ -137,5 +138,6 @@ int main() {
               stats.commit_phase.Quantile(0.5) / 1000.0);
   json.Metric("executed", "writeback_p50_ms",
               stats.writeback.Quantile(0.5) / 1000.0);
+  json.Wanrt("executed", cluster.wanrt().stats());
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "carousel/cluster.h"
 #include "common/topology.h"
+#include "obs/wanrt.h"
 #include "tapir/cluster.h"
 #include "workload/driver.h"
 #include "workload/workload.h"
@@ -105,6 +106,10 @@ struct BenchRun {
   /// "server"), indexed by node id.
   std::vector<std::string> roles;
   double window_seconds = 0;
+  /// WANRT accounting over the measurement window (Carousel systems only;
+  /// TAPIR's protocol is not span-instrumented).
+  obs::WanrtStats wanrt;
+  bool has_wanrt = false;
 };
 
 /// Runs one (system, workload) experiment and returns measurement-window
@@ -163,6 +168,10 @@ inline BenchRun RunSystem(SystemKind kind, Topology topo,
 
   core::CarouselOptions options;
   options.cost = cost;
+  // WANRT accounting is on for every bench run: the observer executes in
+  // zero simulated time, so throughput/latency numbers are bit-identical
+  // with it enabled, and every BENCH_*.json gets a per-phase WANRT block.
+  options.metrics.enabled = true;
   options.batching.enabled = batching;
   options.batching.coalesce_deliveries = batching;
   // A wider window than the 50 us default: at saturation the hot
@@ -176,12 +185,22 @@ inline BenchRun RunSystem(SystemKind kind, Topology topo,
   }
   core::Cluster cluster(std::move(topo), options, sim::NetworkOptions{}, seed);
   cluster.Start();
+  // Align the WANRT measurement window with the traffic window: drop the
+  // warmup's accounting, snapshot at window end.
+  cluster.sim().ScheduleAt(driver_options.warmup,
+                           [&cluster]() { cluster.wanrt().ResetStats(); });
+  auto wanrt_snapshot = std::make_shared<obs::WanrtStats>();
+  cluster.sim().ScheduleAt(
+      driver_options.duration - driver_options.cooldown,
+      [&cluster, wanrt_snapshot]() { *wanrt_snapshot = cluster.wanrt().stats(); });
   auto adapter = workload::MakeCarouselAdapter(&cluster, SystemName(kind));
   capture(adapter.get(), [&cluster](NodeId id) -> std::string {
     const NodeInfo& info = cluster.topology().node(id);
     if (info.is_client) return "client";
     return cluster.server(id)->raft()->is_leader() ? "leader" : "follower";
   });
+  out.wanrt = *wanrt_snapshot;
+  out.has_wanrt = true;
   return out;
 }
 
@@ -211,6 +230,42 @@ class JsonReporter {
     Metric(config, prefix + "_p50_ms", h.Quantile(0.50) / 1000.0);
     Metric(config, prefix + "_p95_ms", h.Quantile(0.95) / 1000.0);
     Metric(config, prefix + "_p99_ms", h.Quantile(0.99) / 1000.0);
+  }
+
+  /// The per-phase WANRT block: protocol-path counts and causal hop
+  /// depths from the run's ledger. Everything here is a deterministic
+  /// count — bench_gate.py holds `wanrt_`-prefixed metrics to exact
+  /// equality, not the latency tolerance. No-op when the run has no
+  /// ledger (TAPIR).
+  void Wanrt(const std::string& config, const BenchRun& run) {
+    if (!run.has_wanrt) return;
+    Wanrt(config, run.wanrt);
+  }
+
+  /// Same block from a raw ledger snapshot, for benches that drive
+  /// core::Cluster directly instead of going through RunSystem.
+  void Wanrt(const std::string& config, const obs::WanrtStats& s) {
+    Metric(config, "wanrt_committed", static_cast<double>(s.committed));
+    Metric(config, "wanrt_fast_path_txns",
+           static_cast<double>(s.fast_path_txns));
+    Metric(config, "wanrt_slow_path_txns",
+           static_cast<double>(s.slow_path_txns));
+    Metric(config, "wanrt_degraded_txns",
+           static_cast<double>(s.degraded_txns));
+    Metric(config, "wanrt_rw_p50_wanrts",
+           obs::WanrtStats::HopsQuantile(s.rw_decided_hops, 0.5) / 2.0);
+    Metric(config, "wanrt_rw_max_wanrts",
+           obs::WanrtStats::MaxHops(s.rw_decided_hops) / 2.0);
+    Metric(config, "wanrt_ro_p50_wanrts",
+           obs::WanrtStats::HopsQuantile(s.ro_decided_hops, 0.5) / 2.0);
+    Metric(config, "wanrt_ro_max_wanrts",
+           obs::WanrtStats::MaxHops(s.ro_decided_hops) / 2.0);
+    for (int p = 0; p < obs::kNumWanrtPhases; ++p) {
+      const std::string phase =
+          obs::WanrtPhaseName(static_cast<obs::WanrtPhase>(p));
+      Metric(config, "wanrt_phase_" + phase + "_max_hops",
+             static_cast<double>(s.max_phase_hops[p]));
+    }
   }
 
   void Write() {

@@ -14,6 +14,9 @@ struct SweepPoint {
   double abort_rate = 0;
   double dropped_tps = 0;
   int64_t p50_us = 0;
+  /// WANRT ledger over the measurement window (Carousel systems only).
+  obs::WanrtStats wanrt;
+  bool has_wanrt = false;
 };
 
 /// The target-throughput axis of Figures 5 and 6. The fast-mode top
@@ -57,6 +60,8 @@ inline std::vector<SweepPoint> ThroughputSweep(SystemKind kind,
     point.dropped_tps =
         static_cast<double>(run.result.dropped) / run.result.window_seconds;
     point.p50_us = run.result.latency.Quantile(0.5);
+    point.wanrt = run.wanrt;
+    point.has_wanrt = run.has_wanrt;
     points.push_back(point);
   }
   return points;

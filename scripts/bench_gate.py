@@ -17,6 +17,12 @@ Baselines hold only deterministic simulated metrics (throughput, ratios) —
 never wall-clock, which is machine-dependent. Regenerate with the recipe
 in EXPERIMENTS.md after an intentional performance change.
 
+Metrics whose name starts with "wanrt_" are protocol-path counts from the
+WANRT ledger (causal cross-DC hop accounting). The simulation is
+deterministic, so these are held to exact equality regardless of
+--tolerance: any drift means the protocol's message flow changed, which
+must be an intentional, explained change.
+
 Exit status: 0 when all metrics are within tolerance, 1 on regression or
 missing data, 2 on usage errors.
 """
@@ -52,7 +58,11 @@ def compare(name, baseline, result, tolerance, rows):
                 failures += 1
                 continue
             new_value = result[config][metric]
-            if base_value == 0:
+            if metric.startswith("wanrt_"):
+                # Deterministic protocol-path counts: exact match only.
+                ok = abs(new_value - base_value) < 1e-9
+                delta = "exact" if ok else "drift"
+            elif base_value == 0:
                 ok = abs(new_value) < 1e-9
                 delta = "n/a" if ok else "inf"
             else:

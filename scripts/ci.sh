@@ -10,7 +10,13 @@
 #   4. Bench leg: smoke-scale Figure-5 throughput sweep (batched and
 #      unbatched configs) plus the core microbenchmarks; writes BENCH_*.json
 #      into $BENCH_JSON_DIR and gates the simulated-throughput metrics
-#      against bench/baselines/ (+/-10%). Wall-clock is never gated.
+#      against bench/baselines/ (+/-10%; `wanrt_`-prefixed protocol-path
+#      counts are held to exact equality). Wall-clock is never gated.
+#   5. Coverage leg: gcov-instrumented build (-DCAROUSEL_COVERAGE=ON) runs
+#      the tier-1 suite and writes a per-file line-coverage table to
+#      build-cov/coverage-summary.txt (CI uploads it as an artifact).
+#      Informational only — it never fails the run. Skipped when gcov is
+#      not on PATH or SKIP_COVERAGE=1.
 #
 # Usage: scripts/ci.sh [jobs]       (defaults to nproc)
 #   CHAOS_SEEDS=N                   sweep size for leg 2 (default 200)
@@ -20,6 +26,8 @@
 #                                   (for branches that intentionally move
 #                                   the numbers; regenerate baselines
 #                                   before merging — see EXPERIMENTS.md)
+#   SKIP_COVERAGE=1                 skip leg 5 (the coverage build is the
+#                                   slowest leg; local runs rarely need it)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -61,6 +69,20 @@ if [[ "${SKIP_BENCH_GATE:-0}" != "1" ]]; then
       --result-dir "$BENCH_JSON_DIR"
 else
   echo "bench gate skipped (SKIP_BENCH_GATE=1)"
+fi
+
+echo
+echo "== leg 5: line coverage over tier-1 =="
+if [[ "${SKIP_COVERAGE:-0}" == "1" ]]; then
+  echo "coverage skipped (SKIP_COVERAGE=1)"
+elif ! command -v gcov >/dev/null; then
+  echo "coverage skipped (no gcov on PATH)"
+else
+  cmake -B build-cov -S . -DCAROUSEL_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-cov -j "$JOBS"
+  ctest --test-dir build-cov -j "$JOBS" -L tier1 --output-on-failure
+  python3 scripts/coverage_summary.py build-cov \
+      | tee build-cov/coverage-summary.txt | tail -1
 fi
 
 echo

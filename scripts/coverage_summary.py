@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Summarize gcov line coverage for a CAROUSEL_COVERAGE build tree.
+
+Usage:
+    scripts/coverage_summary.py BUILD_DIR [--source-prefix src/]
+
+Walks BUILD_DIR for .gcda counter files (written when instrumented
+binaries run), invokes `gcov --json-format` on each, and merges the
+per-line execution counts across translation units — a header exercised
+from ten TUs counts as covered if any of them ran its lines. Prints a
+per-file table and a repo total for files under --source-prefix
+(default src/), and exits non-zero only on usage errors: coverage is
+reported, not gated, so a refactor that moves lines around cannot fail
+CI by itself.
+
+Plain gcov is the only requirement; no gcovr/lcov needed.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+
+# Die quietly when piped into `head`.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def gcov_json(gcda, repo_root):
+    """Runs gcov on one .gcda; yields (source_path, {line: count})."""
+    try:
+        proc = subprocess.run(
+            ["gcov", "--stdout", "--json-format", os.path.basename(gcda)],
+            cwd=os.path.dirname(gcda), capture_output=True, text=True,
+            check=False)
+    except FileNotFoundError:
+        print("coverage_summary: gcov not found on PATH", file=sys.stderr)
+        sys.exit(2)
+    # One JSON document per line of stdout (gcov emits one per .gcda).
+    for doc_text in proc.stdout.splitlines():
+        if not doc_text.startswith("{"):
+            continue
+        try:
+            doc = json.loads(doc_text)
+        except json.JSONDecodeError:
+            continue
+        for unit in doc.get("files", []):
+            path = os.path.normpath(
+                os.path.join(doc.get("current_working_directory", ""),
+                             unit["file"]))
+            rel = os.path.relpath(path, repo_root)
+            lines = {}
+            for line in unit.get("lines", []):
+                lines[line["line_number"]] = line["count"]
+            yield rel, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir")
+    parser.add_argument("--source-prefix", default="src/")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.build_dir):
+        print(f"coverage_summary: not a directory: {args.build_dir}")
+        return 2
+    repo_root = os.path.dirname(os.path.abspath(
+        os.path.dirname(sys.argv[0]))) or "."
+
+    gcdas = []
+    for root, _, files in os.walk(args.build_dir):
+        gcdas.extend(os.path.join(root, f) for f in files
+                     if f.endswith(".gcda"))
+    if not gcdas:
+        print(f"coverage_summary: no .gcda files under {args.build_dir} "
+              "(build with -DCAROUSEL_COVERAGE=ON and run the tests first)")
+        return 2
+
+    # file -> line -> max count across TUs.
+    merged = {}
+    for gcda in gcdas:
+        for rel, lines in gcov_json(gcda, repo_root):
+            if not rel.startswith(args.source_prefix):
+                continue
+            target = merged.setdefault(rel, {})
+            for number, count in lines.items():
+                target[number] = max(target.get(number, 0), count)
+
+    total_lines = 0
+    total_covered = 0
+    print(f"{'file':56} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for rel in sorted(merged):
+        lines = merged[rel]
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += len(lines)
+        total_covered += covered
+        pct = 100.0 * covered / len(lines) if lines else 0.0
+        print(f"{rel:56} {len(lines):7} {covered:8} {pct:6.1f}%")
+    pct = 100.0 * total_covered / total_lines if total_lines else 0.0
+    print(f"{'TOTAL':56} {total_lines:7} {total_covered:8} {pct:6.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

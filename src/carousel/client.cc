@@ -23,6 +23,15 @@ TxnId CarouselClient::Begin() {
   return TxnId{client_id_, ++next_counter_};
 }
 
+void CarouselClient::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const std::string prefix = "client." + std::to_string(id()) + ".";
+  m_started_ = registry->GetCounter(prefix + "txns_started");
+  m_committed_ = registry->GetCounter(prefix + "txns_committed");
+  m_aborted_ = registry->GetCounter(prefix + "txns_aborted");
+  m_timedout_ = registry->GetCounter(prefix + "txns_timedout");
+}
+
 void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
                                     KeyList writes, ReadCallback callback) {
   ActiveTxn& txn = txns_[tid];
@@ -33,6 +42,8 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
   // Only the issuing client opens the trace; every later observer merely
   // stamps into it.
   if (traces_) traces_->Begin(tid, simulator()->now(), txn.read_only);
+  if (wanrt_) wanrt_->Begin(tid);
+  m_started_.Increment();
   if (history_) {
     history_->Invoke(tid, reads, writes, txn.read_only, simulator()->now());
   }
@@ -61,6 +72,7 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
     notify->client = id();
     notify->fast_path = options_.fast_path;
     notify->keys = txn.keys;
+    TagSpan(notify.get(), tid, obs::WanrtPhase::kPrepare);
     network()->Send(id(), txn.coordinator, std::move(notify));
     ArmHeartbeat(tid);
   }
@@ -90,6 +102,7 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
       msg->want_data = want_data;
       msg->is_retry = retry;
       msg->attempt = txn.read_attempt;
+      TagSpan(msg.get(), txn.tid, obs::WanrtPhase::kExecute);
       return msg;
     };
 
@@ -180,6 +193,7 @@ void CarouselClient::SendCommit(ActiveTxn& txn, bool broadcast) {
   msg->writes = txn.writes;
   msg->read_versions = txn.versions_used;
   msg->keys = txn.keys;
+  TagSpan(msg.get(), txn.tid, obs::WanrtPhase::kDecision);
   if (broadcast) {
     const PartitionId p =
         directory_->topology().node(txn.coordinator).partition;
@@ -199,6 +213,7 @@ void CarouselClient::Abort(const TxnId& tid) {
     auto msg = sim::MakeMessage<AbortRequestMsg>();
     msg->tid = tid;
     msg->client = id();
+    TagSpan(msg.get(), tid, obs::WanrtPhase::kDecision);
     network()->Send(id(), txn.coordinator, std::move(msg));
   } else if (traces_) {
     // No coordinator will ever seal this trace; close it here.
@@ -214,6 +229,8 @@ void CarouselClient::Abort(const TxnId& tid) {
     history_->ClientOutcome(tid, check::Outcome::kAborted, "client abort",
                             simulator()->now());
   }
+  if (wanrt_) wanrt_->Seal(tid, id(), /*committed=*/false, txn.read_only);
+  m_aborted_.Increment();
   txns_.erase(it);
 }
 
@@ -304,6 +321,8 @@ void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
           tid, failed ? check::Outcome::kAborted : check::Outcome::kCommitted,
           failed ? "read-only conflict" : "", simulator()->now());
     }
+    if (wanrt_) wanrt_->Seal(tid, id(), !failed, /*read_only=*/true);
+    (failed ? m_aborted_ : m_committed_).Increment();
     txns_.erase(tid);
     if (cb) {
       cb(failed ? Status::Aborted("read-only conflict") : Status::OK(),
@@ -338,6 +357,8 @@ void CarouselClient::FinishCommit(const TxnId& tid, bool committed,
         tid, committed ? check::Outcome::kCommitted : check::Outcome::kAborted,
         reason, simulator()->now());
   }
+  if (wanrt_) wanrt_->Seal(tid, id(), committed, /*read_only=*/false);
+  (committed ? m_committed_ : m_aborted_).Increment();
   CommitCallback cb = std::move(it->second.commit_cb);
   // `reason` may alias a field of the ActiveTxn erased next (e.g.
   // early_reason), so copy it before the erase.
@@ -400,6 +421,10 @@ void CarouselClient::ArmRetryTimer(const TxnId& tid) {
                                 in_commit ? "commit timeout" : "read timeout",
                                 simulator()->now());
       }
+      if (wanrt_) {
+        wanrt_->Seal(tid, id(), /*committed=*/false, txn.read_only);
+      }
+      m_timedout_.Increment();
       txns_.erase(it);
       if (rcb) rcb(Status::TimedOut("read phase"), {});
       if (in_commit && ccb) ccb(Status::TimedOut("commit"));

@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/wanrt.h"
 #include "sim/network.h"
 #include "sim/node.h"
 
@@ -70,6 +72,15 @@ class CarouselClient : public sim::Node {
   /// stamps invocation, observed reads, buffered writes and the final
   /// client-visible outcome of every transaction it runs.
   void set_history(check::HistoryRecorder* history) { history_ = history; }
+
+  /// Attaches the cluster metrics registry (may be null / disabled; the
+  /// counters then become no-op null handles).
+  void set_metrics(obs::MetricsRegistry* registry);
+  /// Attaches the WANRT ledger (may be null). The issuing client brackets
+  /// each transaction: Begin at ReadAndPrepare, Seal when the outcome is
+  /// client-visible — so decided_hops is exactly the causal cross-DC hop
+  /// depth behind what the application observed.
+  void set_wanrt(obs::WanrtLedger* ledger) { wanrt_ = ledger; }
 
   /// Number of transactions with no local replica for some participant
   /// partition (Remote-Partition Transactions); for experiment reporting.
@@ -135,6 +146,12 @@ class CarouselClient : public sim::Node {
   uint64_t rpt_count_ = 0;
   Histogram read_phase_;
   Histogram commit_phase_;
+  obs::WanrtLedger* wanrt_ = nullptr;
+  // Metrics (null handles until set_metrics with an enabled registry).
+  obs::Counter m_started_;
+  obs::Counter m_committed_;
+  obs::Counter m_aborted_;
+  obs::Counter m_timedout_;
   static constexpr int kMaxRetries = 10;
 };
 

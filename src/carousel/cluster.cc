@@ -4,12 +4,19 @@ namespace carousel::core {
 
 Cluster::Cluster(Topology topology, CarouselOptions options,
                  sim::NetworkOptions net_options, uint64_t seed)
-    : topology_(std::move(topology)), sim_(seed) {
+    : topology_(std::move(topology)),
+      sim_(seed),
+      metrics_(options.metrics.enabled),
+      wanrt_(&topology_, options.metrics.enabled) {
   directory_ = std::make_unique<Directory>(&topology_);
   // The batching config is the single switch benches flip; carry its
   // simulator-level half into the network options here.
   net_options.coalesce_deliveries |= options.batching.coalesce_deliveries;
   network_ = std::make_unique<sim::Network>(&sim_, &topology_, net_options);
+  if (options.metrics.enabled) {
+    wanrt_.set_retain_all(options.metrics.retain_per_txn);
+    network_->set_delivery_observer(&wanrt_);
+  }
 
   ClientId next_client_id = 0;
   for (const NodeInfo& info : topology_.nodes()) {
@@ -17,12 +24,14 @@ Cluster::Cluster(Topology topology, CarouselOptions options,
       auto client = std::make_unique<CarouselClient>(
           info.id, info.dc, next_client_id++, directory_.get(), options,
           &traces_);
+      client->set_metrics(&metrics_);
+      if (options.metrics.enabled) client->set_wanrt(&wanrt_);
       network_->Register(client.get());
       client_ptrs_.push_back(client.get());
       clients_.push_back(std::move(client));
     } else {
       auto server = std::make_unique<CarouselServer>(
-          info, directory_.get(), &sim_, options, &traces_);
+          info, directory_.get(), &sim_, options, &traces_, &metrics_);
       network_->Register(server.get());
       servers_.emplace(info.id, std::move(server));
     }
@@ -52,6 +61,14 @@ void Cluster::AttachHistory(check::HistoryRecorder* history) {
     server->set_history(history);
     if (history != nullptr) server->mutable_store().EnableWriterLog();
   }
+}
+
+std::string Cluster::MetricsJson(int indent) const {
+  std::string out = "{\n";
+  out += "\"metrics\": " + metrics_.Snapshot(sim_.now()).ToJson(indent) + ",\n";
+  out += "\"wanrt\": " + wanrt_.SnapshotJson(indent) + "\n";
+  out += "}";
+  return out;
 }
 
 CarouselServer* Cluster::LeaderOf(PartitionId p) {

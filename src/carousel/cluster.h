@@ -10,6 +10,8 @@
 #include "carousel/server.h"
 #include "common/topology.h"
 #include "common/trace.h"
+#include "obs/metrics.h"
+#include "obs/wanrt.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -62,10 +64,23 @@ class Cluster {
   /// logs stay on).
   void AttachHistory(check::HistoryRecorder* history);
 
+  /// The deployment-wide metrics registry (disabled — null handles — unless
+  /// options.metrics.enabled).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The WANRT accountant; attached to the network as a delivery observer
+  /// only when options.metrics.enabled.
+  obs::WanrtLedger& wanrt() { return wanrt_; }
+  const obs::WanrtLedger& wanrt() const { return wanrt_; }
+  /// Combined observability snapshot (registry + WANRT stats) as JSON.
+  std::string MetricsJson(int indent = 0) const;
+
  private:
   Topology topology_;
   sim::Simulator sim_;
   TraceCollector traces_;
+  obs::MetricsRegistry metrics_;
+  obs::WanrtLedger wanrt_;
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<sim::Network> network_;
   std::unordered_map<NodeId, std::unique_ptr<CarouselServer>> servers_;

@@ -99,6 +99,7 @@ void Coordinator::HandleCoordPrepare(NodeId from, const CoordPrepareMsg& msg) {
     log->client = msg.client;
     log->fast_path = msg.fast_path;
     log->keys = msg.keys;
+    TagSpan(log.get(), msg.tid, obs::WanrtPhase::kPrepare);
     ctx_->raft->Propose(std::move(log)).ok();
   }
   EvaluateCoordTxn(txn);
@@ -112,6 +113,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
     redirect->tid = msg.tid;
     redirect->partition = ctx_->partition;
     redirect->leader_hint = ctx_->raft->leader_hint();
+    TagSpan(redirect.get(), msg.tid, obs::WanrtPhase::kDecision);
     ctx_->Send(msg.client, std::move(redirect));
     return;
   }
@@ -138,6 +140,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
     info->client = msg.client;
     info->fast_path = txn.fast;
     info->keys = txn.keys;
+    TagSpan(info.get(), msg.tid, obs::WanrtPhase::kPrepare);
     ctx_->raft->Propose(std::move(info)).ok();
   }
 
@@ -145,6 +148,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
   log->tid = msg.tid;
   log->writes = msg.writes;
   log->client_versions = msg.read_versions;
+  TagSpan(log.get(), msg.tid, obs::WanrtPhase::kDecision);
   ctx_->raft->Propose(std::move(log)).ok();
   EvaluateCoordTxn(txn);
 }
@@ -198,6 +202,7 @@ void Coordinator::RecordDecision(CoordTxn& txn, PartitionId partition,
       part.leader_versions = msg.read_versions;
       // This partition's decision came off the replicated slow path.
       txn.slow_path_used = true;
+      m_slow_decisions_.Increment();
       ctx_->TracePhase(txn.tid, TxnPhase::kSlowDecision);
     }
     // When the fast path already decided this partition, the slow-path
@@ -256,6 +261,7 @@ void Coordinator::EvaluateCoordTxn(CoordTxn& txn) {
         part.decided = true;
         part.prepared = anchor->prepared;
         part.leader_versions = anchor->versions;
+        m_fast_quorums_.Increment();
         ctx_->TracePhase(txn.tid, TxnPhase::kFastQuorum);
       }
     }
@@ -315,6 +321,7 @@ void Coordinator::Decide(CoordTxn& txn, bool commit,
   txn.committed = commit;
   txn.reason = reason;
   txn.hb_timer_gen++;  // Cancel the client-failure timer.
+  (commit ? m_commits_ : m_aborts_).Increment();
   // Phase record: which path decided this transaction, and the verdict.
   ctx_->TraceOutcome(txn.tid, commit, txn.fast && !txn.slow_path_used,
                      reason);
@@ -323,6 +330,7 @@ void Coordinator::Decide(CoordTxn& txn, bool commit,
     auto log = sim::MakeMessage<LogDecision>();
     log->tid = txn.tid;
     log->commit = commit;
+    TagSpan(log.get(), txn.tid, obs::WanrtPhase::kDecision);
     ctx_->raft->Propose(std::move(log)).ok();
   }
 
@@ -372,6 +380,7 @@ void Coordinator::SendWriteback(CoordTxn& txn, PartitionId partition,
   msg->partition = partition;
   msg->coordinator = ctx_->self;
   msg->commit = txn.committed;
+  TagSpan(msg.get(), txn.tid, obs::WanrtPhase::kDecision);
   if (txn.committed) {
     for (const auto& [k, v] : txn.writes) {
       if (ctx_->directory->PartitionFor(k) == partition) msg->writes[k] = v;
@@ -428,6 +437,7 @@ void Coordinator::ArmCoordRetryTimer(const TxnId& tid) {
               query->coordinator = ctx_->self;
               query->read_keys = rw.reads;
               query->write_keys = rw.writes;
+              TagSpan(query.get(), tid, obs::WanrtPhase::kPrepare);
               ctx_->Send(replica, std::move(query));
             }
           }
@@ -492,6 +502,7 @@ void Coordinator::HandleQueryDecision(NodeId from,
   reply->tid = msg.tid;
   reply->partition = msg.partition;
   reply->coordinator = ctx_->self;
+  TagSpan(reply.get(), msg.tid, obs::WanrtPhase::kDecision);
 
   auto done = coord_decided_.find(msg.tid);
   if (done != coord_decided_.end()) {
@@ -529,6 +540,7 @@ void Coordinator::HandleQueryDecision(NodeId from,
     auto log = sim::MakeMessage<LogDecision>();
     log->tid = msg.tid;
     log->commit = false;
+    TagSpan(log.get(), msg.tid, obs::WanrtPhase::kDecision);
     ctx_->raft->Propose(std::move(log)).ok();
   }
 }
@@ -549,6 +561,7 @@ void Coordinator::AnswerFenceQueries(const TxnId& tid) {
     reply->partition = partition;
     reply->coordinator = ctx_->self;
     reply->commit = commit;
+    TagSpan(reply.get(), tid, obs::WanrtPhase::kDecision);
     if (commit && it != coord_txns_.end()) {
       for (const auto& [k, v] : it->second.writes) {
         if (ctx_->directory->PartitionFor(k) == partition) {
@@ -568,6 +581,7 @@ void Coordinator::ReplyToClient(NodeId client, const TxnId& tid,
   msg->tid = tid;
   msg->committed = committed;
   msg->reason = reason;
+  TagSpan(msg.get(), tid, obs::WanrtPhase::kDecision);
   ctx_->Send(client, std::move(msg));
 }
 
@@ -626,6 +640,7 @@ void Coordinator::TakeOverCoordination() {
         auto log = sim::MakeMessage<LogDecision>();
         log->tid = tid;
         log->commit = txn.committed;
+        TagSpan(log.get(), tid, obs::WanrtPhase::kDecision);
         ctx_->raft->Propose(std::move(log)).ok();
       }
       if (txn.externalized) {
@@ -659,6 +674,7 @@ void Coordinator::TakeOverCoordination() {
         query->coordinator = ctx_->self;
         query->read_keys = rw.reads;
         query->write_keys = rw.writes;
+        TagSpan(query.get(), tid, obs::WanrtPhase::kPrepare);
         ctx_->Send(replica, std::move(query));
       }
     }

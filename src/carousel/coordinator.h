@@ -22,7 +22,12 @@ namespace carousel::core {
 /// quorum rule (§4.2) over direct replica replies.
 class Coordinator {
  public:
-  explicit Coordinator(ServerContext* ctx) : ctx_(ctx) {}
+  explicit Coordinator(ServerContext* ctx)
+      : ctx_(ctx),
+        m_commits_(ctx->RoleCounter("coordinator", "commits")),
+        m_aborts_(ctx->RoleCounter("coordinator", "aborts")),
+        m_fast_quorums_(ctx->RoleCounter("coordinator", "fast_quorums")),
+        m_slow_decisions_(ctx->RoleCounter("coordinator", "slow_decisions")) {}
 
   /// Registers this role's network message handlers.
   void Register(sim::Dispatcher* dispatcher);
@@ -131,6 +136,12 @@ class Coordinator {
   std::unordered_map<TxnId, std::vector<std::pair<NodeId, PartitionId>>,
                      TxnIdHash>
       pending_fence_queries_;
+
+  // Metrics (null handles when the registry is absent or disabled).
+  obs::Counter m_commits_;
+  obs::Counter m_aborts_;
+  obs::Counter m_fast_quorums_;
+  obs::Counter m_slow_decisions_;
 };
 
 }  // namespace carousel::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/wanrt.h"
 #include "sim/message.h"
 
 namespace carousel::core {
@@ -15,6 +16,14 @@ struct RwKeys {
   KeyList reads;
   KeyList writes;
 };
+
+/// Stamps the WANRT span (transaction id + protocol phase) onto an
+/// outgoing message or Raft log payload. Zero wire bytes; the ledger uses
+/// it to attribute every cross-DC delivery to a transaction and phase.
+inline void TagSpan(sim::Message* msg, const TxnId& tid,
+                    obs::WanrtPhase phase) {
+  msg->set_span(tid, static_cast<uint8_t>(phase));
+}
 
 /// Byte-size helpers for bandwidth accounting.
 size_t SizeOfKeys(const KeyList& keys);

@@ -57,6 +57,18 @@ struct BatchingOptions {
   }
 };
 
+/// Observability (src/obs). Off by default: the registry then hands out
+/// null handles (one predictable branch per op) and the WANRT ledger is
+/// never attached to the network, so the hot path does no metric work.
+struct MetricsOptions {
+  /// Master switch: live registry handles, WANRT ledger on the network,
+  /// Raft ack-span stamping.
+  bool enabled = false;
+  /// Keep sealed per-transaction WANRT records for Find() queries. Tests
+  /// only — long runs would grow without bound.
+  bool retain_per_txn = false;
+};
+
 /// Configuration of a Carousel deployment.
 struct CarouselOptions {
   /// Use the CPC fast path (Carousel Fast). When false the system is
@@ -104,6 +116,7 @@ struct CarouselOptions {
   raft::RaftOptions raft;
   ServerCostModel cost;
   BatchingOptions batching;
+  MetricsOptions metrics;
 };
 
 }  // namespace carousel::core

@@ -45,6 +45,7 @@ void Participant::SendReadData(const ReadPrepareMsg& msg, bool from_leader) {
   reply->partition = ctx_->partition;
   reply->from_leader = from_leader;
   reply->attempt = msg.attempt;
+  TagSpan(reply.get(), msg.tid, obs::WanrtPhase::kExecute);
   for (const Key& k : msg.read_keys) reply->reads[k] = ctx_->store->Get(k);
   ctx_->Send(msg.client, std::move(reply));
 }
@@ -65,6 +66,7 @@ void Participant::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
     reply->partition = ctx_->partition;
     reply->from_leader = true;
     reply->attempt = msg.attempt;
+    TagSpan(reply.get(), msg.tid, obs::WanrtPhase::kExecute);
     // OCC validation: fail if any read key has a pending writer (§4.4.2).
     reply->ok = !ctx_->pending->HasPendingWriter(msg.read_keys);
     if (reply->ok) {
@@ -120,6 +122,7 @@ void Participant::LeaderPrepare(const TxnId& tid, const KeyList& reads,
 
   const bool prepared = !ctx_->pending->HasConflict(reads, writes);
   const uint64_t term = ctx_->raft->term();
+  (prepared ? m_prepares_ok_ : m_prepares_conflict_).Increment();
   if (prepared) {
     kv::PendingTxn entry;
     entry.tid = tid;
@@ -149,6 +152,10 @@ void Participant::LeaderPrepare(const TxnId& tid, const KeyList& reads,
   log->write_keys = writes;
   log->read_versions = versions;
   log->term = term;
+  // Replicating the prepare result is prepare-phase traffic in both
+  // modes; the CPC slow/fast distinction is carried by the decision
+  // message, not the replication behind it.
+  TagSpan(log.get(), tid, obs::WanrtPhase::kPrepare);
   ctx_->raft->Propose(std::move(log)).ok();
 }
 
@@ -208,6 +215,18 @@ void Participant::SendDecision(NodeId coordinator, const TxnId& tid,
   msg->prepared = prepared;
   msg->read_versions = std::move(versions);
   msg->term = term;
+  // Phase attribution: direct fast votes vs the replicated decision. When
+  // the fast path was never attempted (Carousel Basic) the replicated
+  // decision IS the prepare outcome; kCpcSlow is reserved for genuine
+  // fast-path degradation so tests can detect it from the ledger alone.
+  if (via_fast_path) {
+    m_fast_votes_.Increment();
+    TagSpan(msg.get(), tid, obs::WanrtPhase::kCpcFast);
+  } else if (ctx_->options->fast_path) {
+    TagSpan(msg.get(), tid, obs::WanrtPhase::kCpcSlow);
+  } else {
+    TagSpan(msg.get(), tid, obs::WanrtPhase::kPrepare);
+  }
   ctx_->Send(coordinator, std::move(msg));
 }
 
@@ -248,6 +267,7 @@ void Participant::HandleWriteback(NodeId from, const WritebackMsg& msg) {
     auto ack = sim::MakeMessage<WritebackAckMsg>();
     ack->tid = msg.tid;
     ack->partition = ctx_->partition;
+    TagSpan(ack.get(), msg.tid, obs::WanrtPhase::kDecision);
     ctx_->Send(msg.coordinator, std::move(ack));
     return;
   }
@@ -256,6 +276,7 @@ void Participant::HandleWriteback(NodeId from, const WritebackMsg& msg) {
   log->coordinator = msg.coordinator;
   log->commit = msg.commit;
   log->writes = msg.writes;
+  TagSpan(log.get(), msg.tid, obs::WanrtPhase::kDecision);
   ctx_->raft->Propose(std::move(log)).ok();
 }
 
@@ -272,6 +293,7 @@ void Participant::ArmPendingGcTimer() {
           auto probe = sim::MakeMessage<QueryDecisionMsg>();
           probe->tid = entry.tid;
           probe->partition = ctx_->partition;
+          TagSpan(probe.get(), entry.tid, obs::WanrtPhase::kDecision);
           ctx_->Send(entry.coordinator, std::move(probe));
         }
       }
@@ -351,11 +373,13 @@ void Participant::ApplyCommitEntry(const LogCommit& entry) {
     }
     committed_count_++;
   }
+  m_writebacks_.Increment();
   decided_[entry.tid] = entry.commit;
   if (ctx_->IsLeader()) {
     auto ack = sim::MakeMessage<WritebackAckMsg>();
     ack->tid = entry.tid;
     ack->partition = ctx_->partition;
+    TagSpan(ack.get(), entry.tid, obs::WanrtPhase::kDecision);
     ctx_->Send(entry.coordinator, std::move(ack));
   }
 }

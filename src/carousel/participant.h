@@ -20,7 +20,13 @@ namespace carousel::core {
 /// the shared context per message.
 class Participant {
  public:
-  explicit Participant(ServerContext* ctx) : ctx_(ctx) {}
+  explicit Participant(ServerContext* ctx)
+      : ctx_(ctx),
+        m_prepares_ok_(ctx->RoleCounter("participant", "prepares_ok")),
+        m_prepares_conflict_(
+            ctx->RoleCounter("participant", "prepares_conflict")),
+        m_fast_votes_(ctx->RoleCounter("participant", "fast_votes")),
+        m_writebacks_(ctx->RoleCounter("participant", "writebacks_applied")) {}
 
   /// Registers this role's network message handlers.
   void Register(sim::Dispatcher* dispatcher);
@@ -83,6 +89,12 @@ class Participant {
   std::unordered_map<TxnId, bool, TxnIdHash> decided_;
   uint64_t committed_count_ = 0;
   uint64_t gc_timer_gen_ = 0;
+
+  // Metrics (null handles when the registry is absent or disabled).
+  obs::Counter m_prepares_ok_;
+  obs::Counter m_prepares_conflict_;
+  obs::Counter m_fast_votes_;
+  obs::Counter m_writebacks_;
 };
 
 }  // namespace carousel::core

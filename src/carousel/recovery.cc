@@ -47,6 +47,7 @@ void Recovery::OnLeadership(
   serving_ = false;
   recovery_outstanding_ = 0;
   recovery_tids_.clear();
+  m_recoveries_.Increment();
 
   // ---- CPC failure handling (paper §4.3.3) ----
   // Step 2 (completing replication of the log) has already happened: Raft
@@ -164,6 +165,7 @@ void Recovery::OnLeadership(
     }
     recovery_tids_.insert(s.tid);
     recovery_outstanding_++;
+    m_reproposed_.Increment();
     auto log = sim::MakeMessage<LogPrepareResult>();
     log->tid = s.tid;
     log->coordinator = s.coordinator;
@@ -172,6 +174,7 @@ void Recovery::OnLeadership(
     log->write_keys = s.write_keys;
     log->read_versions = s.read_versions;
     log->term = s.term;
+    TagSpan(log.get(), s.tid, obs::WanrtPhase::kPrepare);
     ctx_->raft->Propose(std::move(log)).ok();
   }
 

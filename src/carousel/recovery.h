@@ -24,7 +24,11 @@ class Recovery {
  public:
   Recovery(ServerContext* ctx, Participant* participant,
            Coordinator* coordinator)
-      : ctx_(ctx), participant_(participant), coordinator_(coordinator) {
+      : ctx_(ctx),
+        participant_(participant),
+        coordinator_(coordinator),
+        m_recoveries_(ctx->RoleCounter("recovery", "leadership_recoveries")),
+        m_reproposed_(ctx->RoleCounter("recovery", "prepares_rereplicated")) {
     participant_->set_on_prepare_applied(
         [this](const TxnId& tid) { OnPrepareApplied(tid); });
   }
@@ -70,6 +74,10 @@ class Recovery {
   /// Fast-path prepares being re-replicated (step 5), until applied.
   std::set<TxnId> recovery_tids_;
   int recovery_outstanding_ = 0;
+
+  // Metrics (null handles when the registry is absent or disabled).
+  obs::Counter m_recoveries_;
+  obs::Counter m_reproposed_;
 };
 
 }  // namespace carousel::core

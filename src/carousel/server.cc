@@ -1,5 +1,7 @@
 #include "carousel/server.h"
 
+#include <string>
+
 #include "raft/messages.h"
 #include "sim/simulator.h"
 
@@ -33,7 +35,8 @@ size_t SizeOfReads(const std::map<Key, VersionedValue>& reads) {
 CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
                                sim::Simulator* sim,
                                const CarouselOptions& options,
-                               TraceCollector* traces)
+                               TraceCollector* traces,
+                               obs::MetricsRegistry* metrics)
     : sim::Node(info.id, info.dc),
       partition_(info.partition),
       directory_(directory),
@@ -58,6 +61,7 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
   };
   ctx_.node_alive = [this]() { return alive(); };
   ctx_.traces = traces;
+  ctx_.metrics = metrics;
 
   participant_ = std::make_unique<Participant>(&ctx_);
   coordinator_ = std::make_unique<Coordinator>(&ctx_);
@@ -102,6 +106,36 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
   raft_->set_step_down_fn(
       [this](uint64_t term) { recovery_->OnStepDown(term); });
   raft_->set_elected_fn([this](uint64_t term) { recovery_->OnElected(term); });
+
+  // Observability: raft ack-span stamping plus zero-hot-path-cost
+  // exposures — the registry reads these only at snapshot time, so an
+  // enabled-but-unsampled run pays nothing between snapshots.
+  if (metrics != nullptr && metrics->enabled()) {
+    raft_->set_span_tracking(true);
+    const std::string prefix = "server." + std::to_string(id()) + ".";
+    metrics->ExposeCounter(prefix + "dispatch.messages",
+                           dispatcher_.dispatched_cell());
+    metrics->ExposeCounter(prefix + "dispatch.applies",
+                           apply_dispatcher_.dispatched_cell());
+    metrics->ExposeGauge(prefix + "raft.log_entries", [this]() {
+      return static_cast<int64_t>(raft_->last_log_index());
+    });
+    metrics->ExposeGauge(prefix + "raft.elections_won", [this]() {
+      return static_cast<int64_t>(raft_->elections_won());
+    });
+    metrics->ExposeGauge(prefix + "raft.proposals", [this]() {
+      return static_cast<int64_t>(raft_->proposals());
+    });
+    metrics->ExposeGauge(prefix + "coordinator.active_txns", [this]() {
+      return static_cast<int64_t>(coordinator_->active_txns());
+    });
+    metrics->ExposeGauge(prefix + "recovery.buffered", [this]() {
+      return static_cast<int64_t>(recovery_->buffered_count());
+    });
+    metrics->ExposeGauge(prefix + "pending.size", [this]() {
+      return static_cast<int64_t>(pending_.size());
+    });
+  }
 }
 
 CarouselServer::~CarouselServer() = default;

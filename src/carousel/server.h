@@ -40,9 +40,13 @@ namespace carousel::core {
 /// applied log entries through typed dispatchers the roles register into.
 class CarouselServer : public sim::Node {
  public:
+  /// `metrics`, when non-null and enabled, receives per-role counters and
+  /// zero-cost exposures (dispatch counts, raft state, queue depths); it
+  /// also switches on Raft ack-span stamping for WANRT accounting.
   CarouselServer(const NodeInfo& info, const Directory* directory,
                  sim::Simulator* sim, const CarouselOptions& options,
-                 TraceCollector* traces = nullptr);
+                 TraceCollector* traces = nullptr,
+                 obs::MetricsRegistry* metrics = nullptr);
   ~CarouselServer() override;
 
   /// Starts the Raft member. Replica 0 bootstraps as leader of term 1.

@@ -2,6 +2,7 @@
 #define CAROUSEL_CAROUSEL_SERVER_CONTEXT_H_
 
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "carousel/directory.h"
@@ -11,6 +12,7 @@
 #include "common/types.h"
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
+#include "obs/metrics.h"
 #include "raft/raft_node.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
@@ -51,6 +53,9 @@ struct ServerContext {
   TraceCollector* traces = nullptr;
   /// Verification history; may be null (recording disabled).
   check::HistoryRecorder* history = nullptr;
+  /// Cluster-wide metrics registry; may be null or disabled (then the
+  /// helpers below hand out null handles and every op is a no-op branch).
+  obs::MetricsRegistry* metrics = nullptr;
 
   bool IsLeader() const { return raft->is_leader(); }
   SimTime now() const { return sim->now(); }
@@ -72,6 +77,16 @@ struct ServerContext {
   }
   void TraceSeal(const TxnId& tid) const {
     if (traces != nullptr) traces->Seal(tid);
+  }
+
+  /// Counter scoped to this server and a role module, e.g.
+  /// "server.3.participant.prepares_ok". Null handle when metrics are off,
+  /// so roles grab their counters once at construction and bump them
+  /// unconditionally.
+  obs::Counter RoleCounter(const char* role, const char* name) const {
+    if (metrics == nullptr) return {};
+    return metrics->GetCounter("server." + std::to_string(self) + "." + role +
+                               "." + name);
   }
 
   /// Records a coordinator decision point in the verification history

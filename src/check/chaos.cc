@@ -92,6 +92,10 @@ ChaosResult RunChaosSeed(const ChaosConfig& config) {
   options.bug_skip_stale_read_check = config.inject_bug_stale_read;
   options.batching.enabled = config.batching;
   options.batching.coalesce_deliveries = config.batching;
+  // Observability rides along on every chaos run: the delivery observer
+  // runs in zero sim time, so results are bit-identical with it on, and
+  // failing seeds get a metrics snapshot in their artifacts.
+  options.metrics.enabled = true;
 
   sim::NetworkOptions net;
   net.loss_fraction =
@@ -280,6 +284,8 @@ ChaosResult RunChaosSeed(const ChaosConfig& config) {
   result.check.aborted = check.aborted;
   result.check.indeterminate = check.indeterminate;
   result.check.edges = check.edges;
+  result.wanrt = cluster.wanrt().stats();
+  result.metrics_json = cluster.MetricsJson(2);
   return result;
 }
 
@@ -288,7 +294,9 @@ std::string ChaosResult::Summary() const {
   out << "seed " << seed << ": " << (ok() ? "OK" : "FAIL") << " ("
       << check.committed << " committed, " << check.aborted << " aborted, "
       << check.indeterminate << " indeterminate, " << faults_injected
-      << " faults, " << check.edges << " edges";
+      << " faults, " << check.edges << " edges, " << wanrt.fast_path_txns
+      << " fast / " << wanrt.slow_path_txns << " slow / "
+      << wanrt.degraded_txns << " degraded";
   if (!ok()) out << ", " << check.violations.size() << " VIOLATIONS";
   out << ")";
   return out.str();

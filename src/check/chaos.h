@@ -6,6 +6,7 @@
 
 #include "check/history.h"
 #include "check/serializability.h"
+#include "obs/wanrt.h"
 
 namespace carousel::check {
 
@@ -40,6 +41,14 @@ struct ChaosResult {
   /// Kept for reporting: the full history and ground-truth write order.
   HistoryRecorder history;
   WriterChains chains;
+  /// WANRT accounting over the whole run. Chaos runs always enable
+  /// metrics (they cost nothing in sim time and never change results), so
+  /// every failing-seed artifact carries the protocol-path breakdown —
+  /// fast/slow/degraded counts tell at a glance whether the nemesis
+  /// actually knocked CPC off its fast path.
+  obs::WanrtStats wanrt;
+  /// Full observability snapshot (metrics registry + WANRT ledger), JSON.
+  std::string metrics_json;
 
   bool ok() const { return check.ok(); }
   /// Compact one-line summary for sweep output.

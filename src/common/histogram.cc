@@ -67,13 +67,27 @@ double Histogram::Mean() const {
 int64_t Histogram::Quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const int64_t target = static_cast<int64_t>(
-      std::ceil(q * static_cast<double>(count_)));
+  // Fractional rank under the midpoint rule: the k-th smallest sample
+  // (1-based) sits at cumulative position k - 0.5. Interpolating linearly
+  // within the covering bucket keeps low quantiles off the bucket's upper
+  // edge (a p50 that lands mid-bucket used to be reported a full bucket
+  // high); the min/max clamp keeps the answer inside the observed range.
+  const double pos = q * static_cast<double>(count_) + 0.5;
   int64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const int64_t before = seen;
     seen += buckets_[i];
-    if (seen >= target) {
-      return std::min(BucketUpper(static_cast<int>(i)), max_);
+    if (pos <= static_cast<double>(seen)) {
+      const int64_t lower =
+          i == 0 ? 0 : BucketUpper(static_cast<int>(i) - 1);
+      const int64_t upper = BucketUpper(static_cast<int>(i));
+      double frac = (pos - static_cast<double>(before) - 0.5) /
+                    static_cast<double>(buckets_[i]);
+      frac = std::clamp(frac, 0.0, 1.0);
+      const int64_t value = lower + static_cast<int64_t>(std::llround(
+                                        frac * static_cast<double>(upper - lower)));
+      return std::clamp(value, min_, max_);
     }
   }
   return max_;

@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace carousel::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// %.17g round-trips doubles exactly; trailing-digit noise is acceptable in
+// exchange for snapshot/merge determinism tests comparing strings.
+std::string NumStr(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  if (other.at > at) at = other.at;
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    histograms[name].Merge(h);
+  }
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  const std::string pad(indent, ' ');
+  const std::string pad2(indent + 2, ' ');
+  const std::string pad4(indent + 4, ' ');
+  std::string out = pad + "{\n";
+  out += pad2 + "\"at\": " + std::to_string(at) + ",\n";
+
+  out += pad2 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += pad4 + "\"" + JsonEscape(name) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n" + pad2 + "},\n";
+
+  out += pad2 + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += pad4 + "\"" + JsonEscape(name) + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "},\n" : "\n" + pad2 + "},\n";
+
+  out += pad2 + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += pad4 + "\"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h.count()) + ", \"mean\": " + NumStr(h.Mean()) +
+           ", \"p50\": " + std::to_string(h.Quantile(0.5)) +
+           ", \"p99\": " + std::to_string(h.Quantile(0.99)) +
+           ", \"max\": " + std::to_string(h.max()) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n" + pad2 + "}\n";
+  out += pad + "}";
+  return out;
+}
+
+Counter MetricsRegistry::GetCounter(const std::string& name) {
+  if (!enabled_) return Counter{};
+  return Counter{&counters_[name]};
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name) {
+  if (!enabled_) return Gauge{};
+  return Gauge{&gauges_[name]};
+}
+
+Histo MetricsRegistry::GetHistogram(const std::string& name) {
+  if (!enabled_) return Histo{};
+  return Histo{&histograms_[name]};
+}
+
+void MetricsRegistry::ExposeCounter(const std::string& name,
+                                    const uint64_t* cell) {
+  if (!enabled_ || cell == nullptr) return;
+  exposed_counters_[name] = cell;
+}
+
+void MetricsRegistry::ExposeGauge(const std::string& name,
+                                  std::function<int64_t()> fn) {
+  if (!enabled_ || !fn) return;
+  exposed_gauges_[name] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(SimTime at) const {
+  MetricsSnapshot snap;
+  snap.at = at;
+  if (!enabled_) return snap;
+  snap.counters = counters_;
+  for (const auto& [name, cell] : exposed_counters_) {
+    snap.counters[name] += *cell;
+  }
+  snap.gauges = gauges_;
+  for (const auto& [name, fn] : exposed_gauges_) {
+    snap.gauges[name] += fn();
+  }
+  snap.histograms = histograms_;
+  return snap;
+}
+
+void MetricsSampler::Start(SimTime interval, SimTime until) {
+  if (interval <= 0 || registry_ == nullptr) return;
+  for (SimTime t = interval; t <= until; t += interval) {
+    sim_->ScheduleAt(t, [this, t]() {
+      MetricsSnapshot snap = registry_->Snapshot(t);
+      Row row;
+      row.at = t;
+      row.counters = std::move(snap.counters);
+      row.gauges = std::move(snap.gauges);
+      rows_.push_back(std::move(row));
+    });
+  }
+}
+
+}  // namespace carousel::obs

@@ -1,0 +1,168 @@
+#ifndef CAROUSEL_OBS_METRICS_H_
+#define CAROUSEL_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace carousel::obs {
+
+class MetricsRegistry;
+
+/// Handles are the only way instrumented code touches the registry on the
+/// hot path. Each one wraps a raw pointer into registry-owned storage; a
+/// disabled registry hands out null handles whose operations inline to a
+/// single predictable branch — no allocation, no lookup, no virtual call.
+/// Handles are trivially copyable and must not outlive their registry.
+class Counter {
+ public:
+  Counter() = default;
+  void Increment(uint64_t n = 1) {
+    if (cell_ != nullptr) *cell_ += n;
+  }
+  uint64_t value() const { return cell_ == nullptr ? 0 : *cell_; }
+  bool active() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(uint64_t* cell) : cell_(cell) {}
+  uint64_t* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(int64_t v) {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  void Add(int64_t delta) {
+    if (cell_ != nullptr) *cell_ += delta;
+  }
+  int64_t value() const { return cell_ == nullptr ? 0 : *cell_; }
+  bool active() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(int64_t* cell) : cell_(cell) {}
+  int64_t* cell_ = nullptr;
+};
+
+class Histo {
+ public:
+  Histo() = default;
+  void Record(int64_t micros) {
+    if (hist_ != nullptr) hist_->Record(micros);
+  }
+  bool active() const { return hist_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histo(Histogram* hist) : hist_(hist) {}
+  Histogram* hist_ = nullptr;
+};
+
+/// Point-in-time copy of a registry's contents, taken at a sim timestamp.
+/// Deterministic by construction: every map is name-ordered, so two
+/// identical seeded runs produce byte-identical ToJson() output.
+struct MetricsSnapshot {
+  SimTime at = 0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// Folds `other` into this snapshot: counters add, gauges add (they are
+  /// point samples of per-entity state, so the merged value reads as a
+  /// cluster total), histograms merge their buckets. `at` takes the later
+  /// timestamp.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Structured JSON: {"at": ..., "counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, mean, p50, p99, max}}}.
+  std::string ToJson(int indent = 0) const;
+};
+
+/// A named-metric registry. One instance covers a whole simulated cluster;
+/// per-server / per-role scoping is by dotted name ("server.3.participant.
+/// prepares_ok"), which keeps the hot path a pointer bump while letting
+/// snapshots aggregate by stripping prefixes.
+///
+/// Two registration styles:
+///  * Get*() — the registry owns the cell and returns a handle the caller
+///    bumps. Use for event counts recorded at the point of occurrence.
+///  * Expose*() — the caller owns the state and the registry reads it at
+///    snapshot time (a pointer for counters, a callback for gauges). Use
+///    for live values that already exist (queue depths, log sizes); this
+///    costs literally nothing between snapshots.
+///
+/// When constructed disabled, Get*() returns null handles, Expose*() is a
+/// no-op, and Snapshot() is empty: instrumented code needs no flag checks
+/// of its own.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Re-requesting an existing name returns a handle onto the same cell.
+  Counter GetCounter(const std::string& name);
+  Gauge GetGauge(const std::string& name);
+  Histo GetHistogram(const std::string& name);
+
+  /// Snapshot reads `*cell` under `name`; `cell` must outlive the registry
+  /// or be unregistered by destroying the owning object before snapshots.
+  void ExposeCounter(const std::string& name, const uint64_t* cell);
+  /// Snapshot calls `fn()` under `name` (gauge semantics).
+  void ExposeGauge(const std::string& name, std::function<int64_t()> fn);
+
+  MetricsSnapshot Snapshot(SimTime at) const;
+
+ private:
+  bool enabled_;
+  // Node-based maps: element addresses are stable across inserts, which is
+  // what lets handles hold raw pointers.
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, const uint64_t*> exposed_counters_;
+  std::map<std::string, std::function<int64_t()>> exposed_gauges_;
+};
+
+/// Samples a registry into a deterministic sim-time series: one row per
+/// interval, driven by simulator events. Bounded by `until` so it cannot
+/// keep an otherwise-idle simulator's queue non-empty forever.
+class MetricsSampler {
+ public:
+  struct Row {
+    SimTime at = 0;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+  };
+
+  MetricsSampler(sim::Simulator* sim, const MetricsRegistry* registry)
+      : sim_(sim), registry_(registry) {}
+
+  /// Schedules samples at interval, interval*2, ... up to `until`
+  /// (inclusive). May be called once per run.
+  void Start(SimTime interval, SimTime until);
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  sim::Simulator* sim_;
+  const MetricsRegistry* registry_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace carousel::obs
+
+#endif  // CAROUSEL_OBS_METRICS_H_

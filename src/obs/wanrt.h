@@ -1,0 +1,181 @@
+#ifndef CAROUSEL_OBS_WANRT_H_
+#define CAROUSEL_OBS_WANRT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/topology.h"
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace carousel::obs {
+
+/// Protocol phase a message delivery is attributed to. Senders stamp the
+/// phase into the message span (sim::Message::set_span); the ledger keeps
+/// per-phase tallies so tests can tell a CPC fast-path commit from a
+/// degraded slow-path one without wall-clock heuristics.
+enum class WanrtPhase : uint8_t {
+  kExecute = 0,  // read round: ReadPrepare / ReadResponse
+  kPrepare,      // prepare traffic: CoordPrepare, prepare replication, votes
+  kCpcFast,      // direct fast-path votes (PrepareDecision via_fast_path)
+  kCpcSlow,      // slow-path decisions after a fast path was attempted
+  kDecision,     // commit request/response, decision replication, writeback
+};
+inline constexpr int kNumWanrtPhases = 5;
+
+const char* WanrtPhaseName(WanrtPhase phase);
+
+/// Per-transaction wide-area round-trip record.
+///
+/// Counting model: every in-flight delivery carries the causal wan-hop
+/// depth of the chain that produced it — the sender's per-transaction
+/// watermark, plus one if this edge crosses DCs. Delivery folds the depth
+/// into the receiver's watermark (max). The client's watermark when the
+/// outcome lands is therefore the length in cross-DC hops of the longest
+/// causal message chain behind the decision, and WANRTs = hops / 2. This
+/// is exactly the quantity the paper budgets (§3-§5): jitter and queueing
+/// never change it, only the protocol's message pattern does.
+struct TxnWanrt {
+  TxnId tid{};
+  /// Cross-DC deliveries attributed to each phase.
+  std::array<uint32_t, kNumWanrtPhases> cross_dc_deliveries{};
+  /// Max causal wan-hop depth seen on any delivery of each phase.
+  std::array<uint32_t, kNumWanrtPhases> max_hops{};
+  /// The issuing client's watermark when it learned the outcome.
+  uint32_t decided_hops = 0;
+  bool sealed = false;
+  bool committed = false;
+  bool read_only = false;
+
+  double DecidedWanrts() const { return decided_hops / 2.0; }
+  /// CPC fast votes reached a coordinator for this transaction.
+  bool SawFastVotes() const {
+    return max_hops[static_cast<int>(WanrtPhase::kCpcFast)] > 0;
+  }
+  /// A replicated slow-path decision was used (fast quorum failed or the
+  /// system runs Basic with fast_path off — then kPrepare is used instead).
+  bool SawSlowPath() const {
+    return max_hops[static_cast<int>(WanrtPhase::kCpcSlow)] > 0;
+  }
+  /// Fast path attempted but the decision came via the slow path.
+  bool Degraded() const { return SawFastVotes() && SawSlowPath(); }
+};
+
+/// Aggregates folded from sealed transactions (bounded memory: the per-txn
+/// watermark state is dropped at seal unless retain_all is on).
+struct WanrtStats {
+  uint64_t sealed = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t read_only = 0;
+  uint64_t fast_path_txns = 0;
+  uint64_t slow_path_txns = 0;
+  uint64_t degraded_txns = 0;
+  std::array<uint64_t, kNumWanrtPhases> cross_dc_deliveries{};
+  std::array<uint32_t, kNumWanrtPhases> max_phase_hops{};
+  /// Distribution of decided_hops over committed read-write transactions.
+  std::map<uint32_t, uint64_t> rw_decided_hops;
+  /// Distribution of decided_hops over committed read-only transactions.
+  std::map<uint32_t, uint64_t> ro_decided_hops;
+
+  void Merge(const WanrtStats& other);
+  std::string ToJson(int indent = 0) const;
+
+  /// Quantile over a decided-hops distribution (0 when empty).
+  static uint32_t HopsQuantile(const std::map<uint32_t, uint64_t>& hist,
+                               double q);
+  static uint32_t MaxHops(const std::map<uint32_t, uint64_t>& hist);
+};
+
+/// The WANRT accountant: observes every scheduled delivery, maintains
+/// per-(transaction, node) causal hop watermarks, and folds sealed
+/// transactions into aggregate statistics. Attach to the network with
+/// Network::set_delivery_observer; the issuing client brackets each
+/// transaction with Begin/Seal (mirroring TraceCollector).
+class WanrtLedger final : public sim::DeliveryObserver {
+ public:
+  /// `topology` decides which edges are cross-DC; must outlive the ledger.
+  /// A disabled ledger no-ops everything (and should simply not be
+  /// attached to the network).
+  WanrtLedger(const Topology* topology, bool enabled);
+
+  bool enabled() const { return enabled_; }
+  /// Keep sealed per-transaction records for Find() (tests). Off by
+  /// default: long runs would grow without bound.
+  void set_retain_all(bool retain) { retain_all_ = retain; }
+
+  /// ---- Transaction lifecycle (issuing client) ----
+  void Begin(const TxnId& tid);
+  /// Folds the record into stats using the client's current watermark as
+  /// decided_hops. Later deliveries for the transaction are ignored.
+  void Seal(const TxnId& tid, NodeId client, bool committed, bool read_only);
+
+  /// ---- sim::DeliveryObserver ----
+  uint64_t OnSend(const sim::Message& msg, NodeId from, NodeId to) override;
+  void OnDeliver(uint64_t token, NodeId to) override;
+  void OnDrop(uint64_t token) override;
+
+  /// ---- Queries ----
+  /// Live record, or a retained sealed one (retain_all); else nullptr.
+  const TxnWanrt* Find(const TxnId& tid) const;
+  const WanrtStats& stats() const { return stats_; }
+  /// Zeroes the aggregate stats (start of a measurement window); live
+  /// per-transaction state is kept so in-flight transactions stay whole.
+  void ResetStats();
+  size_t live_count() const { return live_.size(); }
+
+  std::string SnapshotJson(int indent = 0) const;
+
+ private:
+  struct LiveTxn {
+    TxnWanrt rec;
+    /// Causal wan-hop watermark per node that has handled this txn,
+    /// indexed by NodeId (sized to the topology on first touch). Flat so
+    /// the per-delivery fold is an array read, not a hash probe.
+    std::vector<uint32_t> watermark;
+  };
+  struct InFlightSpan {
+    TxnId tid;
+    uint8_t phase = 0;
+    uint32_t hops = 0;
+    bool cross_dc = false;
+  };
+  /// In-flight spans of one scheduled delivery. `first` covers the common
+  /// single-span message inline; batch envelopes overflow into `rest`
+  /// (whose capacity survives slot reuse, so steady state allocates
+  /// nothing per message).
+  struct InFlightEntry {
+    InFlightSpan first;
+    std::vector<InFlightSpan> rest;
+    uint32_t count = 0;
+  };
+
+  void Fold(const TxnWanrt& rec);
+  uint32_t WatermarkOf(const LiveTxn& txn, NodeId node) const {
+    return static_cast<size_t>(node) < txn.watermark.size()
+               ? txn.watermark[node]
+               : 0;
+  }
+
+  const Topology* topology_;
+  bool enabled_;
+  bool retain_all_ = false;
+  std::unordered_map<TxnId, LiveTxn, TxnIdHash> live_;
+  std::unordered_map<TxnId, TxnWanrt, TxnIdHash> retained_;
+  /// Slot arena keyed by token - 1. The network reports every token back
+  /// exactly once (OnDeliver or OnDrop), so slots recycle through
+  /// free_slots_ without ever growing past the in-flight high-water mark.
+  std::vector<InFlightEntry> inflight_;
+  std::vector<uint32_t> free_slots_;
+  WanrtStats stats_;
+  // Scratch buffer reused by OnSend to avoid an allocation per message.
+  std::vector<sim::WanSpan> scratch_;
+};
+
+}  // namespace carousel::obs
+
+#endif  // CAROUSEL_OBS_WANRT_H_

@@ -76,6 +76,14 @@ struct AppendEntriesMsg final : sim::Message {
     }
     return sz;
   }
+  /// WANRT accounting: an append is attributed to every transaction whose
+  /// log payload it carries, so replication legs count toward those
+  /// transactions' causal hop chains.
+  void CollectSpans(std::vector<sim::WanSpan>* out) const override {
+    for (const auto& e : entries) {
+      if (e.payload) e.payload->CollectSpans(out);
+    }
+  }
 };
 
 struct AppendResponseMsg final : sim::Message {
@@ -86,9 +94,17 @@ struct AppendResponseMsg final : sim::Message {
   /// On success: highest index known replicated on the follower. On
   /// failure: a hint for the leader's next_index backoff.
   uint64_t match_index = 0;
+  /// WANRT accounting only (zero wire bytes): spans of the transactions
+  /// whose entries this ack covers, stamped by the follower when span
+  /// tracking is on, so the ack leg of a replication round is attributed
+  /// to the transactions it makes durable.
+  std::vector<sim::WanSpan> wan_spans;
 
   int type() const override { return sim::kRaftAppendResponse; }
   size_t SizeBytes() const override { return 32; }
+  void CollectSpans(std::vector<sim::WanSpan>* out) const override {
+    out->insert(out->end(), wan_spans.begin(), wan_spans.end());
+  }
 };
 
 }  // namespace carousel::raft

@@ -67,6 +67,7 @@ Result<uint64_t> RaftNode::Propose(sim::MessagePtr payload) {
   }
   log_.push_back(LogEntry{term_, std::move(payload)});
   const uint64_t index = log_.size();
+  proposals_++;
   match_index_[/*self slot*/ SelfSlot()] = index;
   // Micro-batching: an idle leader replicates immediately; proposals that
   // arrive within append_batch_interval of the last send are coalesced
@@ -155,6 +156,7 @@ void RaftNode::BecomeCandidate() {
 void RaftNode::BecomeLeader() {
   role_ = RaftRole::kLeader;
   leader_hint_ = self_;
+  elections_won_++;
   election_timer_gen_++;  // No election timeout while leading.
   if (elected_fn_) elected_fn_(term_);
   for (size_t i = 0; i < members_.size(); ++i) {
@@ -321,6 +323,13 @@ void RaftNode::HandleAppendEntries(NodeId from, const AppendEntriesMsg& msg) {
 
   reply->success = true;
   reply->match_index = msg.prev_log_index + msg.entries.size();
+  // WANRT accounting: the ack that lets the leader commit entry E is part
+  // of E's causal chain; stamp the covered entries' spans onto it.
+  if (span_tracking_) {
+    for (const LogEntry& entry : msg.entries) {
+      if (entry.payload) entry.payload->CollectSpans(&reply->wan_spans);
+    }
+  }
   send_fn_(from, std::move(reply));
 }
 

@@ -72,6 +72,10 @@ class RaftNode {
   void set_leadership_fn(LeadershipFn fn) { leadership_fn_ = std::move(fn); }
   void set_step_down_fn(StepDownFn fn) { step_down_fn_ = std::move(fn); }
   void set_elected_fn(ElectedFn fn) { elected_fn_ = std::move(fn); }
+  /// When on, followers stamp the spans of entries covered by each
+  /// successful AppendResponse (WANRT accounting of the ack leg). Off by
+  /// default so the disabled-metrics hot path does no span work.
+  void set_span_tracking(bool on) { span_tracking_ = on; }
 
   /// Starts timers. If `bootstrap_as_leader` the node assumes leadership
   /// of term 1 immediately (used at cluster startup to avoid an initial
@@ -103,6 +107,10 @@ class RaftNode {
   NodeId self() const { return self_; }
   const std::vector<NodeId>& members() const { return members_; }
   int quorum_size() const { return static_cast<int>(members_.size()) / 2 + 1; }
+  /// Times this node assumed leadership (bootstrap included); for metrics.
+  uint64_t elections_won() const { return elections_won_; }
+  /// Payloads proposed on this node while leader; for metrics.
+  uint64_t proposals() const { return proposals_; }
 
  private:
   void BecomeFollower(uint64_t term);
@@ -159,6 +167,9 @@ class RaftNode {
   uint64_t heartbeat_timer_gen_ = 0;
   SimTime last_flush_ = -1'000'000;
   bool flush_scheduled_ = false;
+  bool span_tracking_ = false;
+  uint64_t elections_won_ = 0;
+  uint64_t proposals_ = 0;
 
   // Candidate state.
   int votes_received_ = 0;

@@ -78,6 +78,7 @@ class Dispatcher {
       }
       return false;
     }
+    dispatched_++;
     it->second(from, msg);
     return true;
   }
@@ -95,11 +96,18 @@ class Dispatcher {
   /// Messages that hit the unknown-type path since construction.
   uint64_t unhandled_count() const { return unhandled_; }
 
+  /// Messages routed to a registered handler since construction.
+  uint64_t dispatched_count() const { return dispatched_; }
+  /// Stable address of the dispatched counter, for zero-cost exposure
+  /// through a metrics registry (read only at snapshot time).
+  const uint64_t* dispatched_cell() const { return &dispatched_; }
+
  private:
   std::map<int, Handler> handlers_;
   Handler fallback_;
   std::map<int, bool> warned_types_;
   uint64_t unhandled_ = 0;
+  uint64_t dispatched_ = 0;
 };
 
 }  // namespace carousel::sim

@@ -2,8 +2,11 @@
 #define CAROUSEL_SIM_MESSAGE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "common/types.h"
 
 namespace carousel::sim {
 
@@ -59,6 +62,17 @@ enum MessageType : int {
   kTapirDecideAck = 307,
 };
 
+/// Instrumentation span: attributes one message (or one log payload it
+/// carries) to a transaction and a protocol phase. Spans are accounting
+/// metadata, not wire data — they add nothing to SizeBytes() and change no
+/// protocol behavior. The phase tag is opaque to the sim layer (it is an
+/// obs::WanrtPhase value; sim must not depend on obs).
+struct WanSpan {
+  TxnId tid{};
+  uint8_t phase = 0;
+  bool valid() const { return tid.valid(); }
+};
+
 /// Base class for every message exchanged through the simulated network
 /// and for every replicated log payload. Concrete messages are plain
 /// structs with public fields (they are wire DTOs, not objects with
@@ -84,8 +98,23 @@ class Message {
     return wire_size_;
   }
 
+  /// ---- Span context (WANRT accounting; see obs/wanrt.h) ----
+
+  const WanSpan& span() const { return span_; }
+  /// Senders stamp the span before handing the message to the network.
+  void set_span(const TxnId& tid, uint8_t phase) { span_ = WanSpan{tid, phase}; }
+
+  /// Appends every span this message carries to `out`. The default is the
+  /// message's own span (if set); aggregate messages — batch envelopes,
+  /// Raft appends and their acks — override this to enumerate the spans of
+  /// the items they carry.
+  virtual void CollectSpans(std::vector<WanSpan>* out) const {
+    if (span_.valid()) out->push_back(span_);
+  }
+
  private:
   mutable size_t wire_size_ = 0;
+  WanSpan span_{};
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
@@ -117,6 +146,9 @@ struct BatchEnvelopeMsg final : Message {
       total += m->WireSize() + kPerItemFramingBytes;
     }
     return total;
+  }
+  void CollectSpans(std::vector<WanSpan>* out) const override {
+    for (const auto& m : items) m->CollectSpans(out);
   }
 };
 

@@ -63,14 +63,18 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
     row[to] = arrival;
   }
 
-  ScheduleDelivery(from, to, arrival, std::move(msg));
+  // Only deliveries that are actually scheduled are observed; partition
+  // and loss drops above never reach the WANRT ledger.
+  const uint64_t token =
+      observer_ != nullptr ? observer_->OnSend(*msg, from, to) : 0;
+  ScheduleDelivery(from, to, arrival, std::move(msg), token);
 }
 
 void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
-                               MessagePtr msg) {
+                               MessagePtr msg, uint64_t token) {
   if (!options_.coalesce_deliveries) {
-    sim_->ScheduleAt(arrival, [this, from, to, msg = std::move(msg)]() {
-      Deliver(from, to, std::move(msg));
+    sim_->ScheduleAt(arrival, [this, from, to, token, msg = std::move(msg)]() {
+      Deliver(from, to, std::move(msg), token);
     });
     return;
   }
@@ -78,7 +82,7 @@ void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
   // single delivery event; followers just append. Send order within the
   // bucket is preserved, so fifo_pairs semantics are unchanged.
   auto& bucket = pending_coalesced_[{from, to}][arrival];
-  bucket.push_back(std::move(msg));
+  bucket.emplace_back(std::move(msg), token);
   if (bucket.size() > 1) {
     deliveries_coalesced_++;
     return;
@@ -88,18 +92,21 @@ void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
     if (edge_it == pending_coalesced_.end()) return;
     auto tick_it = edge_it->second.find(arrival);
     if (tick_it == edge_it->second.end()) return;
-    std::vector<MessagePtr> msgs = std::move(tick_it->second);
+    auto msgs = std::move(tick_it->second);
     edge_it->second.erase(tick_it);
     if (edge_it->second.empty()) pending_coalesced_.erase(edge_it);
-    for (auto& m : msgs) {
-      Deliver(from, to, std::move(m));
+    for (auto& [m, tok] : msgs) {
+      Deliver(from, to, std::move(m), tok);
     }
   });
 }
 
-void Network::Deliver(NodeId from, NodeId to, MessagePtr msg) {
+void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
   Node* receiver = nodes_[to];
-  if (!receiver->alive()) return;  // Dropped at a dead host.
+  if (!receiver->alive()) {  // Dropped at a dead host.
+    if (observer_ != nullptr && token != 0) observer_->OnDrop(token);
+    return;
+  }
 
   traffic_[to].bytes_received += msg->WireSize() + options_.header_bytes;
   traffic_[to].msgs_received++;
@@ -107,6 +114,9 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg) {
   const SimTime cost = receiver->ServiceCost(*msg);
   if (cost <= 0) {
     messages_delivered_++;
+    // Observe before the handler runs: the handler's own sends must see
+    // this delivery already folded into the ledger's watermarks.
+    if (observer_ != nullptr && token != 0) observer_->OnDeliver(token, to);
     receiver->HandleMessage(from, msg);
     return;
   }
@@ -124,10 +134,14 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg) {
   const SimTime start = std::max(sim_->now(), cores[best]);
   const SimTime done = start + cost;
   cores[best] = done;
-  sim_->ScheduleAt(done, [this, from, to, msg = std::move(msg)]() {
+  sim_->ScheduleAt(done, [this, from, to, token, msg = std::move(msg)]() {
     Node* r = nodes_[to];
-    if (!r->alive()) return;  // Crashed while queued.
+    if (!r->alive()) {  // Crashed while queued.
+      if (observer_ != nullptr && token != 0) observer_->OnDrop(token);
+      return;
+    }
     messages_delivered_++;
+    if (observer_ != nullptr && token != 0) observer_->OnDeliver(token, to);
     r->HandleMessage(from, msg);
   });
 }

@@ -52,6 +52,26 @@ struct Traffic {
   uint64_t msgs_received = 0;
 };
 
+/// Passive observer of message deliveries (WANRT accounting; implemented
+/// by obs::WanrtLedger). The network consults it at the two points that
+/// matter for causal accounting: when a delivery is scheduled (OnSend) and
+/// when the receiver's handler is about to run (OnDeliver). Observers must
+/// not mutate messages or send traffic — simulated behavior has to be
+/// identical with and without one attached.
+class DeliveryObserver {
+ public:
+  virtual ~DeliveryObserver() = default;
+  /// Called for every delivery actually scheduled (after partition/loss
+  /// drops). Returns an opaque token handed back at delivery, or 0 when
+  /// the observer does not track this message.
+  virtual uint64_t OnSend(const Message& msg, NodeId from, NodeId to) = 0;
+  /// Called right before the receiver handles the message (after any
+  /// queueing delay from the CPU cost model).
+  virtual void OnDeliver(uint64_t token, NodeId to) = 0;
+  /// Called when a tracked delivery dies en route (receiver crashed).
+  virtual void OnDrop(uint64_t token) = 0;
+};
+
 /// Routes messages between nodes with topology-derived latencies, models
 /// per-node serial processing (service times -> queueing), accounts
 /// traffic, and injects failures.
@@ -118,11 +138,18 @@ class Network {
   uint64_t enveloped_items_sent() const { return enveloped_items_sent_; }
   uint64_t deliveries_coalesced() const { return deliveries_coalesced_; }
 
+  /// Attaches a delivery observer (nullptr detaches). The network takes no
+  /// ownership; the observer must outlive it or be detached first. With no
+  /// observer attached the per-delivery overhead is one null check.
+  void set_delivery_observer(DeliveryObserver* observer) {
+    observer_ = observer;
+  }
+
  private:
   SimTime OneWayLatency(NodeId from, NodeId to);
-  void Deliver(NodeId from, NodeId to, MessagePtr msg);
+  void Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token);
   void ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
-                        MessagePtr msg);
+                        MessagePtr msg, uint64_t token);
 
   Simulator* sim_;
   const Topology* topology_;
@@ -152,9 +179,12 @@ class Network {
   uint64_t enveloped_items_sent_ = 0;
   uint64_t deliveries_coalesced_ = 0;
   /// Same-tick delivery buckets per edge, keyed by (from, to) then
-  /// arrival tick; only populated when coalesce_deliveries is on.
-  std::map<std::pair<NodeId, NodeId>, std::map<SimTime, std::vector<MessagePtr>>>
+  /// arrival tick; only populated when coalesce_deliveries is on. Each
+  /// entry carries its observer token alongside the message.
+  std::map<std::pair<NodeId, NodeId>,
+           std::map<SimTime, std::vector<std::pair<MessagePtr, uint64_t>>>>
       pending_coalesced_;
+  DeliveryObserver* observer_ = nullptr;
 };
 
 }  // namespace carousel::sim

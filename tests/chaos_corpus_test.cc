@@ -88,6 +88,33 @@ TEST(ChaosCorpusTest, BatchedSeedsStayClean) {
   }
 }
 
+/// Observability integration: seed 9 samples a CPC deployment whose only
+/// nemesis event is one DC-level partition (t≈1.6s..5.2s of a ~20s
+/// workload window). The partition starves fast quorums of one DC's
+/// votes, so most transactions that saw fast votes also saw a slow-path
+/// decision — the WANRT ledger must record that fast→slow degradation,
+/// and the full snapshot must ride along for artifact dumps.
+TEST(ChaosCorpusTest, Seed9PartitionDegradesCpcInLedger) {
+  ChaosResult r = RunSeed(9);
+  ASSERT_TRUE(r.ok()) << r.Report();
+  ASSERT_NE(r.nemesis_schedule.find("partition"), std::string::npos)
+      << "seed 9 no longer samples a DC partition:\n"
+      << r.nemesis_schedule;
+  // The deployment still commits on the fast path outside the cut...
+  EXPECT_GT(r.wanrt.fast_path_txns, 0u) << r.Summary();
+  // ...but the cut knocks transactions that gathered fast votes onto the
+  // replicated slow path, and the ledger records the transition.
+  EXPECT_GT(r.wanrt.degraded_txns, 0u) << r.Summary();
+  EXPECT_GT(r.wanrt.slow_path_txns, r.wanrt.fast_path_txns) << r.Summary();
+  // The counts partition the sealed population.
+  EXPECT_EQ(r.wanrt.committed + r.wanrt.aborted, r.wanrt.sealed);
+  // The summary line surfaces the path split for sweep logs.
+  EXPECT_NE(r.Summary().find("degraded"), std::string::npos) << r.Summary();
+  // And the run carries the full observability snapshot for report dirs.
+  EXPECT_NE(r.metrics_json.find("\"wanrt\""), std::string::npos);
+  EXPECT_NE(r.metrics_json.find("\"metrics\""), std::string::npos);
+}
+
 /// Checker self-test: with the flag-gated fast-path bug injected (counting
 /// a CPC fast quorum without the leader's vote), the checker must flag the
 /// run, and the report must carry everything needed to replay it.

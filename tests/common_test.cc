@@ -202,6 +202,48 @@ TEST(HistogramTest, QuantilesAreOrderedAndAccurate) {
   EXPECT_NEAR(static_cast<double>(p99), 99000, 99000 * 0.06);
 }
 
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  // Regression: quantiles used to snap to the covering bucket's upper
+  // edge. Two-bucket corpus: 100 samples in [0,25) and 100 in [50,75).
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  for (int i = 0; i < 100; ++i) h.Record(60);
+  // p25 falls mid-way through the first bucket; the old code returned
+  // exactly the bucket upper edge (25).
+  const int64_t p25 = h.Quantile(0.25);
+  EXPECT_GE(p25, 10);
+  EXPECT_LT(p25, 25);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(h.Quantile(0.0), 10);
+  EXPECT_LE(h.Quantile(1.0), 60);
+  EXPECT_LE(h.Quantile(0.99), 60);
+  // Monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+}
+
+TEST(HistogramTest, MergeMatchesRecordingIntoOne) {
+  Histogram a, b, whole;
+  for (int i = 1; i <= 1000; ++i) {
+    (i % 2 == 0 ? a : b).Record(i * 100);
+    whole.Record(i * 100);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_NEAR(a.Mean(), whole.Mean(), 1e-6);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Quantile(q), whole.Quantile(q)) << "q=" << q;
+  }
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  const int64_t before = a.Quantile(0.5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.Quantile(0.5), before);
+}
+
 TEST(HistogramTest, MergeCombinesCounts) {
   Histogram a, b;
   for (int i = 0; i < 100; ++i) a.Record(1000);

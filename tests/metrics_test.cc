@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "carousel/cluster.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselOptions;
+using core::Cluster;
+using obs::Counter;
+using obs::Gauge;
+using obs::Histo;
+using obs::MetricsRegistry;
+using obs::MetricsSampler;
+using obs::MetricsSnapshot;
+
+// ---------------------------------------------------------------------------
+// Registry handle semantics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterIncrementsAndShowsInSnapshot) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter c = reg.GetCounter("a.count");
+  EXPECT_TRUE(c.active());
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  // Re-requesting the same name returns a handle onto the same cell.
+  Counter again = reg.GetCounter("a.count");
+  again.Increment();
+  EXPECT_EQ(c.value(), 6u);
+
+  MetricsSnapshot snap = reg.Snapshot(/*at=*/123);
+  EXPECT_EQ(snap.at, 123);
+  EXPECT_EQ(snap.counters.at("a.count"), 6u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry reg(true);
+  Gauge g = reg.GetGauge("queue.depth");
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(reg.Snapshot(0).gauges.at("queue.depth"), 7);
+}
+
+TEST(MetricsRegistryTest, HistogramRecordsIntoSnapshot) {
+  MetricsRegistry reg(true);
+  Histo h = reg.GetHistogram("latency");
+  for (int i = 1; i <= 100; ++i) h.Record(i * 100);
+  const Histogram& snap = reg.Snapshot(0).histograms.at("latency");
+  EXPECT_EQ(snap.count(), 100);
+  EXPECT_EQ(snap.min(), 100);
+  EXPECT_EQ(snap.max(), 10000);
+  EXPECT_GT(snap.Quantile(0.9), snap.Quantile(0.5));
+}
+
+TEST(MetricsRegistryTest, ExposedValuesAreReadAtSnapshotTime) {
+  MetricsRegistry reg(true);
+  uint64_t cell = 0;
+  int64_t live = 0;
+  reg.ExposeCounter("exposed.count", &cell);
+  reg.ExposeGauge("exposed.gauge", [&live]() { return live; });
+
+  // Nothing is read until a snapshot is taken.
+  cell = 42;
+  live = -7;
+  MetricsSnapshot snap = reg.Snapshot(0);
+  EXPECT_EQ(snap.counters.at("exposed.count"), 42u);
+  EXPECT_EQ(snap.gauges.at("exposed.gauge"), -7);
+
+  cell = 43;
+  EXPECT_EQ(reg.Snapshot(0).counters.at("exposed.count"), 43u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryHandsOutNullHandles) {
+  MetricsRegistry reg(/*enabled=*/false);
+  EXPECT_FALSE(reg.enabled());
+
+  Counter c = reg.GetCounter("x");
+  Gauge g = reg.GetGauge("y");
+  Histo h = reg.GetHistogram("z");
+  EXPECT_FALSE(c.active());
+  EXPECT_FALSE(g.active());
+  EXPECT_FALSE(h.active());
+
+  // All operations are no-ops, not crashes.
+  c.Increment(100);
+  g.Set(5);
+  g.Add(5);
+  h.Record(1000);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+
+  uint64_t cell = 9;
+  reg.ExposeCounter("e", &cell);
+  reg.ExposeGauge("f", []() { return int64_t{1}; });
+
+  MetricsSnapshot snap = reg.Snapshot(55);
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+// A default-constructed handle (what instrumented code holds before any
+// registry is attached) behaves exactly like a disabled-registry handle.
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histo h;
+  c.Increment();
+  g.Add(3);
+  h.Record(10);
+  EXPECT_FALSE(c.active());
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndGaugesAndFoldsHistograms) {
+  MetricsRegistry a(true);
+  MetricsRegistry b(true);
+  a.GetCounter("shared").Increment(3);
+  b.GetCounter("shared").Increment(4);
+  b.GetCounter("only_b").Increment(1);
+  a.GetGauge("depth").Set(5);
+  b.GetGauge("depth").Set(7);
+  a.GetHistogram("lat").Record(100);
+  b.GetHistogram("lat").Record(300);
+
+  MetricsSnapshot merged = a.Snapshot(10);
+  merged.Merge(b.Snapshot(20));
+  EXPECT_EQ(merged.at, 20);  // Later timestamp wins.
+  EXPECT_EQ(merged.counters.at("shared"), 7u);
+  EXPECT_EQ(merged.counters.at("only_b"), 1u);
+  EXPECT_EQ(merged.gauges.at("depth"), 12);  // Cluster total.
+  EXPECT_EQ(merged.histograms.at("lat").count(), 2);
+  EXPECT_EQ(merged.histograms.at("lat").min(), 100);
+  EXPECT_EQ(merged.histograms.at("lat").max(), 300);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler: a deterministic sim-time series.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSamplerTest, SamplesAtIntervalUpToBound) {
+  sim::Simulator sim(/*seed=*/7);
+  MetricsRegistry reg(true);
+  Counter c = reg.GetCounter("events");
+  // Bump the counter at 150us and 450us.
+  sim.ScheduleAt(150, [&c]() { c.Increment(); });
+  sim.ScheduleAt(450, [&c]() { c.Increment(); });
+
+  MetricsSampler sampler(&sim, &reg);
+  sampler.Start(/*interval=*/100, /*until=*/500);
+  sim.RunToCompletion();
+
+  ASSERT_EQ(sampler.rows().size(), 5u);  // 100, 200, ..., 500.
+  EXPECT_EQ(sampler.rows()[0].at, 100);
+  EXPECT_EQ(sampler.rows()[4].at, 500);
+  EXPECT_EQ(sampler.rows()[0].counters.at("events"), 0u);
+  EXPECT_EQ(sampler.rows()[1].counters.at("events"), 1u);
+  EXPECT_EQ(sampler.rows()[4].counters.at("events"), 2u);
+  // The sampler's own events must not extend sim time past `until`.
+  EXPECT_LE(sim.now(), 500);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-cluster properties: metrics must never change simulation results,
+// and identical seeds must produce identical snapshots.
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  SimTime end_time = 0;
+  std::vector<bool> outcomes;
+  std::vector<Version> versions;
+};
+
+RunResult RunWorkload(bool metrics_enabled, bool batching) {
+  CarouselOptions options = FastCpcOptions();
+  options.metrics.enabled = metrics_enabled;
+  options.batching.enabled = batching;
+  options.batching.coalesce_deliveries = batching;
+  auto cluster = Ec2Cluster(options, /*client_dc=*/2, /*seed=*/17);
+
+  RunResult result;
+  const Key k0 = KeyInPartition(*cluster, 0, "wk-a");
+  const Key k1 = KeyInPartition(*cluster, 1, "wk-b");
+  for (int i = 0; i < 4; ++i) {
+    TxnOutcome rw = RunTxn(*cluster, 0, {k0, k1},
+                           {{k0, "v" + std::to_string(i)}, {k1, "w"}});
+    result.outcomes.push_back(rw.commit_status.ok());
+    TxnOutcome ro = RunTxn(*cluster, 0, {k0}, {});
+    result.outcomes.push_back(ro.commit_status.ok());
+  }
+  cluster->sim().RunFor(kMicrosPerSecond);
+  result.end_time = cluster->sim().now();
+  result.versions.push_back(LeaderValue(*cluster, k0).version);
+  result.versions.push_back(LeaderValue(*cluster, k1).version);
+  return result;
+}
+
+TEST(MetricsClusterTest, EnablingMetricsDoesNotChangeSimResults) {
+  for (const bool batching : {false, true}) {
+    SCOPED_TRACE(batching ? "batched" : "unbatched");
+    const RunResult off = RunWorkload(/*metrics_enabled=*/false, batching);
+    const RunResult on = RunWorkload(/*metrics_enabled=*/true, batching);
+    // The observer layer must be invisible: same outcomes, same final
+    // versions, and the exact same simulated clock.
+    EXPECT_EQ(off.end_time, on.end_time);
+    EXPECT_EQ(off.outcomes, on.outcomes);
+    EXPECT_EQ(off.versions, on.versions);
+  }
+}
+
+TEST(MetricsClusterTest, IdenticalSeedsProduceIdenticalSnapshots) {
+  auto run = [](uint64_t seed) -> std::string {
+    CarouselOptions options = FastCpcOptions();
+    options.metrics.enabled = true;
+    auto cluster = Ec2Cluster(options, /*client_dc=*/2, seed);
+    const Key k0 = KeyInPartition(*cluster, 0, "det-a");
+    for (int i = 0; i < 3; ++i) {
+      RunTxn(*cluster, 0, {k0}, {{k0, "v" + std::to_string(i)}});
+    }
+    cluster->sim().RunFor(kMicrosPerSecond);
+    return cluster->MetricsJson(2);
+  };
+  const std::string a = run(29);
+  const std::string b = run(29);
+  EXPECT_EQ(a, b) << "same seed must produce a byte-identical snapshot";
+  EXPECT_NE(a.find("\"wanrt\""), std::string::npos);
+  EXPECT_NE(a.find("rw_decided_hops"), std::string::npos);
+}
+
+TEST(MetricsClusterTest, ServerRoleCountersAppearUnderDottedNames) {
+  CarouselOptions options = FastCpcOptions();
+  options.metrics.enabled = true;
+  auto cluster = Ec2Cluster(options, /*client_dc=*/2, /*seed=*/31);
+  const Key k0 = KeyInPartition(*cluster, 0, "names-a");
+  TxnOutcome out = RunTxn(*cluster, 0, {k0}, {{k0, "x"}});
+  ASSERT_TRUE(out.commit_status.ok()) << out.commit_status;
+  cluster->sim().RunFor(kMicrosPerSecond);
+
+  MetricsSnapshot snap = cluster->metrics().Snapshot(cluster->sim().now());
+  uint64_t prepares = 0, commits = 0, dispatched = 0, started = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name.find(".participant.prepares_ok") != std::string::npos) {
+      prepares += v;
+    }
+    if (name.find(".coordinator.commits") != std::string::npos) commits += v;
+    if (name.find(".dispatch.messages") != std::string::npos) dispatched += v;
+    if (name.find(".txns_started") != std::string::npos) started += v;
+  }
+  EXPECT_GE(prepares, 1u);
+  EXPECT_EQ(commits, 1u);
+  EXPECT_GT(dispatched, 0u);
+  EXPECT_EQ(started, 1u);
+}
+
+}  // namespace
+}  // namespace carousel::test

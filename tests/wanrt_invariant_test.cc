@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "carousel/cluster.h"
+#include "obs/wanrt.h"
+#include "test_util.h"
+
+// The paper's latency claims as *countable* invariants: every test here
+// asserts wide-area round trips via the WanrtLedger's causal hop counts,
+// never wall-clock. A WANRT is two cross-DC hops on the longest causal
+// message chain behind the client-observed decision, so these numbers are
+// exact properties of the protocol's message pattern — independent of RTT
+// matrices, jitter, and queueing — and hold identically on the EC2
+// (Table 1) and uniform-5ms topologies.
+
+namespace carousel::test {
+namespace {
+
+using core::CarouselOptions;
+using core::Cluster;
+using obs::TxnWanrt;
+using obs::WanrtStats;
+
+CarouselOptions WithMetrics(CarouselOptions options) {
+  options.metrics.enabled = true;
+  options.metrics.retain_per_txn = true;  // Keep sealed records for Find().
+  return options;
+}
+
+/// RunTxn, but also reporting the TxnId so the ledger record can be
+/// looked up afterwards.
+struct TidOutcome {
+  TxnId tid{};
+  TxnOutcome out;
+};
+
+TidOutcome RunTxnTid(Cluster& cluster, int client_index, const KeyList& reads,
+                     const WriteSet& writes,
+                     SimTime timeout = 60 * kMicrosPerSecond) {
+  auto outcome = std::make_shared<TxnOutcome>();
+  core::CarouselClient* client = cluster.client(client_index);
+  const TxnId tid = client->Begin();
+  KeyList write_keys;
+  for (const auto& [k, v] : writes) write_keys.push_back(k);
+
+  client->ReadAndPrepare(
+      tid, reads, write_keys,
+      [&cluster, client, tid, writes, outcome](
+          Status status, const core::CarouselClient::ReadResults& results) {
+        outcome->read_done = true;
+        outcome->read_status = status;
+        outcome->reads = results;
+        if (writes.empty()) {
+          outcome->commit_done = true;
+          outcome->commit_status = status;
+          return;
+        }
+        if (!status.ok()) {
+          outcome->commit_done = true;
+          outcome->commit_status = status;
+          return;
+        }
+        for (const auto& [k, v] : writes) client->Write(tid, k, v);
+        client->Commit(tid, [outcome](Status commit_status) {
+          outcome->commit_done = true;
+          outcome->commit_status = commit_status;
+        });
+      });
+
+  const SimTime deadline = cluster.sim().now() + timeout;
+  while (!outcome->commit_done && cluster.sim().now() < deadline) {
+    cluster.sim().RunFor(kMicrosPerMilli);
+  }
+  return TidOutcome{tid, *outcome};
+}
+
+/// The sealed ledger record of `tid`, which must exist (retain_per_txn).
+const TxnWanrt& Record(Cluster& cluster, const TxnId& tid) {
+  const TxnWanrt* rec = cluster.wanrt().Find(tid);
+  EXPECT_NE(rec, nullptr) << "no ledger record for " << tid.ToString();
+  static TxnWanrt empty;
+  return rec == nullptr ? empty : *rec;
+}
+
+// ---------------------------------------------------------------------------
+// Carousel Basic: 2FI + 2PC + consensus overlap commits a multi-partition
+// read-write transaction in at most 2 WANRTs (paper §3).
+// ---------------------------------------------------------------------------
+
+void CheckBasicMultiPartition(Cluster& cluster) {
+  const Key k0 = KeyInPartition(cluster, 0, "basic-a");
+  const Key k1 = KeyInPartition(cluster, 1, "basic-b");
+  TidOutcome r =
+      RunTxnTid(cluster, 0, {k0, k1}, {{k0, "x"}, {k1, "y"}});
+  ASSERT_TRUE(r.out.commit_done);
+  ASSERT_TRUE(r.out.commit_status.ok()) << r.out.commit_status;
+
+  const TxnWanrt& rec = Record(cluster, r.tid);
+  EXPECT_TRUE(rec.sealed);
+  EXPECT_TRUE(rec.committed);
+  EXPECT_FALSE(rec.read_only);
+  // The decision chain: client -> participant leader (1 WAN hop), prepare
+  // replication round trip (2 hops), slow decision to the local
+  // coordinator (1 hop); the commit is externalized before decision
+  // replication. Four hops = the paper's two WANRTs.
+  EXPECT_LE(rec.decided_hops, 4u)
+      << "Basic multi-partition commit exceeded 2 WANRTs";
+  EXPECT_GT(rec.decided_hops, 0u);
+  EXPECT_LE(rec.DecidedWanrts(), 2.0);
+  // Basic has no fast path at all.
+  EXPECT_FALSE(rec.SawFastVotes());
+  EXPECT_FALSE(rec.Degraded());
+
+  const WanrtStats& stats = cluster.wanrt().stats();
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(stats.fast_path_txns, 0u);
+  EXPECT_LE(WanrtStats::MaxHops(stats.rw_decided_hops), 4u);
+}
+
+TEST(WanrtInvariantTest, Ec2BasicMultiPartitionWithinTwoWanrts) {
+  // Client in Europe; partitions 0 and 1 lead from US-West / US-East, so
+  // both participants are remote and the coordinator is Europe's home
+  // partition leader.
+  auto cluster = Ec2Cluster(WithMetrics(FastRaftOptions()), /*client_dc=*/2);
+  CheckBasicMultiPartition(*cluster);
+}
+
+TEST(WanrtInvariantTest, UniformBasicMultiPartitionWithinTwoWanrts) {
+  // Uniform 5 ms mesh (paper §6.4's local-cluster setting): the hop counts
+  // must be identical to EC2 because only the message pattern matters.
+  auto cluster = MakeSmallCluster(WithMetrics(FastRaftOptions()),
+                                  /*seed=*/21, /*num_dcs=*/3,
+                                  /*partitions=*/3);
+  const Key k1 = KeyInPartition(*cluster, 1, "u-basic-a");
+  const Key k2 = KeyInPartition(*cluster, 2, "u-basic-b");
+  TidOutcome r = RunTxnTid(*cluster, 0, {k1, k2}, {{k1, "x"}, {k2, "y"}});
+  ASSERT_TRUE(r.out.commit_status.ok()) << r.out.commit_status;
+  const TxnWanrt& rec = Record(*cluster, r.tid);
+  EXPECT_TRUE(rec.committed);
+  EXPECT_LE(rec.decided_hops, 4u);
+  EXPECT_FALSE(rec.SawFastVotes());
+}
+
+// ---------------------------------------------------------------------------
+// CPC fast path: with a local replica of every participant partition, a
+// read-write transaction commits in 1 WANRT (paper §4.4.1).
+// ---------------------------------------------------------------------------
+
+void CheckCpcFastLrt(Cluster& cluster, PartitionId p0, PartitionId p1) {
+  const Key k0 = KeyInPartition(cluster, p0, "fast-a");
+  const Key k1 = KeyInPartition(cluster, p1, "fast-b");
+  TidOutcome r = RunTxnTid(cluster, 0, {k0, k1}, {{k0, "x"}, {k1, "y"}});
+  ASSERT_TRUE(r.out.commit_done);
+  ASSERT_TRUE(r.out.commit_status.ok()) << r.out.commit_status;
+
+  const TxnWanrt& rec = Record(cluster, r.tid);
+  EXPECT_TRUE(rec.committed);
+  // Local reads cost zero WAN hops; the fast votes reach the local
+  // coordinator in two (out to the remote replicas, votes back). One
+  // WANRT, the paper's headline.
+  EXPECT_LE(rec.decided_hops, 2u)
+      << "CPC fast-path LRT exceeded 1 WANRT";
+  EXPECT_LE(rec.DecidedWanrts(), 1.0);
+  EXPECT_TRUE(rec.SawFastVotes());
+  EXPECT_FALSE(rec.SawSlowPath())
+      << "clean fast-path commit must not involve a slow-path decision";
+  EXPECT_FALSE(rec.Degraded());
+
+  const WanrtStats& stats = cluster.wanrt().stats();
+  EXPECT_EQ(stats.fast_path_txns, 1u);
+  EXPECT_EQ(stats.slow_path_txns, 0u);
+  EXPECT_EQ(stats.degraded_txns, 0u);
+}
+
+TEST(WanrtInvariantTest, Ec2CpcFastPathOneWanrt) {
+  // Client in US-West (DC0): partitions 3 (DCs 3,4,0) and 4 (DCs 4,0,1)
+  // both keep a follower there, so this is an LRT. Geometry matters for a
+  // *clean* fast commit: every fast vote must reach the coordinator before
+  // the participant leader's majority-replicated slow decision does. From
+  // US-West that holds for partitions 3 and 4 (votes by 161 ms, slow
+  // decisions at 204/322 ms); from Europe it would not — partition 1's
+  // Asia replica is so far that the slow path organically outruns the
+  // fast quorum (which the CPC race is designed to tolerate).
+  auto cluster = Ec2Cluster(WithMetrics(FastCpcOptions()), /*client_dc=*/0);
+  CheckCpcFastLrt(*cluster, 3, 4);
+}
+
+TEST(WanrtInvariantTest, UniformCpcFastPathOneWanrt) {
+  // In the 3-DC uniform mesh every DC hosts a replica of every partition,
+  // so any transaction is an LRT.
+  auto cluster = MakeSmallCluster(WithMetrics(FastCpcOptions()),
+                                  /*seed=*/21, /*num_dcs=*/3,
+                                  /*partitions=*/3);
+  CheckCpcFastLrt(*cluster, 1, 2);
+}
+
+// ---------------------------------------------------------------------------
+// CPC degradation: when the fast quorum cannot form, the slow path decides
+// within 2 WANRTs, and the ledger records the fast->slow transition
+// (paper §4.3).
+// ---------------------------------------------------------------------------
+
+void CheckDegradedSlowPath(Cluster& cluster, PartitionId part,
+                           DcId blocked_replica_dc, NodeId coordinator) {
+  // Sever one participant replica from the coordinator. Its fast vote is
+  // lost, so the supermajority (all 3 of 3) can never form; Raft
+  // replication inside the group is untouched, so the leader's replicated
+  // slow-path decision still reaches the coordinator.
+  const NodeId blocked = cluster.topology().ReplicaIn(part, blocked_replica_dc);
+  ASSERT_NE(blocked, kInvalidNode);
+  cluster.network().BlockPair(blocked, coordinator);
+
+  const Key k = KeyInPartition(cluster, part, "degraded");
+  TidOutcome r = RunTxnTid(cluster, 0, {k}, {{k, "x"}});
+  ASSERT_TRUE(r.out.commit_done);
+  ASSERT_TRUE(r.out.commit_status.ok()) << r.out.commit_status;
+
+  const TxnWanrt& rec = Record(cluster, r.tid);
+  EXPECT_TRUE(rec.committed);
+  // Fast votes arrived (from the unblocked replicas)...
+  EXPECT_TRUE(rec.SawFastVotes());
+  // ...but the decision came via the replicated slow path.
+  EXPECT_TRUE(rec.SawSlowPath());
+  EXPECT_TRUE(rec.Degraded());
+  // Degraded CPC costs what Basic costs: prepare replication plus the
+  // slow decision hop — at most 2 WANRTs, never more.
+  EXPECT_LE(rec.decided_hops, 4u)
+      << "degraded CPC commit exceeded 2 WANRTs";
+
+  const WanrtStats& stats = cluster.wanrt().stats();
+  EXPECT_EQ(stats.degraded_txns, 1u);
+  EXPECT_EQ(stats.slow_path_txns, 1u);
+  EXPECT_EQ(stats.fast_path_txns, 0u);
+}
+
+TEST(WanrtInvariantTest, Ec2CpcDegradedSlowPathWithinTwoWanrts) {
+  // Client in Europe; the transaction touches partition 0 (leader
+  // US-West), coordinated by Europe's home partition leader. Blocking the
+  // US-East follower's path to the coordinator starves the fast quorum.
+  auto cluster = Ec2Cluster(WithMetrics(FastCpcOptions()), /*client_dc=*/2);
+  core::CarouselServer* coord = cluster->LeaderOf(2);
+  ASSERT_NE(coord, nullptr);
+  CheckDegradedSlowPath(*cluster, /*part=*/0, /*blocked_replica_dc=*/1,
+                        coord->id());
+}
+
+TEST(WanrtInvariantTest, UniformCpcDegradedSlowPathWithinTwoWanrts) {
+  auto cluster = MakeSmallCluster(WithMetrics(FastCpcOptions()),
+                                  /*seed=*/21, /*num_dcs=*/3,
+                                  /*partitions=*/3);
+  // Client in DC0 writes partition 1 (leader DC1); coordinator is DC0's
+  // home partition leader. Block the DC2 replica of partition 1.
+  core::CarouselServer* coord = cluster->LeaderOf(0);
+  ASSERT_NE(coord, nullptr);
+  CheckDegradedSlowPath(*cluster, /*part=*/1, /*blocked_replica_dc=*/2,
+                        coord->id());
+}
+
+// ---------------------------------------------------------------------------
+// Read-only transactions: one WANRT to the farthest participant leader;
+// zero when the leader is local (paper §3.2).
+// ---------------------------------------------------------------------------
+
+TEST(WanrtInvariantTest, Ec2ReadOnlyRemoteOneWanrt) {
+  // Client in US-West; partition 2's replicas all live in Europe/Asia/
+  // Australia, so the read must cross the WAN — once.
+  auto cluster = Ec2Cluster(WithMetrics(FastCpcOptions()), /*client_dc=*/0);
+  const Key k = KeyInPartition(*cluster, 2, "ro-remote");
+  TidOutcome r = RunTxnTid(*cluster, 0, {k}, {});
+  ASSERT_TRUE(r.out.commit_status.ok()) << r.out.commit_status;
+
+  const TxnWanrt& rec = Record(*cluster, r.tid);
+  EXPECT_TRUE(rec.read_only);
+  EXPECT_TRUE(rec.committed);
+  EXPECT_LE(rec.decided_hops, 2u) << "read-only txn exceeded 1 WANRT";
+  EXPECT_GT(rec.decided_hops, 0u) << "a remote read must cross the WAN";
+  EXPECT_EQ(cluster->wanrt().stats().read_only, 1u);
+  EXPECT_LE(WanrtStats::MaxHops(cluster->wanrt().stats().ro_decided_hops), 2u);
+}
+
+TEST(WanrtInvariantTest, UniformReadOnlyHomePartitionIsFree) {
+  // A read served by the local partition leader never leaves the DC:
+  // exactly zero WAN hops.
+  auto cluster = MakeSmallCluster(WithMetrics(FastRaftOptions()),
+                                  /*seed=*/21, /*num_dcs=*/3,
+                                  /*partitions=*/3);
+  const Key k = KeyInPartition(*cluster, 0, "ro-home");
+  TidOutcome r = RunTxnTid(*cluster, 0, {k}, {});
+  ASSERT_TRUE(r.out.commit_status.ok()) << r.out.commit_status;
+  const TxnWanrt& rec = Record(*cluster, r.tid);
+  EXPECT_TRUE(rec.read_only);
+  EXPECT_EQ(rec.decided_hops, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger bookkeeping across a small mixed workload.
+// ---------------------------------------------------------------------------
+
+TEST(WanrtInvariantTest, LedgerAggregatesAreConsistent) {
+  auto cluster = Ec2Cluster(WithMetrics(FastCpcOptions()), /*client_dc=*/2);
+  const Key k0 = KeyInPartition(*cluster, 0, "agg-a");
+  const Key k1 = KeyInPartition(*cluster, 1, "agg-b");
+
+  for (int i = 0; i < 3; ++i) {
+    TidOutcome rw = RunTxnTid(*cluster, 0, {k0}, {{k0, "v"}});
+    ASSERT_TRUE(rw.out.commit_done);
+    TidOutcome ro = RunTxnTid(*cluster, 0, {k0, k1}, {});
+    ASSERT_TRUE(ro.out.commit_done);
+  }
+
+  const WanrtStats& stats = cluster->wanrt().stats();
+  EXPECT_EQ(stats.sealed, 6u);
+  EXPECT_EQ(stats.committed + stats.aborted, stats.sealed);
+  EXPECT_EQ(stats.read_only, 3u);
+  // Every committed txn landed in exactly one decided-hops histogram.
+  uint64_t hist_total = 0;
+  for (const auto& [hops, n] : stats.rw_decided_hops) hist_total += n;
+  for (const auto& [hops, n] : stats.ro_decided_hops) hist_total += n;
+  EXPECT_EQ(hist_total, stats.committed);
+  // No in-flight transactions remain after everything sealed.
+  EXPECT_EQ(cluster->wanrt().live_count(), 0u);
+
+  // ResetStats() zeroes the aggregates for a fresh measurement window.
+  cluster->wanrt().ResetStats();
+  EXPECT_EQ(cluster->wanrt().stats().sealed, 0u);
+}
+
+}  // namespace
+}  // namespace carousel::test

@@ -122,6 +122,11 @@ int main(int argc, char** argv) {
       std::ofstream out(report_dir + "/seed-" + std::to_string(config.seed) +
                         ".txt");
       if (out) out << result.Report() << replay;
+      // The observability snapshot rides along as its own artifact:
+      // inspect / compare it with `carousel_metrics dump|diff`.
+      std::ofstream metrics(report_dir + "/seed-" +
+                            std::to_string(config.seed) + "-metrics.json");
+      if (metrics) metrics << result.metrics_json << "\n";
     }
   }
   std::printf("chaos: %llu/%llu seed(s) failed (seeds %llu..%llu, txns=%llu%s%s)\n",

@@ -1,0 +1,242 @@
+// carousel_metrics — inspect and compare observability snapshots.
+//
+// The cluster, the chaos harness and the bench harness all export the same
+// JSON shape ({"metrics": {...}, "wanrt": {...}}, see Cluster::MetricsJson);
+// failing chaos seeds drop one next to their report as seed-<N>-metrics.json.
+// This tool flattens such a snapshot into dotted leaf paths so runs can be
+// diffed without a JSON library on the box.
+//
+// Usage:
+//   carousel_metrics dump FILE            print "path = value" per leaf
+//   carousel_metrics diff A B             compare two snapshots leaf by leaf
+//
+// diff exit status: 0 when the snapshots agree on every leaf, 1 when any
+// leaf differs or exists on only one side, 2 on usage/parse errors. The
+// simulation is deterministic, so two runs of the same seed must diff
+// clean; a non-empty diff localizes exactly which counter moved.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Minimal recursive-descent JSON reader: flattens the document into
+// leaf-path -> printable-value, which is all dump/diff need. Numbers keep
+// their source text so diff is exact (no reformatting through double).
+class Flattener {
+ public:
+  explicit Flattener(const std::string& text) : text_(text) {}
+
+  bool Run(std::map<std::string, std::string>* out) {
+    out_ = out;
+    SkipWs();
+    if (!Value("")) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  std::string Error() const {
+    return "parse error near offset " + std::to_string(pos_);
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(Byte())) pos_++;
+  }
+
+  unsigned char Byte() const {
+    return static_cast<unsigned char>(text_[pos_]);
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    pos_++;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: c = esc; break;  // \" \\ \/ and unknowns verbatim
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return false;
+    pos_++;  // closing quote
+    return true;
+  }
+
+  bool Value(const std::string& path) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object(path);
+    if (c == '[') return Array(path);
+    if (c == '"') {
+      std::string s;
+      if (!String(&s)) return false;
+      Emit(path, "\"" + s + "\"");
+      return true;
+    }
+    if (Literal("true")) return Emit(path, "true");
+    if (Literal("false")) return Emit(path, "false");
+    if (Literal("null")) return Emit(path, "null");
+    // Number: keep the raw spelling.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(Byte()) || std::strchr("+-.eE", text_[pos_]))) {
+      pos_++;
+    }
+    if (pos_ == start) return false;
+    return Emit(path, text_.substr(start, pos_ - start));
+  }
+
+  bool Object(const std::string& path) {
+    pos_++;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!String(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      pos_++;
+      if (!Value(path.empty() ? key : path + "." + key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array(const std::string& path) {
+    pos_++;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      pos_++;
+      return true;
+    }
+    for (size_t i = 0;; ++i) {
+      if (!Value(path + "[" + std::to_string(i) + "]")) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Emit(const std::string& path, std::string value) {
+    (*out_)[path.empty() ? "." : path] = std::move(value);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string>* out_ = nullptr;
+};
+
+bool LoadLeaves(const char* path, std::map<std::string, std::string>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "carousel_metrics: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Flattener flattener(text);
+  if (!flattener.Run(out)) {
+    std::fprintf(stderr, "carousel_metrics: %s: %s\n", path,
+                 flattener.Error().c_str());
+    return false;
+  }
+  return true;
+}
+
+int Dump(const char* file) {
+  std::map<std::string, std::string> leaves;
+  if (!LoadLeaves(file, &leaves)) return 2;
+  for (const auto& [path, value] : leaves) {
+    std::printf("%s = %s\n", path.c_str(), value.c_str());
+  }
+  return 0;
+}
+
+int Diff(const char* file_a, const char* file_b) {
+  std::map<std::string, std::string> a, b;
+  if (!LoadLeaves(file_a, &a) || !LoadLeaves(file_b, &b)) return 2;
+  size_t differences = 0;
+  for (const auto& [path, value] : a) {
+    auto it = b.find(path);
+    if (it == b.end()) {
+      std::printf("- %s = %s\n", path.c_str(), value.c_str());
+      differences++;
+    } else if (it->second != value) {
+      std::printf("~ %s = %s -> %s\n", path.c_str(), value.c_str(),
+                  it->second.c_str());
+      differences++;
+    }
+  }
+  for (const auto& [path, value] : b) {
+    if (a.find(path) == a.end()) {
+      std::printf("+ %s = %s\n", path.c_str(), value.c_str());
+      differences++;
+    }
+  }
+  if (differences == 0) {
+    std::printf("identical (%zu leaves)\n", a.size());
+    return 0;
+  }
+  std::printf("%zu leaf/leaves differ\n", differences);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "dump") == 0) {
+    return Dump(argv[2]);
+  }
+  if (argc == 4 && std::strcmp(argv[1], "diff") == 0) {
+    return Diff(argv[2], argv[3]);
+  }
+  std::fprintf(stderr,
+               "usage: carousel_metrics dump FILE\n"
+               "       carousel_metrics diff A B\n"
+               "(see header comment for the snapshot sources)\n");
+  return 2;
+}
