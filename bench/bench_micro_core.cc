@@ -14,10 +14,10 @@
 #include "common/zipfian.h"
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
-#include "sim/arena.h"
-#include "sim/batcher.h"
+#include "runtime/arena.h"
+#include "runtime/batcher.h"
 #include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/endpoint.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -174,19 +174,19 @@ struct BenchMsg final : sim::Message {
   size_t SizeBytes() const override { return 24; }
 };
 
-/// Pooled message allocation (sim/arena.h) as used by every protocol send.
+/// Pooled message allocation (runtime/arena.h) as used by every protocol send.
 void BM_ArenaMakeMessage(benchmark::State& state) {
   for (auto _ : state) {
-    auto msg = sim::MakeMessage<BenchMsg>();
+    auto msg = runtime::MakeMessage<BenchMsg>();
     benchmark::DoNotOptimize(msg);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ArenaMakeMessage);
 
-class SinkNode : public sim::Node {
+class SinkNode : public runtime::Endpoint {
  public:
-  using sim::Node::Node;
+  using runtime::Endpoint::Endpoint;
   void HandleMessage(NodeId /*from*/,
                      const sim::MessagePtr& /*msg*/) override {
     received_++;
@@ -205,12 +205,12 @@ void BM_BatcherSendFlush(benchmark::State& state) {
   SinkNode sender(0, 0), receiver(1, 0);
   net.Register(&sender);
   net.Register(&receiver);
-  sim::MessageBatcher::Options opts;
+  runtime::MessageBatcher::Options opts;
   opts.flush_interval = 50;
-  sim::MessageBatcher batcher(&sender, opts);
+  runtime::MessageBatcher batcher(&sender, opts);
   for (auto _ : state) {
     for (int i = 0; i < 16; ++i) {
-      batcher.Send(1, sim::MakeMessage<BenchMsg>());
+      batcher.Send(1, runtime::MakeMessage<BenchMsg>());
     }
     sim.RunFor(100);
   }

@@ -10,7 +10,7 @@
 
 #include "bench/harness.h"
 #include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/endpoint.h"
 #include "sim/simulator.h"
 
 namespace carousel {
@@ -22,19 +22,19 @@ struct PingMsg final : sim::Message {
   size_t SizeBytes() const override { return 64; }
 };
 
-class EchoNode : public sim::Node {
+class EchoNode : public runtime::Endpoint {
  public:
-  EchoNode(NodeId id, DcId dc) : sim::Node(id, dc) {}
+  EchoNode(NodeId id, DcId dc) : runtime::Endpoint(id, dc) {}
   void HandleMessage(NodeId from, const sim::MessagePtr& msg) override {
     const auto& ping = sim::As<PingMsg>(*msg);
     if (ping.is_reply) {
-      rtt_sum += simulator()->now() - sent_at;
+      rtt_sum += now() - sent_at;
       replies++;
       return;
     }
     auto reply = std::make_shared<PingMsg>();
     reply->is_reply = true;
-    network()->Send(id(), from, std::move(reply));
+    Send(from, std::move(reply));
   }
   SimTime sent_at = 0;
   SimTime rtt_sum = 0;
@@ -72,7 +72,7 @@ int main() {
       EchoNode* src = nodes[a].get();
       for (int i = 0; i < kPings; ++i) {
         sim.Schedule(i * 1000, [&net, src, b]() {
-          src->sent_at = src->simulator()->now();
+          src->sent_at = src->now();
           net.Send(src->id(), b, std::make_shared<PingMsg>());
         });
         sim.RunFor(1000 * 1000);

@@ -8,10 +8,10 @@
 #include <utility>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "common/topology.h"
 #include "obs/wanrt.h"
-#include "tapir/cluster.h"
+#include "harness/tapir_cluster.h"
 #include "workload/driver.h"
 #include "workload/workload.h"
 

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "common/rng.h"
 
 using namespace carousel;

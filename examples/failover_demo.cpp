@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 
 using namespace carousel;
 

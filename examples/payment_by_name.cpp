@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <string>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "carousel/recon.h"
 
 using namespace carousel;

@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 
 using namespace carousel;
 

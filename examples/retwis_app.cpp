@@ -18,7 +18,7 @@
 #include <cstdio>
 #include <string>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 
 using namespace carousel;
 

@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point. Four legs:
+# CI entry point. Six legs:
+#   0. Runtime-seam check: the protocol stack (src/carousel, src/raft,
+#      src/tapir) must compile against the runtime interfaces only — no
+#      simulator includes besides the sim/message.h DTO header.
 #   1. Tier-1 verify: RelWithDebInfo build with -Werror on library targets,
 #      the fast (`-L tier1`) ctest suite.
 #   2. Chaos leg: the slow-labeled suite (pinned chaos corpus, batched and
@@ -17,6 +20,10 @@
 #      build-cov/coverage-summary.txt (CI uploads it as an artifact).
 #      Informational only — it never fails the run. Skipped when gcov is
 #      not on PATH or SKIP_COVERAGE=1.
+#   6. TSan leg: ThreadSanitizer build in its own tree runs the
+#      threaded-runtime suite (`-L threaded`) — the real-thread backend of
+#      the runtime seam under the race detector. Skipped when
+#      SKIP_TSAN=1 or the toolchain cannot link -fsanitize=thread.
 #
 # Usage: scripts/ci.sh [jobs]       (defaults to nproc)
 #   CHAOS_SEEDS=N                   sweep size for leg 2 (default 200)
@@ -36,6 +43,17 @@ JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-200}"
 BENCH_JSON_DIR="${BENCH_JSON_DIR:-build/bench-json}"
 
+echo "== leg 0: runtime-seam check =="
+# The protocol stack must stay simulator-agnostic: the only sim/ header it
+# may include is the message DTO header the wire codec serializes.
+if grep -rn '#include "sim/' src/carousel src/raft src/tapir \
+    | grep -v 'sim/message\.h'; then
+  echo "runtime-seam violation: protocol code includes simulator headers" >&2
+  exit 1
+fi
+echo "seam intact: src/{carousel,raft,tapir} include only sim/message.h"
+
+echo
 echo "== leg 1: tier-1 verify (RelWithDebInfo, -Werror on src/) =="
 cmake -B build -S . -DCAROUSEL_WERROR=ON
 cmake --build build -j "$JOBS"
@@ -83,6 +101,19 @@ else
   ctest --test-dir build-cov -j "$JOBS" -L tier1 --output-on-failure
   python3 scripts/coverage_summary.py build-cov \
       | tee build-cov/coverage-summary.txt | tail -1
+fi
+
+echo
+echo "== leg 6: TSan over the threaded runtime =="
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "tsan skipped (SKIP_TSAN=1)"
+elif ! echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null 2>/dev/null; then
+  echo "tsan skipped (toolchain cannot link -fsanitize=thread)"
+else
+  cmake -B build-tsan -S . -DCAROUSEL_WERROR=ON -DCAROUSEL_TSAN=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" --target runtime_threaded_test wire_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L threaded
 fi
 
 echo

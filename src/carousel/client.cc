@@ -2,10 +2,9 @@
 
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 #include <utility>
 
-#include "sim/simulator.h"
 
 namespace carousel::core {
 
@@ -13,7 +12,7 @@ CarouselClient::CarouselClient(NodeId id, DcId dc, ClientId client_id,
                                const Directory* directory,
                                const CarouselOptions& options,
                                TraceCollector* traces)
-    : sim::Node(id, dc),
+    : runtime::Endpoint(id, dc),
       client_id_(client_id),
       directory_(directory),
       options_(options),
@@ -38,14 +37,14 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
   txn.tid = tid;
   txn.read_cb = std::move(callback);
   txn.read_only = writes.empty();
-  txn.read_started_at = simulator()->now();
+  txn.read_started_at = now();
   // Only the issuing client opens the trace; every later observer merely
   // stamps into it.
-  if (traces_) traces_->Begin(tid, simulator()->now(), txn.read_only);
+  if (traces_) traces_->Begin(tid, now(), txn.read_only);
   if (wanrt_) wanrt_->Begin(tid);
   m_started_.Increment();
   if (history_) {
-    history_->Invoke(tid, reads, writes, txn.read_only, simulator()->now());
+    history_->Invoke(tid, reads, writes, txn.read_only, now());
   }
 
   for (Key& k : reads) {
@@ -67,19 +66,19 @@ void CarouselClient::ReadAndPrepare(const TxnId& tid, KeyList reads,
     for (const auto& [p, rw] : txn.keys) participants.insert(p);
     txn.coordinator = directory_->CoordinatorFor(dc(), participants);
 
-    auto notify = sim::MakeMessage<CoordPrepareMsg>();
+    auto notify = runtime::MakeMessage<CoordPrepareMsg>();
     notify->tid = tid;
     notify->client = id();
     notify->fast_path = options_.fast_path;
     notify->keys = txn.keys;
     TagSpan(notify.get(), tid, obs::WanrtPhase::kPrepare);
-    network()->Send(id(), txn.coordinator, std::move(notify));
+    Send(txn.coordinator, std::move(notify));
     ArmHeartbeat(tid);
   }
 
   SendReadPrepares(txn, /*retry=*/false);
   if (traces_ && !txn.read_only) {
-    traces_->RecordPhase(tid, TxnPhase::kPrepareSent, simulator()->now());
+    traces_->RecordPhase(tid, TxnPhase::kPrepareSent, now());
   }
   ArmRetryTimer(tid);
 
@@ -90,7 +89,7 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
   for (const auto& [p, rw] : txn.keys) {
     const bool need_data = txn.awaiting_data.count(p) > 0;
     auto make_msg = [&](bool want_data) {
-      auto msg = sim::MakeMessage<ReadPrepareMsg>();
+      auto msg = runtime::MakeMessage<ReadPrepareMsg>();
       msg->tid = txn.tid;
       msg->partition = p;
       msg->client = id();
@@ -111,14 +110,14 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
       // leader acts (and replies with data).
       if (!need_data && txn.read_only) continue;
       for (NodeId replica : directory_->Replicas(p)) {
-        network()->Send(id(), replica, make_msg(need_data));
+        Send(replica, make_msg(need_data));
       }
       continue;
     }
 
     const NodeId leader = directory_->CachedLeader(p);
     if (txn.read_only) {
-      network()->Send(id(), leader, make_msg(true));
+      Send(leader, make_msg(true));
       continue;
     }
     if (options_.fast_path) {
@@ -143,10 +142,10 @@ void CarouselClient::SendReadPrepares(ActiveTxn& txn, bool retry) {
       for (NodeId replica : directory_->Replicas(p)) {
         const bool want_data =
             need_data && (replica == leader || replica == extra);
-        network()->Send(id(), replica, make_msg(want_data));
+        Send(replica, make_msg(want_data));
       }
     } else {
-      network()->Send(id(), leader, make_msg(need_data));
+      Send(leader, make_msg(need_data));
     }
   }
 }
@@ -176,9 +175,9 @@ void CarouselClient::Commit(const TxnId& tid, CommitCallback callback) {
     return;
   }
   txn.commit_sent = true;
-  txn.commit_started_at = simulator()->now();
+  txn.commit_started_at = now();
   if (traces_) {
-    traces_->RecordPhase(tid, TxnPhase::kCommitStart, simulator()->now());
+    traces_->RecordPhase(tid, TxnPhase::kCommitStart, now());
   }
   txn.hb_gen++;  // Commit supersedes heartbeats.
   txn.retries = 0;
@@ -187,7 +186,7 @@ void CarouselClient::Commit(const TxnId& tid, CommitCallback callback) {
 }
 
 void CarouselClient::SendCommit(ActiveTxn& txn, bool broadcast) {
-  auto msg = sim::MakeMessage<CommitRequestMsg>();
+  auto msg = runtime::MakeMessage<CommitRequestMsg>();
   msg->tid = txn.tid;
   msg->client = id();
   msg->writes = txn.writes;
@@ -198,10 +197,10 @@ void CarouselClient::SendCommit(ActiveTxn& txn, bool broadcast) {
     const PartitionId p =
         directory_->topology().node(txn.coordinator).partition;
     for (NodeId replica : directory_->Replicas(p)) {
-      network()->Send(id(), replica, msg);
+      Send(replica, msg);
     }
   } else {
-    network()->Send(id(), txn.coordinator, std::move(msg));
+    Send(txn.coordinator, std::move(msg));
   }
 }
 
@@ -210,16 +209,16 @@ void CarouselClient::Abort(const TxnId& tid) {
   if (it == txns_.end()) return;
   ActiveTxn& txn = it->second;
   if (!txn.read_only && txn.coordinator != kInvalidNode) {
-    auto msg = sim::MakeMessage<AbortRequestMsg>();
+    auto msg = runtime::MakeMessage<AbortRequestMsg>();
     msg->tid = tid;
     msg->client = id();
     TagSpan(msg.get(), tid, obs::WanrtPhase::kDecision);
-    network()->Send(id(), txn.coordinator, std::move(msg));
+    Send(txn.coordinator, std::move(msg));
   } else if (traces_) {
     // No coordinator will ever seal this trace; close it here.
-    traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
+    traces_->RecordPhase(tid, TxnPhase::kDecided, now());
     traces_->RecordOutcome(tid, /*committed=*/false, /*fast_path=*/false,
-                           "client abort", simulator()->now());
+                           "client abort", now());
     traces_->Seal(tid);
   }
   // A voluntary abort always precedes Commit(), so the coordinator cannot
@@ -227,7 +226,7 @@ void CarouselClient::Abort(const TxnId& tid) {
   // recording a definite abort is sound.
   if (history_) {
     history_->ClientOutcome(tid, check::Outcome::kAborted, "client abort",
-                            simulator()->now());
+                            now());
   }
   if (wanrt_) wanrt_->Seal(tid, id(), /*committed=*/false, txn.read_only);
   m_aborted_.Increment();
@@ -296,12 +295,12 @@ void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
   if (txn.reads_done || !txn.awaiting_data.empty()) return;
   txn.reads_done = true;
   if (!txn.read_only) {
-    read_phase_.Record(simulator()->now() - txn.read_started_at);
+    read_phase_.Record(now() - txn.read_started_at);
   }
   const TxnId tid = txn.tid;
   if (history_) history_->ObserveReads(tid, txn.results);
   if (traces_) {
-    traces_->RecordPhase(tid, TxnPhase::kExecuteDone, simulator()->now());
+    traces_->RecordPhase(tid, TxnPhase::kExecuteDone, now());
   }
   if (txn.read_only) {
     txn.hb_gen++;
@@ -313,13 +312,13 @@ void CarouselClient::MaybeFinishReads(ActiveTxn& txn) {
     if (traces_) {
       traces_->RecordOutcome(tid, !failed, /*fast_path=*/false,
                              failed ? "read-only conflict" : "",
-                             simulator()->now());
+                             now());
       traces_->Seal(tid);
     }
     if (history_) {
       history_->ClientOutcome(
           tid, failed ? check::Outcome::kAborted : check::Outcome::kCommitted,
-          failed ? "read-only conflict" : "", simulator()->now());
+          failed ? "read-only conflict" : "", now());
     }
     if (wanrt_) wanrt_->Seal(tid, id(), !failed, /*read_only=*/true);
     (failed ? m_aborted_ : m_committed_).Increment();
@@ -343,19 +342,19 @@ void CarouselClient::FinishCommit(const TxnId& tid, bool committed,
   auto it = txns_.find(tid);
   if (it == txns_.end()) return;
   if (committed && it->second.commit_started_at > 0) {
-    commit_phase_.Record(simulator()->now() - it->second.commit_started_at);
+    commit_phase_.Record(now() - it->second.commit_started_at);
   }
   // The Commit phase ends now, when the client sees the outcome (the
   // coordinator recorded the outcome itself when it decided).
   if (traces_) {
-    traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
+    traces_->RecordPhase(tid, TxnPhase::kDecided, now());
     traces_->RecordOutcome(tid, committed, /*fast_path=*/false, reason,
-                           simulator()->now());
+                           now());
   }
   if (history_) {
     history_->ClientOutcome(
         tid, committed ? check::Outcome::kCommitted : check::Outcome::kAborted,
-        reason, simulator()->now());
+        reason, now());
   }
   if (wanrt_) wanrt_->Seal(tid, id(), committed, /*read_only=*/false);
   (committed ? m_committed_ : m_aborted_).Increment();
@@ -375,16 +374,16 @@ void CarouselClient::ArmHeartbeat(const TxnId& tid) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) return;
   const uint64_t gen = it->second.hb_gen;
-  simulator()->Schedule(options_.heartbeat_interval, [this, tid, gen]() {
+  Schedule(options_.heartbeat_interval, [this, tid, gen]() {
     if (!alive()) return;
     auto it = txns_.find(tid);
     if (it == txns_.end() || it->second.hb_gen != gen) return;
     ActiveTxn& txn = it->second;
     if (txn.commit_sent) return;
-    auto msg = sim::MakeMessage<HeartbeatMsg>();
+    auto msg = runtime::MakeMessage<HeartbeatMsg>();
     msg->tid = tid;
     msg->client = id();
-    network()->Send(id(), txn.coordinator, msg);
+    Send(txn.coordinator, msg);
     ArmHeartbeat(tid);
   });
 }
@@ -393,7 +392,7 @@ void CarouselClient::ArmRetryTimer(const TxnId& tid) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) return;
   const uint64_t gen = ++it->second.retry_gen;
-  simulator()->Schedule(options_.client_retry_timeout, [this, tid, gen]() {
+  Schedule(options_.client_retry_timeout, [this, tid, gen]() {
     if (!alive()) return;
     auto it = txns_.find(tid);
     if (it == txns_.end() || it->second.retry_gen != gen) return;
@@ -410,16 +409,16 @@ void CarouselClient::ArmRetryTimer(const TxnId& tid) {
       // Give up: close the trace with an unknown-outcome timeout (unless
       // some coordinator already sealed it).
       if (traces_) {
-        traces_->RecordPhase(tid, TxnPhase::kDecided, simulator()->now());
+        traces_->RecordPhase(tid, TxnPhase::kDecided, now());
         traces_->RecordOutcome(tid, /*committed=*/false, /*fast_path=*/false,
-                               "timeout", simulator()->now());
+                               "timeout", now());
         traces_->Seal(tid);
       }
       // The true verdict is indeterminate: the commit may still land.
       if (history_) {
         history_->ClientOutcome(tid, check::Outcome::kTimedOut,
                                 in_commit ? "commit timeout" : "read timeout",
-                                simulator()->now());
+                                now());
       }
       if (wanrt_) {
         wanrt_->Seal(tid, id(), /*committed=*/false, txn.read_only);

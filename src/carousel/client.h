@@ -17,8 +17,7 @@
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "obs/wanrt.h"
-#include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/endpoint.h"
 
 namespace carousel::core {
 
@@ -32,7 +31,7 @@ namespace carousel::core {
 /// coordinator, heartbeats until Commit, uses local replicas when
 /// configured (Carousel Fast), and masks leader failures by retransmitting
 /// to whole consensus groups.
-class CarouselClient : public sim::Node {
+class CarouselClient : public runtime::Endpoint {
  public:
   using ReadResults = std::map<Key, VersionedValue>;
   /// Status is OK, Aborted (read-only validation failure) or TimedOut.
@@ -94,7 +93,7 @@ class CarouselClient : public sim::Node {
   const Histogram& read_phase_latency() const { return read_phase_; }
   const Histogram& commit_phase_latency() const { return commit_phase_; }
 
-  // sim::Node interface.
+  // runtime::Endpoint interface.
   void HandleMessage(NodeId from, const sim::MessagePtr& msg) override;
 
  private:

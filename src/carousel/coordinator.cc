@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 
 namespace {
 // Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
@@ -15,7 +15,7 @@ bool TraceEnabled() {
 
 namespace carousel::core {
 
-void Coordinator::Register(sim::Dispatcher* dispatcher) {
+void Coordinator::Register(runtime::Dispatcher* dispatcher) {
   dispatcher->On<CoordPrepareMsg>(
       [this](NodeId from, const CoordPrepareMsg& msg) {
         HandleCoordPrepare(from, msg);
@@ -45,7 +45,7 @@ void Coordinator::Register(sim::Dispatcher* dispatcher) {
       });
 }
 
-void Coordinator::RegisterApply(sim::Dispatcher* apply) {
+void Coordinator::RegisterApply(runtime::Dispatcher* apply) {
   apply->On<LogTxnInfo>([this](NodeId /*from*/, const LogTxnInfo& info) {
     ApplyTxnInfo(info);
   });
@@ -94,7 +94,7 @@ void Coordinator::HandleCoordPrepare(NodeId from, const CoordPrepareMsg& msg) {
 
   if (!txn.info_proposed) {
     txn.info_proposed = true;
-    auto log = sim::MakeMessage<LogTxnInfo>();
+    auto log = runtime::MakeMessage<LogTxnInfo>();
     log->tid = msg.tid;
     log->client = msg.client;
     log->fast_path = msg.fast_path;
@@ -109,7 +109,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
                                       const CommitRequestMsg& msg) {
   (void)from;
   if (!ctx_->IsLeader()) {
-    auto redirect = sim::MakeMessage<NotLeaderMsg>();
+    auto redirect = runtime::MakeMessage<NotLeaderMsg>();
     redirect->tid = msg.tid;
     redirect->partition = ctx_->partition;
     redirect->leader_hint = ctx_->raft->leader_hint();
@@ -135,7 +135,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
     // The prepare notification was lost (e.g., coordinator failover):
     // replicate transaction info now, from the copy in the commit request.
     txn.info_proposed = true;
-    auto info = sim::MakeMessage<LogTxnInfo>();
+    auto info = runtime::MakeMessage<LogTxnInfo>();
     info->tid = msg.tid;
     info->client = msg.client;
     info->fast_path = txn.fast;
@@ -144,7 +144,7 @@ void Coordinator::HandleCommitRequest(NodeId from,
     ctx_->raft->Propose(std::move(info)).ok();
   }
 
-  auto log = sim::MakeMessage<LogWriteData>();
+  auto log = runtime::MakeMessage<LogWriteData>();
   log->tid = msg.tid;
   log->writes = msg.writes;
   log->client_versions = msg.read_versions;
@@ -327,7 +327,7 @@ void Coordinator::Decide(CoordTxn& txn, bool commit,
                      reason);
 
   if (ctx_->IsLeader()) {
-    auto log = sim::MakeMessage<LogDecision>();
+    auto log = runtime::MakeMessage<LogDecision>();
     log->tid = txn.tid;
     log->commit = commit;
     TagSpan(log.get(), txn.tid, obs::WanrtPhase::kDecision);
@@ -375,7 +375,7 @@ void Coordinator::StartWriteback(CoordTxn& txn) {
 
 void Coordinator::SendWriteback(CoordTxn& txn, PartitionId partition,
                                 NodeId target) {
-  auto msg = sim::MakeMessage<WritebackMsg>();
+  auto msg = runtime::MakeMessage<WritebackMsg>();
   msg->tid = txn.tid;
   msg->partition = partition;
   msg->coordinator = ctx_->self;
@@ -393,7 +393,7 @@ void Coordinator::ArmHeartbeatTimer(CoordTxn& txn) {
   txn.heartbeat_timer_armed = true;
   const TxnId tid = txn.tid;
   const uint64_t gen = txn.hb_timer_gen;
-  ctx_->sim->Schedule(ctx_->options->heartbeat_interval, [this, tid, gen]() {
+  ctx_->Schedule(ctx_->options->heartbeat_interval, [this, tid, gen]() {
     if (!ctx_->alive() || !ctx_->IsLeader()) return;
     auto it = coord_txns_.find(tid);
     if (it == coord_txns_.end()) return;
@@ -417,7 +417,7 @@ void Coordinator::ArmCoordRetryTimer(const TxnId& tid) {
   auto it = coord_txns_.find(tid);
   if (it == coord_txns_.end()) return;
   const uint64_t gen = ++it->second.retry_timer_gen;
-  ctx_->sim->Schedule(
+  ctx_->Schedule(
       ctx_->options->coordinator_retry_interval, [this, tid, gen]() {
         if (!ctx_->alive() || !ctx_->IsLeader()) return;
         auto it = coord_txns_.find(tid);
@@ -431,7 +431,7 @@ void Coordinator::ArmCoordRetryTimer(const TxnId& tid) {
             auto part = txn.parts.find(p);
             if (part != txn.parts.end() && part->second.decided) continue;
             for (NodeId replica : ctx_->directory->Replicas(p)) {
-              auto query = sim::MakeMessage<QueryPrepareMsg>();
+              auto query = runtime::MakeMessage<QueryPrepareMsg>();
               query->tid = tid;
               query->partition = p;
               query->coordinator = ctx_->self;
@@ -498,7 +498,7 @@ void Coordinator::HandleHeartbeat(NodeId from, const HeartbeatMsg& msg) {
 void Coordinator::HandleQueryDecision(NodeId from,
                                       const QueryDecisionMsg& msg) {
   if (!ctx_->IsLeader()) return;
-  auto reply = sim::MakeMessage<WritebackMsg>();
+  auto reply = runtime::MakeMessage<WritebackMsg>();
   reply->tid = msg.tid;
   reply->partition = msg.partition;
   reply->coordinator = ctx_->self;
@@ -537,7 +537,7 @@ void Coordinator::HandleQueryDecision(NodeId from,
   auto& waiters = pending_fence_queries_[msg.tid];
   waiters.emplace_back(from, msg.partition);
   if (waiters.size() == 1) {
-    auto log = sim::MakeMessage<LogDecision>();
+    auto log = runtime::MakeMessage<LogDecision>();
     log->tid = msg.tid;
     log->commit = false;
     TagSpan(log.get(), msg.tid, obs::WanrtPhase::kDecision);
@@ -556,7 +556,7 @@ void Coordinator::AnswerFenceQueries(const TxnId& tid) {
     ctx_->RecordDecision(tid, false, "termination fence");
   }
   for (const auto& [node, partition] : pend->second) {
-    auto reply = sim::MakeMessage<WritebackMsg>();
+    auto reply = runtime::MakeMessage<WritebackMsg>();
     reply->tid = tid;
     reply->partition = partition;
     reply->coordinator = ctx_->self;
@@ -577,7 +577,7 @@ void Coordinator::AnswerFenceQueries(const TxnId& tid) {
 void Coordinator::ReplyToClient(NodeId client, const TxnId& tid,
                                 bool committed, const std::string& reason) {
   if (client == kInvalidNode) return;
-  auto msg = sim::MakeMessage<CommitResponseMsg>();
+  auto msg = runtime::MakeMessage<CommitResponseMsg>();
   msg->tid = tid;
   msg->committed = committed;
   msg->reason = reason;
@@ -637,7 +637,7 @@ void Coordinator::TakeOverCoordination() {
       if (!txn.decision_logged) {
         // Our commit was externalized but its LogDecision may have died
         // with the old term; re-propose so the group eventually agrees.
-        auto log = sim::MakeMessage<LogDecision>();
+        auto log = runtime::MakeMessage<LogDecision>();
         log->tid = tid;
         log->commit = txn.committed;
         TagSpan(log.get(), tid, obs::WanrtPhase::kDecision);
@@ -668,7 +668,7 @@ void Coordinator::TakeOverCoordination() {
       auto part = txn.parts.find(p);
       if (part != txn.parts.end() && part->second.decided) continue;
       for (NodeId replica : ctx_->directory->Replicas(p)) {
-        auto query = sim::MakeMessage<QueryPrepareMsg>();
+        auto query = runtime::MakeMessage<QueryPrepareMsg>();
         query->tid = tid;
         query->partition = p;
         query->coordinator = ctx_->self;

@@ -10,7 +10,7 @@
 #include "carousel/messages.h"
 #include "carousel/server_context.h"
 #include "common/types.h"
-#include "sim/dispatcher.h"
+#include "runtime/dispatcher.h"
 
 namespace carousel::core {
 
@@ -30,9 +30,9 @@ class Coordinator {
         m_slow_decisions_(ctx->RoleCounter("coordinator", "slow_decisions")) {}
 
   /// Registers this role's network message handlers.
-  void Register(sim::Dispatcher* dispatcher);
+  void Register(runtime::Dispatcher* dispatcher);
   /// Registers this role's Raft log payload handlers.
-  void RegisterApply(sim::Dispatcher* apply);
+  void RegisterApply(runtime::Dispatcher* apply);
 
   /// Coordinator takeover after winning an election (§4.3.3): re-arms
   /// client-failure timers, re-acquires missing prepare decisions, and

@@ -3,7 +3,7 @@
 
 #include "common/types.h"
 #include "raft/raft_node.h"
-#include "sim/batcher.h"
+#include "runtime/batcher.h"
 
 namespace carousel::core {
 
@@ -36,7 +36,7 @@ struct ServerCostModel {
 /// historical behavior and the ablation baseline.
 struct BatchingOptions {
   bool enabled = false;
-  /// Egress flush window / idle threshold (sim/batcher.h semantics).
+  /// Egress flush window / idle threshold (runtime/batcher.h semantics).
   /// Must stay well below Raft election timeouts and client retry
   /// timeouts; 50 us matches a tight syscall-coalescing loop, not an
   /// artificial delay.
@@ -49,8 +49,8 @@ struct BatchingOptions {
   /// place.
   bool coalesce_deliveries = false;
 
-  sim::MessageBatcher::Options ToBatcherOptions() const {
-    sim::MessageBatcher::Options o;
+  runtime::MessageBatcher::Options ToBatcherOptions() const {
+    runtime::MessageBatcher::Options o;
     o.flush_interval = flush_interval;
     o.max_items = max_batch_items;
     return o;

@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 
 namespace {
 // Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
@@ -15,7 +15,7 @@ bool TraceEnabled() {
 
 namespace carousel::core {
 
-void Participant::Register(sim::Dispatcher* dispatcher) {
+void Participant::Register(runtime::Dispatcher* dispatcher) {
   dispatcher->On<ReadPrepareMsg>(
       [this](NodeId from, const ReadPrepareMsg& msg) {
         HandleReadPrepare(from, msg);
@@ -29,7 +29,7 @@ void Participant::Register(sim::Dispatcher* dispatcher) {
   });
 }
 
-void Participant::RegisterApply(sim::Dispatcher* apply) {
+void Participant::RegisterApply(runtime::Dispatcher* apply) {
   apply->On<LogPrepareResult>(
       [this](NodeId /*from*/, const LogPrepareResult& entry) {
         ApplyPrepareResult(entry);
@@ -40,7 +40,7 @@ void Participant::RegisterApply(sim::Dispatcher* apply) {
 }
 
 void Participant::SendReadData(const ReadPrepareMsg& msg, bool from_leader) {
-  auto reply = sim::MakeMessage<ReadResponseMsg>();
+  auto reply = runtime::MakeMessage<ReadResponseMsg>();
   reply->tid = msg.tid;
   reply->partition = ctx_->partition;
   reply->from_leader = from_leader;
@@ -61,7 +61,7 @@ void Participant::HandleReadPrepare(NodeId from, const ReadPrepareMsg& msg) {
   }
   if (msg.read_only) {
     if (!ctx_->IsLeader()) return;  // Read-only reads go to leaders only.
-    auto reply = sim::MakeMessage<ReadResponseMsg>();
+    auto reply = runtime::MakeMessage<ReadResponseMsg>();
     reply->tid = msg.tid;
     reply->partition = ctx_->partition;
     reply->from_leader = true;
@@ -144,7 +144,7 @@ void Participant::LeaderPrepare(const TxnId& tid, const KeyList& reads,
     SendDecision(coordinator, tid, prepared, versions, term, true, true);
   }
 
-  auto log = sim::MakeMessage<LogPrepareResult>();
+  auto log = runtime::MakeMessage<LogPrepareResult>();
   log->tid = tid;
   log->coordinator = coordinator;
   log->prepared = prepared;
@@ -206,7 +206,7 @@ void Participant::SendDecision(NodeId coordinator, const TxnId& tid,
             (long long)ctx_->now(), ctx_->self, tid.ToString().c_str(),
             coordinator, prepared, is_leader, via_fast_path, vs.c_str());
   }
-  auto msg = sim::MakeMessage<PrepareDecisionMsg>();
+  auto msg = runtime::MakeMessage<PrepareDecisionMsg>();
   msg->tid = tid;
   msg->partition = ctx_->partition;
   msg->replica = ctx_->self;
@@ -264,14 +264,14 @@ void Participant::HandleWriteback(NodeId from, const WritebackMsg& msg) {
   if (!ctx_->IsLeader()) return;
   auto done = decided_.find(msg.tid);
   if (done != decided_.end()) {
-    auto ack = sim::MakeMessage<WritebackAckMsg>();
+    auto ack = runtime::MakeMessage<WritebackAckMsg>();
     ack->tid = msg.tid;
     ack->partition = ctx_->partition;
     TagSpan(ack.get(), msg.tid, obs::WanrtPhase::kDecision);
     ctx_->Send(msg.coordinator, std::move(ack));
     return;
   }
-  auto log = sim::MakeMessage<LogCommit>();
+  auto log = runtime::MakeMessage<LogCommit>();
   log->tid = msg.tid;
   log->coordinator = msg.coordinator;
   log->commit = msg.commit;
@@ -283,14 +283,14 @@ void Participant::HandleWriteback(NodeId from, const WritebackMsg& msg) {
 void Participant::ArmPendingGcTimer() {
   if (ctx_->options->pending_gc_interval <= 0) return;
   const uint64_t gen = ++gc_timer_gen_;
-  ctx_->sim->Schedule(ctx_->options->pending_gc_interval, [this, gen]() {
+  ctx_->Schedule(ctx_->options->pending_gc_interval, [this, gen]() {
     if (gen != gc_timer_gen_ || !ctx_->alive()) return;
     if (ctx_->IsLeader()) {
       const SimTime cutoff = ctx_->now() - ctx_->options->pending_gc_interval;
       for (const kv::PendingTxn& entry : ctx_->pending->Snapshot()) {
         if (entry.prepared_at_micros < cutoff &&
             entry.coordinator != kInvalidNode) {
-          auto probe = sim::MakeMessage<QueryDecisionMsg>();
+          auto probe = runtime::MakeMessage<QueryDecisionMsg>();
           probe->tid = entry.tid;
           probe->partition = ctx_->partition;
           TagSpan(probe.get(), entry.tid, obs::WanrtPhase::kDecision);
@@ -376,7 +376,7 @@ void Participant::ApplyCommitEntry(const LogCommit& entry) {
   m_writebacks_.Increment();
   decided_[entry.tid] = entry.commit;
   if (ctx_->IsLeader()) {
-    auto ack = sim::MakeMessage<WritebackAckMsg>();
+    auto ack = runtime::MakeMessage<WritebackAckMsg>();
     ack->tid = entry.tid;
     ack->partition = ctx_->partition;
     TagSpan(ack.get(), entry.tid, obs::WanrtPhase::kDecision);

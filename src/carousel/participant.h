@@ -8,7 +8,7 @@
 #include "carousel/messages.h"
 #include "carousel/server_context.h"
 #include "common/types.h"
-#include "sim/dispatcher.h"
+#include "runtime/dispatcher.h"
 
 namespace carousel::core {
 
@@ -29,9 +29,9 @@ class Participant {
         m_writebacks_(ctx->RoleCounter("participant", "writebacks_applied")) {}
 
   /// Registers this role's network message handlers.
-  void Register(sim::Dispatcher* dispatcher);
+  void Register(runtime::Dispatcher* dispatcher);
   /// Registers this role's Raft log payload handlers.
-  void RegisterApply(sim::Dispatcher* apply);
+  void RegisterApply(runtime::Dispatcher* apply);
 
   /// Hook invoked from ApplyPrepareResult so the recovery module can track
   /// re-replicated fast-path prepares (CPC failure handling, §4.3.3).

@@ -4,7 +4,7 @@
 #include <map>
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 
 namespace {
 // Protocol tracing for debugging: set CAROUSEL_TRACE=1 in the environment.
@@ -166,7 +166,7 @@ void Recovery::OnLeadership(
     recovery_tids_.insert(s.tid);
     recovery_outstanding_++;
     m_reproposed_.Increment();
-    auto log = sim::MakeMessage<LogPrepareResult>();
+    auto log = runtime::MakeMessage<LogPrepareResult>();
     log->tid = s.tid;
     log->coordinator = s.coordinator;
     log->prepared = true;

@@ -3,7 +3,6 @@
 #include <string>
 
 #include "raft/messages.h"
-#include "sim/simulator.h"
 
 namespace carousel::core {
 
@@ -33,11 +32,11 @@ size_t SizeOfReads(const std::map<Key, VersionedValue>& reads) {
 }
 
 CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
-                               sim::Simulator* sim,
+                               runtime::NodeEnv env,
                                const CarouselOptions& options,
                                TraceCollector* traces,
                                obs::MetricsRegistry* metrics)
-    : sim::Node(info.id, info.dc),
+    : runtime::Endpoint(info.id, info.dc),
       partition_(info.partition),
       directory_(directory),
       options_(options),
@@ -45,7 +44,8 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
       batcher_(this, options.batching.ToBatcherOptions()) {
   set_cores(options.cost.cores);
   raft_ = std::make_unique<raft::RaftNode>(partition_, id(), group_members_,
-                                           sim, options.raft);
+                                           env.clock, env.timers,
+                                           std::move(env.rng), options.raft);
 
   // Shared context: the roles' only window onto this host.
   ctx_.self = id();
@@ -55,7 +55,8 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
   ctx_.store = &store_;
   ctx_.pending = &pending_;
   ctx_.raft = raft_.get();
-  ctx_.sim = sim;
+  ctx_.clock = env.clock;
+  ctx_.timers = env.timers;
   ctx_.send = [this](NodeId to, sim::MessagePtr msg) {
     SendRouted(to, std::move(msg));
   };
@@ -153,7 +154,7 @@ void CarouselServer::SendRouted(NodeId to, sim::MessagePtr msg) {
     batcher_.Send(to, std::move(msg));
     return;
   }
-  network()->Send(id(), to, std::move(msg));
+  Send(to, std::move(msg));
 }
 
 void CarouselServer::HandleMessage(NodeId from, const sim::MessagePtr& msg) {

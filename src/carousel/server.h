@@ -15,10 +15,10 @@
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
 #include "raft/raft_node.h"
-#include "sim/batcher.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/batcher.h"
+#include "runtime/dispatcher.h"
+#include "runtime/endpoint.h"
+#include "runtime/runtime.h"
 
 namespace carousel::core {
 
@@ -38,13 +38,16 @@ namespace carousel::core {
 /// This class is wiring and lifecycle only: it owns the storage and Raft
 /// substrate, builds the shared context, and routes incoming messages and
 /// applied log entries through typed dispatchers the roles register into.
-class CarouselServer : public sim::Node {
+class CarouselServer : public runtime::Endpoint {
  public:
   /// `metrics`, when non-null and enabled, receives per-role counters and
   /// zero-cost exposures (dispatch counts, raft state, queue depths); it
   /// also switches on Raft ack-span stamping for WANRT accounting.
+  /// `env` is the hosting substrate's executor handle (clock, this
+  /// node's timer queue, a forked RNG); the server must then be
+  /// Register()ed with the matching backend before Start().
   CarouselServer(const NodeInfo& info, const Directory* directory,
-                 sim::Simulator* sim, const CarouselOptions& options,
+                 runtime::NodeEnv env, const CarouselOptions& options,
                  TraceCollector* traces = nullptr,
                  obs::MetricsRegistry* metrics = nullptr);
   ~CarouselServer() override;
@@ -52,7 +55,7 @@ class CarouselServer : public sim::Node {
   /// Starts the Raft member. Replica 0 bootstraps as leader of term 1.
   void Start();
 
-  // sim::Node interface.
+  // runtime::Endpoint interface.
   void HandleMessage(NodeId from, const sim::MessagePtr& msg) override;
   SimTime ServiceCost(const sim::Message& msg) const override;
   void OnCrash() override;
@@ -79,13 +82,15 @@ class CarouselServer : public sim::Node {
   Recovery& recovery() { return *recovery_; }
   /// Egress batcher statistics (tests, benches). Counters stay zero when
   /// batching is disabled.
-  const sim::MessageBatcher::Stats& batcher_stats() const {
+  const runtime::MessageBatcher::Stats& batcher_stats() const {
     return batcher_.stats();
   }
   /// Network-message routing table (coverage tests).
-  const sim::Dispatcher& dispatcher() const { return dispatcher_; }
+  const runtime::Dispatcher& dispatcher() const { return dispatcher_; }
   /// Raft log payload routing table (coverage tests).
-  const sim::Dispatcher& apply_dispatcher() const { return apply_dispatcher_; }
+  const runtime::Dispatcher& apply_dispatcher() const {
+    return apply_dispatcher_;
+  }
 
   /// Fast-path quorum for a participant group of size n = 2f+1:
   /// ceil(3f/2) + 1 (paper §4.2).
@@ -95,7 +100,7 @@ class CarouselServer : public sim::Node {
   void ApplyLogEntry(uint64_t index, const sim::MessagePtr& payload);
   /// Outbound routing: server-to-server traffic goes through the egress
   /// batcher when batching is on; client-bound and all unbatched traffic
-  /// goes straight to the network.
+  /// goes straight to the transport.
   void SendRouted(NodeId to, sim::MessagePtr msg);
   /// CPU charge for one message's payload-proportional work (per-key,
   /// per-entry terms), excluding the per-message dispatch base.
@@ -119,9 +124,9 @@ class CarouselServer : public sim::Node {
   std::unique_ptr<Recovery> recovery_;
 
   // ---- Routing ----
-  sim::Dispatcher dispatcher_;
-  sim::Dispatcher apply_dispatcher_;
-  sim::MessageBatcher batcher_;
+  runtime::Dispatcher dispatcher_;
+  runtime::Dispatcher apply_dispatcher_;
+  runtime::MessageBatcher batcher_;
 };
 
 inline int CarouselServer::SupermajorityFor(int group_size) {

@@ -14,8 +14,8 @@
 #include "kv/versioned_store.h"
 #include "obs/metrics.h"
 #include "raft/raft_node.h"
+#include "runtime/runtime.h"
 #include "sim/message.h"
-#include "sim/simulator.h"
 
 namespace carousel::core {
 
@@ -31,8 +31,9 @@ inline int SupermajorityFor(int group_size) {
 /// storage and consensus substrate, and narrow hooks back into the hosting
 /// node (send, liveness, tracing). The context owns none of it — the
 /// CarouselServer wires the pointers once at construction and the roles
-/// treat the context as their only window onto the host, which is what
-/// keeps them independently testable and reusable under future transports.
+/// treat the context as their only window onto the host. Time and timers
+/// come through the runtime seam's Clock/TimerQueue interfaces, so the
+/// roles run unchanged under the simulator and the threaded backend.
 struct ServerContext {
   NodeId self = kInvalidNode;
   PartitionId partition = kInvalidPartition;
@@ -42,10 +43,11 @@ struct ServerContext {
   kv::VersionedStore* store = nullptr;
   kv::PendingList* pending = nullptr;
   raft::RaftNode* raft = nullptr;
-  sim::Simulator* sim = nullptr;
+  runtime::Clock* clock = nullptr;
+  runtime::TimerQueue* timers = nullptr;
 
-  /// Sends a message from this server; bound to the host's network by the
-  /// CarouselServer (roles never touch the transport directly).
+  /// Sends a message from this server; bound to the host's transport by
+  /// the CarouselServer (roles never touch the transport directly).
   std::function<void(NodeId to, sim::MessagePtr msg)> send;
   /// Whether the hosting node is alive (timer callbacks must re-check).
   std::function<bool()> node_alive;
@@ -58,11 +60,17 @@ struct ServerContext {
   obs::MetricsRegistry* metrics = nullptr;
 
   bool IsLeader() const { return raft->is_leader(); }
-  SimTime now() const { return sim->now(); }
+  SimTime now() const { return clock->now(); }
   bool alive() const { return node_alive && node_alive(); }
 
   void Send(NodeId to, sim::MessagePtr msg) const {
     send(to, std::move(msg));
+  }
+
+  /// Runs `fn` on the host's execution context `delay` microseconds out
+  /// (roles re-check alive() when it fires).
+  void Schedule(SimTime delay, runtime::EventFn fn) const {
+    timers->Schedule(delay, std::move(fn));
   }
 
   /// ---- Tracing (all no-ops when traces == nullptr) ----

@@ -5,7 +5,7 @@
 #include <sstream>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "common/rng.h"
 #include "common/topology.h"
 #include "sim/nemesis.h"

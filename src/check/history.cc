@@ -40,6 +40,20 @@ std::string TxnRecord::ToString() const {
   return out.str();
 }
 
+HistoryRecorder::HistoryRecorder(const HistoryRecorder& other) {
+  std::lock_guard<std::mutex> lk(other.mu_);
+  records_ = other.records_;
+  index_ = other.index_;
+}
+
+HistoryRecorder& HistoryRecorder::operator=(const HistoryRecorder& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lk(mu_, other.mu_);
+  records_ = other.records_;
+  index_ = other.index_;
+  return *this;
+}
+
 TxnRecord& HistoryRecorder::GetOrCreate(const TxnId& tid) {
   auto [it, inserted] = index_.emplace(tid, records_.size());
   if (inserted) {
@@ -52,6 +66,7 @@ TxnRecord& HistoryRecorder::GetOrCreate(const TxnId& tid) {
 void HistoryRecorder::Invoke(const TxnId& tid, const KeyList& reads,
                              const KeyList& writes, bool read_only,
                              SimTime now) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnRecord& rec = GetOrCreate(tid);
   rec.invoked_at = now;
   rec.read_only = read_only;
@@ -61,17 +76,20 @@ void HistoryRecorder::Invoke(const TxnId& tid, const KeyList& reads,
 
 void HistoryRecorder::ObserveReads(
     const TxnId& tid, const std::map<Key, VersionedValue>& results) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnRecord& rec = GetOrCreate(tid);
   for (const auto& [k, vv] : results) rec.reads[k] = vv;
 }
 
 void HistoryRecorder::BufferWrite(const TxnId& tid, const Key& key,
                                   const Value& value) {
+  std::lock_guard<std::mutex> lk(mu_);
   GetOrCreate(tid).writes[key] = value;
 }
 
 void HistoryRecorder::ClientOutcome(const TxnId& tid, Outcome outcome,
                                     const std::string& reason, SimTime now) {
+  std::lock_guard<std::mutex> lk(mu_);
   TxnRecord& rec = GetOrCreate(tid);
   if (rec.outcome != Outcome::kUnknown) return;  // First outcome wins.
   rec.outcome = outcome;
@@ -83,6 +101,7 @@ void HistoryRecorder::CoordinatorDecision(const TxnId& tid, NodeId coordinator,
                                           bool committed,
                                           const std::string& reason,
                                           SimTime now) {
+  std::lock_guard<std::mutex> lk(mu_);
   GetOrCreate(tid).decisions.push_back(
       DecisionEvent{coordinator, committed, reason, now});
 }

@@ -2,6 +2,7 @@
 #define CAROUSEL_CHECK_HISTORY_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,8 +64,19 @@ struct TxnRecord {
 ///
 /// A null recorder pointer disables recording everywhere, mirroring how
 /// TraceCollector is wired.
+///
+/// Recording is internally synchronized so the threaded runtime's clients
+/// and servers can stamp events concurrently from their loop threads. The
+/// read accessors are not: call them only after the run has quiesced
+/// (simulator runs are single-threaded throughout, so they always may).
 class HistoryRecorder {
  public:
+  HistoryRecorder() = default;
+  /// Copyable (results structs hold recorded histories by value); the copy
+  /// gets its own lock.
+  HistoryRecorder(const HistoryRecorder& other);
+  HistoryRecorder& operator=(const HistoryRecorder& other);
+
   /// ---- Client-side hooks ----
   void Invoke(const TxnId& tid, const KeyList& reads, const KeyList& writes,
               bool read_only, SimTime now);
@@ -93,6 +105,7 @@ class HistoryRecorder {
  private:
   TxnRecord& GetOrCreate(const TxnId& tid);
 
+  mutable std::mutex mu_;
   std::vector<TxnRecord> records_;
   std::map<TxnId, size_t> index_;
 };

@@ -1,4 +1,4 @@
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 
 namespace carousel::core {
 
@@ -30,8 +30,13 @@ Cluster::Cluster(Topology topology, CarouselOptions options,
       client_ptrs_.push_back(client.get());
       clients_.push_back(std::move(client));
     } else {
+      // The RNG fork order (network first, then servers in topology node
+      // order) is part of the determinism contract: it must match the
+      // pre-seam wiring bit for bit.
       auto server = std::make_unique<CarouselServer>(
-          info, directory_.get(), &sim_, options, &traces_, &metrics_);
+          info, directory_.get(),
+          runtime::NodeEnv{&sim_, &sim_, sim_.rng()->Fork()}, options,
+          &traces_, &metrics_);
       network_->Register(server.get());
       servers_.emplace(info.id, std::move(server));
     }

@@ -1,5 +1,5 @@
-#ifndef CAROUSEL_CAROUSEL_CLUSTER_H_
-#define CAROUSEL_CAROUSEL_CLUSTER_H_
+#ifndef CAROUSEL_HARNESS_CLUSTER_H_
+#define CAROUSEL_HARNESS_CLUSTER_H_
 
 #include <memory>
 #include <vector>
@@ -90,4 +90,4 @@ class Cluster {
 
 }  // namespace carousel::core
 
-#endif  // CAROUSEL_CAROUSEL_CLUSTER_H_
+#endif  // CAROUSEL_HARNESS_CLUSTER_H_

@@ -1,0 +1,108 @@
+#include "harness/rt_cluster.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "wire/wire.h"
+
+namespace carousel::harness {
+
+RtCluster::RtCluster(Topology topology, core::CarouselOptions options,
+                     RtClusterOptions rt_options)
+    : topology_(std::move(topology)),
+      options_(options),
+      metrics_(/*enabled=*/false) {
+  directory_ = std::make_unique<core::Directory>(&topology_);
+
+  runtime::ThreadedRuntimeOptions rt_opts;
+  rt_opts.max_inbound_queue = rt_options.max_inbound_queue;
+  rt_opts.use_tcp = rt_options.use_tcp;
+  if (rt_options.use_tcp) rt_opts.codec = wire::Codec();
+  rt_ = std::make_unique<runtime::ThreadedRuntime>(topology_.nodes().size(),
+                                                   std::move(rt_opts));
+
+  carousel::Rng rng(rt_options.seed);
+  ClientId next_client_id = 0;
+  for (const NodeInfo& info : topology_.nodes()) {
+    if (info.is_client) {
+      auto client = std::make_unique<core::CarouselClient>(
+          info.id, info.dc, next_client_id++, directory_.get(), options_);
+      rt_->Register(client.get());
+      client_ptrs_.push_back(client.get());
+      clients_.push_back(std::move(client));
+    } else {
+      auto server = std::make_unique<core::CarouselServer>(
+          info, directory_.get(), rt_->MakeEnv(info.id, rng.Fork()), options_,
+          /*traces=*/nullptr, &metrics_);
+      rt_->Register(server.get());
+      servers_.emplace(info.id, std::move(server));
+    }
+  }
+}
+
+RtCluster::~RtCluster() { Stop(); }
+
+bool RtCluster::Start(int timeout_ms) {
+  if (!rt_->Start()) return false;
+  started_ = true;
+  for (auto& [id, server] : servers_) {
+    core::CarouselServer* s = server.get();
+    // Start (Raft bootstrap, timers) must run on the server's own loop.
+    rt_->loop(id)->Post([s]() { s->Start(); });
+  }
+  return WaitUntilServing(timeout_ms);
+}
+
+void RtCluster::Stop() { rt_->Stop(); }
+
+void RtCluster::RunOnClient(int index, runtime::EventFn fn) {
+  rt_->loop(client_ptrs_.at(index)->id())->Post(std::move(fn));
+}
+
+void RtCluster::RunOnServer(NodeId id, runtime::EventFn fn) {
+  rt_->loop(id)->Post(std::move(fn));
+}
+
+void RtCluster::AttachHistory(check::HistoryRecorder* history) {
+  for (core::CarouselClient* client : client_ptrs_) {
+    client->set_history(history);
+  }
+  for (auto& [id, server] : servers_) {
+    server->set_history(history);
+    if (history != nullptr) server->mutable_store().EnableWriterLog();
+  }
+}
+
+bool RtCluster::WaitUntilServing(int timeout_ms) {
+  // Probe serving() on each server's own loop thread; the probe state is
+  // shared_ptr-owned so a timed-out waiter can leave while late probes
+  // still complete.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const size_t n = servers_.size();
+  while (std::chrono::steady_clock::now() < deadline) {
+    struct Probe {
+      std::atomic<size_t> done{0};
+      std::atomic<size_t> serving{0};
+    };
+    auto probe = std::make_shared<Probe>();
+    for (auto& [id, server] : servers_) {
+      core::CarouselServer* s = server.get();
+      rt_->loop(id)->Post([probe, s]() {
+        if (s->serving()) probe->serving.fetch_add(1);
+        probe->done.fetch_add(1);
+      });
+    }
+    while (probe->done.load() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (probe->done.load() == n && probe->serving.load() == n) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+}  // namespace carousel::harness

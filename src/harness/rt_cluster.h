@@ -1,0 +1,104 @@
+#ifndef CAROUSEL_HARNESS_RT_CLUSTER_H_
+#define CAROUSEL_HARNESS_RT_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "carousel/client.h"
+#include "carousel/directory.h"
+#include "carousel/options.h"
+#include "carousel/server.h"
+#include "common/rng.h"
+#include "common/topology.h"
+#include "obs/metrics.h"
+#include "runtime/event_fn.h"
+#include "runtime/threaded.h"
+
+namespace carousel::harness {
+
+struct RtClusterOptions {
+  /// Inter-node messages over localhost TCP (serialized via wire::Codec)
+  /// instead of in-process handoff.
+  bool use_tcp = false;
+  /// Bound on each node's inbound queue (overflow drops; protocols mask
+  /// drops with retries).
+  size_t max_inbound_queue = 1 << 16;
+  /// Seeds the per-node RNG forks (jittered timers etc.; the threaded
+  /// backend is not deterministic regardless).
+  uint64_t seed = 1;
+};
+
+/// A complete Carousel deployment on the threaded runtime: one event-loop
+/// thread per node (servers and clients) on a shared monotonic clock —
+/// backend #2 of the runtime seam. Same protocol objects as core::Cluster,
+/// different substrate: real threads and (optionally) real sockets instead
+/// of the discrete-event simulator.
+///
+/// Threading rules for callers: every client API call (Begin /
+/// ReadAndPrepare / Commit / ...) must run on that client's loop thread —
+/// use RunOnClient. Server state may only be inspected through
+/// RunOnServer for the same reason.
+class RtCluster {
+ public:
+  /// `topology` must already have partitions placed and clients added.
+  RtCluster(Topology topology, core::CarouselOptions options,
+            RtClusterOptions rt_options = {});
+  ~RtCluster();
+
+  RtCluster(const RtCluster&) = delete;
+  RtCluster& operator=(const RtCluster&) = delete;
+
+  /// Launches all loop threads (and sockets in TCP mode), starts every
+  /// server, and waits until every partition serves. Returns false if the
+  /// transport could not start (e.g. sockets unavailable) or the cluster
+  /// failed to become ready within `timeout_ms`.
+  bool Start(int timeout_ms = 10000);
+
+  /// Stops all loop and socket threads. Idempotent; the destructor calls
+  /// it too.
+  void Stop();
+
+  const Topology& topology() const { return topology_; }
+  const core::Directory& directory() const { return *directory_; }
+  runtime::ThreadedRuntime& rt() { return *rt_; }
+  size_t num_clients() const { return client_ptrs_.size(); }
+  core::CarouselClient* client(int index) { return client_ptrs_.at(index); }
+
+  /// The server actor for node `id` (nullptr for client nodes). While the
+  /// cluster runs, touch its state only through RunOnServer; after Stop()
+  /// every loop thread has joined and direct reads are safe.
+  core::CarouselServer* server(NodeId id) {
+    auto it = servers_.find(id);
+    return it == servers_.end() ? nullptr : it->second.get();
+  }
+
+  /// Runs `fn` on client `index`'s loop thread (fire and forget).
+  void RunOnClient(int index, runtime::EventFn fn);
+  /// Runs `fn` on server `id`'s loop thread (fire and forget).
+  void RunOnServer(NodeId id, runtime::EventFn fn);
+
+  /// Attaches a verification history recorder to every client and server.
+  /// The recorder must be internally synchronized (check::HistoryRecorder
+  /// is); call before Start.
+  void AttachHistory(check::HistoryRecorder* history);
+
+  /// Messages dropped across the deployment (full queues, dead sockets).
+  uint64_t dropped_messages() const { return rt_->dropped_messages(); }
+
+ private:
+  bool WaitUntilServing(int timeout_ms);
+
+  Topology topology_;
+  core::CarouselOptions options_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<core::Directory> directory_;
+  std::unique_ptr<runtime::ThreadedRuntime> rt_;
+  std::unordered_map<NodeId, std::unique_ptr<core::CarouselServer>> servers_;
+  std::vector<std::unique_ptr<core::CarouselClient>> clients_;
+  std::vector<core::CarouselClient*> client_ptrs_;
+  bool started_ = false;
+};
+
+}  // namespace carousel::harness
+
+#endif  // CAROUSEL_HARNESS_RT_CLUSTER_H_

@@ -1,4 +1,4 @@
-#include "tapir/cluster.h"
+#include "harness/tapir_cluster.h"
 
 namespace carousel::tapir {
 
@@ -17,8 +17,7 @@ TapirCluster::TapirCluster(Topology topology, TapirOptions options,
       client_ptrs_.push_back(client.get());
       clients_.push_back(std::move(client));
     } else {
-      auto server =
-          std::make_unique<TapirServer>(info, &sim_, options.cost);
+      auto server = std::make_unique<TapirServer>(info, options.cost);
       network_->Register(server.get());
       servers_.emplace(info.id, std::move(server));
     }

@@ -1,5 +1,5 @@
-#ifndef CAROUSEL_TAPIR_CLUSTER_H_
-#define CAROUSEL_TAPIR_CLUSTER_H_
+#ifndef CAROUSEL_HARNESS_TAPIR_CLUSTER_H_
+#define CAROUSEL_HARNESS_TAPIR_CLUSTER_H_
 
 #include <memory>
 #include <unordered_map>
@@ -46,4 +46,4 @@ class TapirCluster {
 
 }  // namespace carousel::tapir
 
-#endif  // CAROUSEL_TAPIR_CLUSTER_H_
+#endif  // CAROUSEL_HARNESS_TAPIR_CLUSTER_H_

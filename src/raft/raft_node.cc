@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 
 namespace carousel::raft {
 
@@ -16,13 +16,15 @@ size_t PendingTxnWireSize(const kv::PendingTxn& txn) {
 }
 
 RaftNode::RaftNode(PartitionId group, NodeId self, std::vector<NodeId> members,
-                   sim::Simulator* sim, RaftOptions options)
+                   runtime::Clock* clock, runtime::TimerQueue* timers,
+                   carousel::Rng rng, RaftOptions options)
     : group_(group),
       self_(self),
       members_(std::move(members)),
-      sim_(sim),
+      clock_(clock),
+      timers_(timers),
       options_(options),
-      rng_(sim->rng()->Fork()) {
+      rng_(std::move(rng)) {
   next_index_.assign(members_.size(), 1);
   match_index_.assign(members_.size(), 0);
 }
@@ -74,12 +76,12 @@ Result<uint64_t> RaftNode::Propose(sim::MessagePtr payload) {
   // into one AppendEntries per follower.
   if (!flush_scheduled_) {
     const SimTime due = last_flush_ + options_.append_batch_interval;
-    if (sim_->now() >= due) {
+    if (clock_->now() >= due) {
       FlushAppends();
     } else {
       flush_scheduled_ = true;
       const uint64_t gen = heartbeat_timer_gen_;
-      sim_->ScheduleAt(due, [this, gen]() {
+      timers_->ScheduleAt(due, [this, gen]() {
         flush_scheduled_ = false;
         if (!running_ || role_ != RaftRole::kLeader ||
             gen != heartbeat_timer_gen_) {
@@ -95,7 +97,7 @@ Result<uint64_t> RaftNode::Propose(sim::MessagePtr payload) {
 }
 
 void RaftNode::FlushAppends() {
-  last_flush_ = sim_->now();
+  last_flush_ = clock_->now();
   for (NodeId peer : members_) {
     if (peer == self_) continue;
     if (next_index_[SlotOf(peer)] <= last_log_index()) {
@@ -140,7 +142,7 @@ void RaftNode::BecomeCandidate() {
   leader_hint_ = kInvalidNode;
   ResetElectionTimer();
 
-  auto msg = sim::MakeMessage<RequestVoteMsg>();
+  auto msg = runtime::MakeMessage<RequestVoteMsg>();
   msg->group = group_;
   msg->term = term_;
   msg->candidate = self_;
@@ -167,7 +169,7 @@ void RaftNode::BecomeLeader() {
 
   // Append a no-op so entries from earlier terms become committable and we
   // can detect when the log is fully replicated (leader init).
-  log_.push_back(LogEntry{term_, sim::MakeMessage<NoopPayload>()});
+  log_.push_back(LogEntry{term_, runtime::MakeMessage<NoopPayload>()});
   leader_init_index_ = log_.size();
   leader_init_done_ = false;
   match_index_[SelfSlot()] = log_.size();
@@ -183,7 +185,7 @@ void RaftNode::ResetElectionTimer() {
       options_.election_timeout_min +
       rng_.UniformInt(0, options_.election_timeout_max -
                              options_.election_timeout_min);
-  sim_->Schedule(timeout, [this, gen]() {
+  timers_->Schedule(timeout, [this, gen]() {
     if (!running_ || gen != election_timer_gen_) return;
     if (role_ != RaftRole::kLeader) BecomeCandidate();
   });
@@ -191,7 +193,7 @@ void RaftNode::ResetElectionTimer() {
 
 void RaftNode::ScheduleHeartbeat() {
   const uint64_t gen = ++heartbeat_timer_gen_;
-  sim_->Schedule(options_.heartbeat_interval, [this, gen]() {
+  timers_->Schedule(options_.heartbeat_interval, [this, gen]() {
     if (!running_ || gen != heartbeat_timer_gen_ ||
         role_ != RaftRole::kLeader) {
       return;
@@ -209,7 +211,7 @@ void RaftNode::BroadcastAppendEntries() {
 
 void RaftNode::SendAppendEntries(NodeId peer) {
   const int slot = SlotOf(peer);
-  auto msg = sim::MakeMessage<AppendEntriesMsg>();
+  auto msg = runtime::MakeMessage<AppendEntriesMsg>();
   msg->group = group_;
   msg->term = term_;
   msg->leader = self_;
@@ -232,7 +234,7 @@ void RaftNode::SendAppendEntries(NodeId peer) {
 void RaftNode::HandleRequestVote(NodeId from, const RequestVoteMsg& msg) {
   if (msg.term > term_) BecomeFollower(msg.term);
 
-  auto reply = sim::MakeMessage<VoteResponseMsg>();
+  auto reply = runtime::MakeMessage<VoteResponseMsg>();
   reply->group = group_;
   reply->term = term_;
   reply->voter = self_;
@@ -268,7 +270,7 @@ void RaftNode::HandleVoteResponse(NodeId from, const VoteResponseMsg& msg) {
 }
 
 void RaftNode::HandleAppendEntries(NodeId from, const AppendEntriesMsg& msg) {
-  auto reply = sim::MakeMessage<AppendResponseMsg>();
+  auto reply = runtime::MakeMessage<AppendResponseMsg>();
   reply->group = group_;
   reply->follower = self_;
 

@@ -8,8 +8,8 @@
 #include "common/types.h"
 #include "kv/pending_list.h"
 #include "raft/messages.h"
+#include "runtime/runtime.h"
 #include "sim/message.h"
-#include "sim/simulator.h"
 
 namespace carousel::raft {
 
@@ -28,8 +28,10 @@ struct RaftOptions {
 /// Role of a Raft member.
 enum class RaftRole { kFollower, kCandidate, kLeader };
 
-/// A single member of one Raft consensus group, driven entirely by
-/// simulator events. The hosting server wires up message transport
+/// A single member of one Raft consensus group, driven entirely by timer
+/// and message events through the runtime seam (it holds only a Clock and
+/// a TimerQueue, so it runs under any backend). The hosting server wires
+/// up message transport
 /// (send_fn), applies committed payloads (apply_fn), and can attach
 /// Carousel's pending-transaction list to granted votes
 /// (vote_attachment_fn) and intercept leadership changes (leadership_fn) —
@@ -58,8 +60,11 @@ class RaftNode {
   /// be served); leadership_fn follows once the log is fully committed.
   using ElectedFn = std::function<void(uint64_t term)>;
 
+  /// `rng` is moved in by value: each member owns an independent stream,
+  /// forked by the harness in a deterministic order.
   RaftNode(PartitionId group, NodeId self, std::vector<NodeId> members,
-           sim::Simulator* sim, RaftOptions options);
+           runtime::Clock* clock, runtime::TimerQueue* timers,
+           carousel::Rng rng, RaftOptions options);
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
@@ -141,7 +146,8 @@ class RaftNode {
   PartitionId group_;
   NodeId self_;
   std::vector<NodeId> members_;
-  sim::Simulator* sim_;
+  runtime::Clock* clock_;
+  runtime::TimerQueue* timers_;
   RaftOptions options_;
   carousel::Rng rng_;
 

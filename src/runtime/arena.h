@@ -1,12 +1,12 @@
-#ifndef CAROUSEL_SIM_ARENA_H_
-#define CAROUSEL_SIM_ARENA_H_
+#ifndef CAROUSEL_RUNTIME_ARENA_H_
+#define CAROUSEL_RUNTIME_ARENA_H_
 
 #include <cstddef>
 #include <memory>
 #include <new>
 #include <vector>
 
-namespace carousel::sim {
+namespace carousel::runtime {
 
 // Arena-backed message allocation. Every protocol message lives exactly
 // one delivery: allocated at send, dropped when the last handler lets the
@@ -17,27 +17,38 @@ namespace carousel::sim {
 // instead: frees push onto a per-size free list, allocations pop, and
 // fresh memory is only carved (in chunks) when a list runs dry.
 //
-// Under ASan/MSan the pool is disabled (plain make_shared) so the
+// The pools are thread_local: under the simulator everything stays on the
+// one simulation thread; under the threaded backend each event-loop thread
+// recycles its own blocks with no locking. A message allocated on one
+// thread can be released on another (in-process transport hands the same
+// shared_ptr across loops), which simply donates the block to the
+// releasing thread's pool — chunks are never freed, so blocks stay valid
+// wherever they end up.
+//
+// Under ASan/MSan/TSan the pool is disabled (plain make_shared) so the
 // sanitizers keep seeing every message's true lifetime.
 
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define CAROUSEL_MESSAGE_POOL_DISABLED 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer) || \
+    __has_feature(thread_sanitizer)
 #define CAROUSEL_MESSAGE_POOL_DISABLED 1
 #endif
 #endif
 
 namespace arena_internal {
 
-/// One free list of `Size`-byte, `Align`-aligned blocks. The simulation is
-/// single-threaded, so no locking. Blocks are carved from chunk
-/// allocations (64 at a time) that are only released at process exit.
+/// One free list of `Size`-byte, `Align`-aligned blocks, per thread.
+/// Blocks are carved from chunk allocations (64 at a time) that are
+/// deliberately never released: a block freed on a different thread than
+/// the one that carved it must stay valid for that thread's pool to
+/// reuse, so chunks live for the life of the process.
 template <size_t Size, size_t Align>
 class BlockPool {
  public:
   static BlockPool& Instance() {
-    static BlockPool pool;
+    static thread_local BlockPool pool;
     return pool;
   }
 
@@ -56,20 +67,12 @@ class BlockPool {
   void Refill() {
     char* chunk = static_cast<char*>(
         ::operator new(Size * kChunkBlocks, std::align_val_t(Align)));
-    chunks_.push_back(chunk);
     for (size_t i = 0; i < kChunkBlocks; ++i) {
       free_.push_back(chunk + i * Size);
     }
   }
 
-  ~BlockPool() {
-    for (char* chunk : chunks_) {
-      ::operator delete(chunk, std::align_val_t(Align));
-    }
-  }
-
   std::vector<void*> free_;
-  std::vector<char*> chunks_;
 };
 
 /// Allocator handed to allocate_shared: routes the single-object
@@ -107,8 +110,7 @@ struct PoolAllocator {
 }  // namespace arena_internal
 
 /// Drop-in replacement for std::make_shared for message structs (and any
-/// other single-threaded, short-lived object): same value semantics,
-/// recycled storage.
+/// other short-lived object): same value semantics, recycled storage.
 template <typename T, typename... Args>
 std::shared_ptr<T> MakeMessage(Args&&... args) {
 #ifdef CAROUSEL_MESSAGE_POOL_DISABLED
@@ -119,6 +121,6 @@ std::shared_ptr<T> MakeMessage(Args&&... args) {
 #endif
 }
 
-}  // namespace carousel::sim
+}  // namespace carousel::runtime
 
-#endif  // CAROUSEL_SIM_ARENA_H_
+#endif  // CAROUSEL_RUNTIME_ARENA_H_

@@ -1,17 +1,15 @@
-#include "sim/batcher.h"
+#include "runtime/batcher.h"
 
 #include <utility>
 
-#include "sim/arena.h"
-#include "sim/network.h"
-#include "sim/node.h"
-#include "sim/simulator.h"
+#include "runtime/arena.h"
+#include "runtime/endpoint.h"
 
-namespace carousel::sim {
+namespace carousel::runtime {
 
 void MessageBatcher::Send(NodeId to, MessagePtr msg) {
   if (to == owner_->id()) {
-    owner_->network()->Send(owner_->id(), to, std::move(msg));
+    owner_->Send(to, std::move(msg));
     return;
   }
   Queue& q = QueueFor(to);
@@ -23,12 +21,11 @@ void MessageBatcher::Send(NodeId to, MessagePtr msg) {
   if (!q.flush_scheduled) {
     q.flush_scheduled = true;
     const uint64_t epoch = q.epoch;
-    owner_->simulator()->Schedule(options_.flush_interval,
-                                  [this, to, epoch]() {
-                                    Queue& cur = QueueFor(to);
-                                    if (cur.epoch != epoch) return;
-                                    Flush(to);
-                                  });
+    owner_->Schedule(options_.flush_interval, [this, to, epoch]() {
+      Queue& cur = QueueFor(to);
+      if (cur.epoch != epoch) return;
+      Flush(to);
+    });
   }
 }
 
@@ -41,15 +38,15 @@ void MessageBatcher::Flush(NodeId to) {
     stats_.single_flushes++;
     MessagePtr only = std::move(q.items.front());
     q.items.clear();
-    owner_->network()->Send(owner_->id(), to, std::move(only));
+    owner_->Send(to, std::move(only));
     return;
   }
   stats_.envelopes++;
   stats_.enveloped_items += q.items.size();
-  auto envelope = MakeMessage<BatchEnvelopeMsg>();
+  auto envelope = MakeMessage<sim::BatchEnvelopeMsg>();
   envelope->items = std::move(q.items);
   q.items.clear();
-  owner_->network()->Send(owner_->id(), to, std::move(envelope));
+  owner_->Send(to, std::move(envelope));
 }
 
 void MessageBatcher::Clear() {
@@ -60,4 +57,4 @@ void MessageBatcher::Clear() {
   }
 }
 
-}  // namespace carousel::sim
+}  // namespace carousel::runtime

@@ -1,19 +1,19 @@
-#ifndef CAROUSEL_SIM_BATCHER_H_
-#define CAROUSEL_SIM_BATCHER_H_
+#ifndef CAROUSEL_RUNTIME_BATCHER_H_
+#define CAROUSEL_RUNTIME_BATCHER_H_
 
 #include <cstdint>
 #include <vector>
 
 #include "common/types.h"
-#include "sim/message.h"
+#include "runtime/runtime.h"
 
-namespace carousel::sim {
+namespace carousel::runtime {
 
-class Node;
+class Endpoint;
 
-/// Per-destination egress coalescer: messages a node sends to the same
-/// destination within a short window leave as one BatchEnvelopeMsg instead
-/// of N separate wire messages. The first message buffered for a
+/// Per-destination egress coalescer: messages an endpoint sends to the
+/// same destination within a short window leave as one BatchEnvelopeMsg
+/// instead of N separate wire messages. The first message buffered for a
 /// destination arms a flush timer `flush_interval` out; everything sent
 /// before it fires joins the batch, and the queue also flushes early the
 /// moment it reaches `max_items`. Every message therefore waits at most
@@ -21,9 +21,13 @@ class Node;
 /// opt-in for throughput experiments rather than always-on.
 ///
 /// Per-destination FIFO is preserved: batches carry their items in send
-/// order and the network's fifo_pairs option keeps (from, to) deliveries
-/// ordered. Crashing the owner drops buffered messages (Clear), exactly
-/// like messages sitting in a real process's socket buffer.
+/// order and the sim network's fifo_pairs option keeps (from, to)
+/// deliveries ordered. Crashing the owner drops buffered messages (Clear),
+/// exactly like messages sitting in a real process's socket buffer.
+///
+/// The batcher lives entirely on the owner's execution context (the sim
+/// thread, or the owner's event-loop thread): Send, Flush and the timer
+/// callback all run there, so no locking is needed under either backend.
 class MessageBatcher {
  public:
   struct Options {
@@ -40,9 +44,9 @@ class MessageBatcher {
     uint64_t single_flushes = 0;    // Windows that held just one message.
   };
 
-  /// `owner` must outlive the batcher and be registered with a network
+  /// `owner` must outlive the batcher and be registered with a transport
   /// before the first Send.
-  MessageBatcher(Node* owner, Options options)
+  MessageBatcher(Endpoint* owner, Options options)
       : owner_(owner), options_(options) {}
 
   /// Buffers `msg` for `to` and arms the flush timer if the queue was
@@ -72,12 +76,12 @@ class MessageBatcher {
     return queues_[to];
   }
 
-  Node* owner_;
+  Endpoint* owner_;
   Options options_;
   std::vector<Queue> queues_;  // Indexed by destination node id.
   Stats stats_;
 };
 
-}  // namespace carousel::sim
+}  // namespace carousel::runtime
 
-#endif  // CAROUSEL_SIM_BATCHER_H_
+#endif  // CAROUSEL_RUNTIME_BATCHER_H_

@@ -1,17 +1,17 @@
-#ifndef CAROUSEL_SIM_DISPATCHER_H_
-#define CAROUSEL_SIM_DISPATCHER_H_
+#ifndef CAROUSEL_RUNTIME_DISPATCHER_H_
+#define CAROUSEL_RUNTIME_DISPATCHER_H_
 
-#include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "common/types.h"
-#include "sim/message.h"
+#include "runtime/runtime.h"
 
-namespace carousel::sim {
+namespace carousel::runtime {
 
 /// Typed message dispatcher: maps a MessageType tag to exactly one checked
 /// handler. Protocol modules register handlers with On<T>() — the type tag
@@ -46,16 +46,14 @@ class Dispatcher {
                        handler(from, static_cast<const T&>(*msg));
                      })
             .second;
-    (void)inserted;
-    assert(inserted && "duplicate handler registration for message type");
+    if (!inserted) AbortDuplicate(tag);
   }
 
   /// Registers a handler that receives the message untyped (for forwarding
   /// whole ranges, e.g. Raft protocol traffic, to a sub-module).
   void OnRaw(int type, Handler handler) {
     const bool inserted = handlers_.emplace(type, std::move(handler)).second;
-    (void)inserted;
-    assert(inserted && "duplicate handler registration for message type");
+    if (!inserted) AbortDuplicate(type);
   }
 
   /// Handler invoked for types with no registered handler. Replaces the
@@ -103,6 +101,17 @@ class Dispatcher {
   const uint64_t* dispatched_cell() const { return &dispatched_; }
 
  private:
+  /// A second handler for an already-registered type is a wiring bug that
+  /// would silently drop the new handler. assert() compiles out under
+  /// NDEBUG, so this fails hard in every build mode instead.
+  [[noreturn]] static void AbortDuplicate(int type) {
+    std::fprintf(stderr,
+                 "carousel: duplicate handler registration for message type "
+                 "%d; aborting\n",
+                 type);
+    std::abort();
+  }
+
   std::map<int, Handler> handlers_;
   Handler fallback_;
   std::map<int, bool> warned_types_;
@@ -110,6 +119,6 @@ class Dispatcher {
   uint64_t dispatched_ = 0;
 };
 
-}  // namespace carousel::sim
+}  // namespace carousel::runtime
 
-#endif  // CAROUSEL_SIM_DISPATCHER_H_
+#endif  // CAROUSEL_RUNTIME_DISPATCHER_H_

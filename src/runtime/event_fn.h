@@ -1,14 +1,14 @@
-#ifndef CAROUSEL_SIM_INLINE_FUNCTION_H_
-#define CAROUSEL_SIM_INLINE_FUNCTION_H_
+#ifndef CAROUSEL_RUNTIME_EVENT_FN_H_
+#define CAROUSEL_RUNTIME_EVENT_FN_H_
 
 #include <cstddef>
 #include <new>
 #include <type_traits>
 #include <utility>
 
-namespace carousel::sim {
+namespace carousel::runtime {
 
-/// Move-only callable holder for simulator events, sized so typical event
+/// Move-only callable holder for runtime events, sized so typical event
 /// captures (a network/node pointer, a couple of node ids, a MessagePtr)
 /// live inline instead of on the heap. std::function's small-object buffer
 /// is 16 bytes on libstdc++, which every delivery and service-completion
@@ -117,6 +117,6 @@ class EventFn {
   const Ops* ops_ = nullptr;
 };
 
-}  // namespace carousel::sim
+}  // namespace carousel::runtime
 
-#endif  // CAROUSEL_SIM_INLINE_FUNCTION_H_
+#endif  // CAROUSEL_RUNTIME_EVENT_FN_H_

@@ -1,0 +1,74 @@
+#ifndef CAROUSEL_RUNTIME_RUNTIME_H_
+#define CAROUSEL_RUNTIME_RUNTIME_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/event_fn.h"
+#include "sim/message.h"
+
+namespace carousel::runtime {
+
+/// The message DTO layer is substrate-neutral: every backend moves the
+/// same sim::Message structs, whether by pointer handoff (simulator,
+/// in-process threads) or serialized over a socket. Aliased here so code
+/// written against the runtime seam never names the sim namespace.
+using Message = sim::Message;
+using MessagePtr = sim::MessagePtr;
+
+/// Time source of a deployment. The discrete-event simulator implements it
+/// with its virtual clock; the threaded backend with the monotonic clock.
+/// All times are microseconds since the start of the run (SimTime), so
+/// protocol code is oblivious to which one it runs under.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since the start of the run.
+  virtual SimTime now() const = 0;
+};
+
+/// Deferred-execution service. Under the simulator, callbacks interleave
+/// deterministically with message deliveries on the virtual clock; under
+/// the threaded backend each node's timers fire on that node's event-loop
+/// thread at monotonic-clock deadlines. Either way a node's callbacks
+/// never run concurrently with its message handlers.
+class TimerQueue {
+ public:
+  virtual ~TimerQueue() = default;
+
+  /// Runs `fn` `delay` microseconds from now (clamped to >= 0).
+  virtual void Schedule(SimTime delay, EventFn fn) = 0;
+
+  /// Runs `fn` at absolute time `t` (clamped to >= now()).
+  virtual void ScheduleAt(SimTime t, EventFn fn) = 0;
+};
+
+/// Message fabric between endpoints. Send() is fire-and-forget and may
+/// drop (crashed endpoints, injected loss, full inbound queues) — the
+/// asynchronous-network model of paper §3.1; protocols mask drops with
+/// timers and retransmissions. Delivery happens via
+/// Endpoint::HandleMessage on the receiving endpoint's execution context.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void Send(NodeId from, NodeId to, MessagePtr msg) = 0;
+};
+
+/// Per-node executor handle: everything a protocol component needs from
+/// its hosting substrate at construction time, before the node is
+/// registered with a transport. The simulator hands out {sim, sim, fork};
+/// the threaded backend hands out {shared steady clock, the node's own
+/// timer queue, fork}. The Rng is moved in by value so each node owns an
+/// independent deterministic stream.
+struct NodeEnv {
+  Clock* clock = nullptr;
+  TimerQueue* timers = nullptr;
+  carousel::Rng rng;
+};
+
+}  // namespace carousel::runtime
+
+#endif  // CAROUSEL_RUNTIME_RUNTIME_H_

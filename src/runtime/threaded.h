@@ -1,0 +1,182 @@
+#ifndef CAROUSEL_RUNTIME_THREADED_H_
+#define CAROUSEL_RUNTIME_THREADED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/endpoint.h"
+#include "runtime/runtime.h"
+
+namespace carousel::runtime {
+
+/// Real time for the threaded backend: microseconds of monotonic clock
+/// elapsed since construction, so SimTime stays "micros since the start of
+/// the run" under both backends.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  SimTime now() const override;
+
+ private:
+  int64_t start_nanos_;
+};
+
+class ThreadedRuntime;
+
+/// One node's event loop: a thread draining an inbound message queue, a
+/// run-soon task queue, and a timer min-heap. Everything an endpoint does
+/// (message handlers, timer callbacks, posted closures) runs on this one
+/// thread, preserving the actor model the protocols were written against —
+/// handlers for a node never run concurrently with each other.
+class EventLoop final : public TimerQueue {
+ public:
+  EventLoop(const Clock* clock, size_t max_inbound);
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// TimerQueue: callable from any thread (typically this loop's own).
+  void Schedule(SimTime delay, EventFn fn) override;
+  void ScheduleAt(SimTime t, EventFn fn) override;
+
+  /// Runs `fn` on the loop thread as soon as possible. Thread-safe; the
+  /// harness uses this to drive client API calls onto client loops.
+  void Post(EventFn fn);
+
+  /// Enqueues an inbound message for the endpoint. Returns false (and
+  /// counts a drop) when the bounded queue is full — the asynchronous
+  /// network model; protocols mask it with retries. Thread-safe.
+  bool PostMessage(NodeId from, MessagePtr msg);
+
+  /// Launches the loop thread delivering to `endpoint`.
+  void Start(Endpoint* endpoint);
+
+  /// Stops and joins the loop thread; pending work is discarded.
+  void Stop();
+
+  uint64_t dropped_messages() const;
+
+ private:
+  struct Timer {
+    SimTime at = 0;
+    uint64_t seq = 0;
+    EventFn fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Run();
+
+  const Clock* clock_;
+  const size_t max_inbound_;
+  Endpoint* endpoint_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<std::pair<NodeId, MessagePtr>> inbound_;
+  std::deque<EventFn> tasks_;
+  std::vector<Timer> timers_;  // Min-heap by (at, seq).
+  uint64_t next_timer_seq_ = 0;
+  uint64_t dropped_ = 0;
+  std::thread thread_;
+};
+
+/// Encode/decode hooks for the TCP transport, injected so the runtime
+/// library doesn't depend on the wire codec (which depends on every
+/// protocol library). wire::Codec() produces one.
+struct WireCodec {
+  /// Serializes the message payload (excluding framing).
+  std::function<std::vector<uint8_t>(const Message&)> encode;
+  /// Reconstructs a message of `type` from payload bytes; returns nullptr
+  /// on malformed input (the frame is dropped).
+  std::function<MessagePtr(int type, const uint8_t* data, size_t len)> decode;
+};
+
+struct ThreadedRuntimeOptions {
+  /// Bound on each node's inbound message queue; overflow drops.
+  size_t max_inbound_queue = 65536;
+  /// When true, inter-node messages travel over localhost TCP sockets
+  /// (serialized with `codec`); when false they are handed across loops
+  /// in-process as shared pointers.
+  bool use_tcp = false;
+  WireCodec codec;
+};
+
+/// Backend #2 of the runtime seam: one event-loop thread per node on a
+/// shared monotonic clock, with either in-process or localhost-TCP message
+/// transport. No fault injection, no cost model, no determinism — this is
+/// the "as fast as the hardware allows" deployment shape; the simulator
+/// remains the substrate for reproducible experiments.
+class ThreadedRuntime final : public Transport {
+ public:
+  /// Creates loops for nodes 0..num_nodes-1 (ids are dense, as in the
+  /// simulator's Topology).
+  ThreadedRuntime(size_t num_nodes, ThreadedRuntimeOptions options);
+  ~ThreadedRuntime() override;
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  Clock* clock() { return &clock_; }
+  EventLoop* loop(NodeId id) { return loops_[id].get(); }
+
+  /// Executor handle for constructing node `id`'s endpoint.
+  NodeEnv MakeEnv(NodeId id, carousel::Rng rng) {
+    return NodeEnv{&clock_, loops_[id].get(), std::move(rng)};
+  }
+
+  /// Registers node `id`'s endpoint; must be called for every id before
+  /// Start. Binds the endpoint's runtime hooks to this transport.
+  void Register(Endpoint* endpoint);
+
+  /// Opens sockets (TCP mode) and launches all loop threads. Returns
+  /// false if TCP setup fails (e.g. sockets unavailable in a sandbox);
+  /// the runtime is then unusable and only Stop/destruction is valid.
+  bool Start();
+
+  /// Stops and joins all loop and socket threads. Idempotent.
+  void Stop();
+
+  /// Transport: in-process handoff or TCP frame, per options. Loopback
+  /// (from == to) is always a direct in-process handoff.
+  void Send(NodeId from, NodeId to, MessagePtr msg) override;
+
+  /// Messages dropped across all nodes (full queues, encode failures,
+  /// dead connections).
+  uint64_t dropped_messages() const;
+
+ private:
+  struct TcpState;
+
+  bool StartTcp();
+  void SendTcp(NodeId from, NodeId to, const Message& msg);
+  void ReadFrames(int fd, NodeId to);
+
+  ThreadedRuntimeOptions options_;
+  SteadyClock clock_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::vector<Endpoint*> endpoints_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::unique_ptr<TcpState> tcp_;
+  mutable std::mutex drop_mu_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace carousel::runtime
+
+#endif  // CAROUSEL_RUNTIME_THREADED_H_

@@ -7,9 +7,14 @@
 #include <vector>
 
 #include "common/types.h"
-#include "sim/inline_function.h"
+#include "runtime/event_fn.h"
 
 namespace carousel::sim {
+
+/// The simulator schedules the same callable type the runtime seam's
+/// TimerQueue interface takes, so Simulator's Schedule/ScheduleAt are
+/// exact overrides rather than converting wrappers.
+using EventFn = runtime::EventFn;
 
 /// The simulator's pending-event set, ordered by (time, seq): a calendar
 /// queue instead of one global binary heap. Discrete-event workloads are

@@ -1,6 +1,7 @@
 #ifndef CAROUSEL_SIM_MESSAGE_H_
 #define CAROUSEL_SIM_MESSAGE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -79,7 +80,20 @@ struct WanSpan {
 /// invariants).
 class Message {
  public:
+  Message() = default;
   virtual ~Message() = default;
+
+  // The size memo is an atomic (see WireSize); give the DTO structs back
+  // their implicit copyability across it.
+  Message(const Message& other)
+      : wire_size_(other.wire_size_.load(std::memory_order_relaxed)),
+        span_(other.span_) {}
+  Message& operator=(const Message& other) {
+    wire_size_.store(other.wire_size_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    span_ = other.span_;
+    return *this;
+  }
 
   /// The MessageType tag of the concrete struct.
   virtual int type() const = 0;
@@ -93,9 +107,17 @@ class Message {
   /// traffic accounting at send and delivery, and — the expensive case —
   /// by every AppendEntries that carries it as a log payload, across
   /// every (re)transmission to every follower. Hot paths must use this.
+  ///
+  /// The memo is a relaxed atomic because the threaded runtime shares one
+  /// immutable message across loop threads (in-process transport); racing
+  /// initializers compute the same value, so last-write-wins is benign.
   size_t WireSize() const {
-    if (wire_size_ == 0) wire_size_ = SizeBytes();
-    return wire_size_;
+    size_t cached = wire_size_.load(std::memory_order_relaxed);
+    if (cached == 0) {
+      cached = SizeBytes();
+      wire_size_.store(cached, std::memory_order_relaxed);
+    }
+    return cached;
   }
 
   /// ---- Span context (WANRT accounting; see obs/wanrt.h) ----
@@ -113,7 +135,7 @@ class Message {
   }
 
  private:
-  mutable size_t wire_size_ = 0;
+  mutable std::atomic<size_t> wire_size_{0};
   WanSpan span_{};
 };
 

@@ -11,14 +11,14 @@ Network::Network(Simulator* sim, const Topology* topology,
       options_(options),
       rng_(sim->rng()->Fork()) {}
 
-void Network::Register(Node* node) {
+void Network::Register(runtime::Endpoint* node) {
   assert(node->id() == static_cast<NodeId>(nodes_.size()) &&
          "register nodes in id order");
-  node->network_ = this;
-  node->simulator_ = sim_;
+  node->BindRuntime(this, sim_, sim_);
   nodes_.push_back(node);
   traffic_.emplace_back();
   last_arrival_.emplace_back();  // lazily sized in Send.
+  core_busy_.emplace_back();     // lazily sized in Deliver.
 }
 
 SimTime Network::OneWayLatency(NodeId from, NodeId to) {
@@ -30,7 +30,7 @@ SimTime Network::OneWayLatency(NodeId from, NodeId to) {
 }
 
 void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
-  Node* sender = nodes_[from];
+  runtime::Endpoint* sender = nodes_[from];
   if (!sender->alive()) return;
   if (blocked_.count({std::min(from, to), std::max(from, to)}) > 0) {
     // Partitioned: bytes still leave the sender's NIC but never arrive.
@@ -102,7 +102,7 @@ void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
 }
 
 void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
-  Node* receiver = nodes_[to];
+  runtime::Endpoint* receiver = nodes_[to];
   if (!receiver->alive()) {  // Dropped at a dead host.
     if (observer_ != nullptr && token != 0) observer_->OnDrop(token);
     return;
@@ -123,7 +123,7 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
   // FIFO processing on the receiver's core pool: the message waits for
   // the earliest-free core, occupies it for `cost`, and the handler runs
   // at completion.
-  auto& cores = receiver->core_busy_until_;
+  auto& cores = core_busy_[to];
   if (cores.size() != static_cast<size_t>(receiver->cores())) {
     cores.assign(receiver->cores(), 0);
   }
@@ -135,7 +135,7 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
   const SimTime done = start + cost;
   cores[best] = done;
   sim_->ScheduleAt(done, [this, from, to, token, msg = std::move(msg)]() {
-    Node* r = nodes_[to];
+    runtime::Endpoint* r = nodes_[to];
     if (!r->alive()) {  // Crashed while queued.
       if (observer_ != nullptr && token != 0) observer_->OnDrop(token);
       return;
@@ -147,17 +147,17 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
 }
 
 void Network::Crash(NodeId id) {
-  Node* node = nodes_[id];
+  runtime::Endpoint* node = nodes_[id];
   if (!node->alive()) return;
-  node->alive_ = false;
+  node->set_alive(false);
   node->OnCrash();
 }
 
 void Network::Recover(NodeId id) {
-  Node* node = nodes_[id];
+  runtime::Endpoint* node = nodes_[id];
   if (node->alive()) return;
-  node->alive_ = true;
-  node->core_busy_until_.clear();
+  node->set_alive(true);
+  core_busy_[id].clear();
   node->OnRecover();
 }
 

@@ -11,8 +11,8 @@
 #include "common/rng.h"
 #include "common/topology.h"
 #include "common/types.h"
+#include "runtime/endpoint.h"
 #include "sim/message.h"
-#include "sim/node.h"
 #include "sim/simulator.h"
 
 namespace carousel::sim {
@@ -72,18 +72,21 @@ class DeliveryObserver {
   virtual void OnDrop(uint64_t token) = 0;
 };
 
-/// Routes messages between nodes with topology-derived latencies, models
-/// per-node serial processing (service times -> queueing), accounts
-/// traffic, and injects failures.
-class Network {
+/// Routes messages between endpoints with topology-derived latencies,
+/// models per-node serial processing (service times -> queueing), accounts
+/// traffic, and injects failures. This is the simulator backend's
+/// runtime::Transport: registering an endpoint binds it to this transport
+/// and the simulator's virtual clock / timer queue.
+class Network final : public runtime::Transport {
  public:
   Network(Simulator* sim, const Topology* topology, NetworkOptions options);
 
-  /// Registers a node; nodes must be registered in id order and outlive
-  /// the network.
-  void Register(Node* node);
+  /// Registers an endpoint; endpoints must be registered in id order and
+  /// outlive the network. Binds the endpoint's runtime hooks (transport,
+  /// clock, timers) to this network and its simulator.
+  void Register(runtime::Endpoint* node);
 
-  Node* node(NodeId id) const { return nodes_[id]; }
+  runtime::Endpoint* node(NodeId id) const { return nodes_[id]; }
   const Topology& topology() const { return *topology_; }
   Simulator* simulator() const { return sim_; }
 
@@ -91,7 +94,7 @@ class Network {
   /// latency (RTT/2 + jitter) plus queueing for the receiver's CPU. Drops
   /// silently if either endpoint is crashed or the pair is partitioned
   /// (fail-stop + asynchronous network model, paper §3.1).
-  void Send(NodeId from, NodeId to, MessagePtr msg);
+  void Send(NodeId from, NodeId to, MessagePtr msg) override;
 
   /// ---- Failure injection ----
 
@@ -155,10 +158,14 @@ class Network {
   const Topology* topology_;
   NetworkOptions options_;
   carousel::Rng rng_;
-  std::vector<Node*> nodes_;
+  std::vector<runtime::Endpoint*> nodes_;
   std::vector<Traffic> traffic_;
   /// Last scheduled arrival per (from, to), for fifo_pairs.
   std::vector<std::vector<SimTime>> last_arrival_;
+  /// Per-node per-core completion times for the CPU cost model (lazily
+  /// sized to the node's cores()). Cost-model bookkeeping is the
+  /// simulator backend's business, so it lives here, not on Endpoint.
+  std::vector<std::vector<SimTime>> core_busy_;
   std::set<std::pair<NodeId, NodeId>> blocked_;
   /// One slot per MessageType value (flat enum, < 400 everywhere).
   static constexpr size_t kMaxMessageType = 512;

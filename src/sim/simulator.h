@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "runtime/runtime.h"
 #include "sim/event_queue.h"
 
 namespace carousel::sim {
@@ -15,7 +16,11 @@ namespace carousel::sim {
 /// queue. All components (network delivery, protocol timers, workload
 /// arrivals) run as scheduled callbacks, so a whole "distributed" run is a
 /// single-threaded, reproducible computation.
-class Simulator {
+///
+/// The simulator is backend #1 of the runtime seam: it IS the Clock and
+/// the (shared, virtual-time) TimerQueue that every node in a simulated
+/// deployment binds to.
+class Simulator final : public runtime::Clock, public runtime::TimerQueue {
  public:
   explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
 
@@ -23,16 +28,16 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time in microseconds.
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (clamped to >= 0).
   /// Events with equal times run in scheduling order.
-  void Schedule(SimTime delay, EventFn fn) {
+  void Schedule(SimTime delay, EventFn fn) override {
     ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
   /// Schedules `fn` at absolute time `t` (clamped to >= now).
-  void ScheduleAt(SimTime t, EventFn fn) {
+  void ScheduleAt(SimTime t, EventFn fn) override {
     if (t < now_) t = now_;
     queue_.Push(EventQueue::Event{t, next_seq_++, std::move(fn)});
   }

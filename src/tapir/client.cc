@@ -2,17 +2,16 @@
 
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 #include <utility>
 
-#include "sim/simulator.h"
 
 namespace carousel::tapir {
 
 TapirClient::TapirClient(NodeId id, DcId dc, ClientId client_id,
                          const core::Directory* directory,
                          const TapirOptions& options)
-    : sim::Node(id, dc),
+    : runtime::Endpoint(id, dc),
       client_id_(client_id),
       directory_(directory),
       options_(options) {}
@@ -92,12 +91,12 @@ void TapirClient::StartReads(ActiveTxn& txn) {
   }
   for (const auto& [p, rw] : txn.keys) {
     if (rw.reads.empty()) continue;
-    auto msg = sim::MakeMessage<TapirReadMsg>();
+    auto msg = runtime::MakeMessage<TapirReadMsg>();
     msg->tid = txn.tid;
     msg->partition = p;
     msg->client = id();
     msg->keys = rw.reads;
-    network()->Send(id(), ClosestReplica(p), std::move(msg));
+    Send(ClosestReplica(p), std::move(msg));
   }
 }
 
@@ -118,11 +117,11 @@ void TapirClient::Commit(const TxnId& tid, CommitCallback callback) {
   txn.preparing = true;
   // Proposed commit timestamp: client clock with client-id tiebreak.
   txn.timestamp =
-      static_cast<uint64_t>(simulator()->now()) * 1024 +
+      static_cast<uint64_t>(now()) * 1024 +
       static_cast<uint64_t>(client_id_ % 1024);
 
   for (const auto& [p, rw] : txn.keys) {
-    auto msg = sim::MakeMessage<TapirPrepareMsg>();
+    auto msg = runtime::MakeMessage<TapirPrepareMsg>();
     msg->tid = tid;
     msg->partition = p;
     msg->client = id();
@@ -136,7 +135,7 @@ void TapirClient::Commit(const TxnId& tid, CommitCallback callback) {
       if (w != txn.writes.end()) msg->writes[k] = w->second;
     }
     for (NodeId replica : directory_->Replicas(p)) {
-      network()->Send(id(), replica, msg);
+      Send(replica, msg);
     }
     txn.parts[p];  // Materialize the vote tracker.
   }
@@ -253,12 +252,12 @@ void TapirClient::EvaluatePartition(ActiveTxn& txn, PartitionId p) {
     if (ok >= FaultThresholdFor(p) + 1) {
       part.finalizing = true;
       slow_path_count_++;
-      auto msg = sim::MakeMessage<TapirFinalizeMsg>();
+      auto msg = runtime::MakeMessage<TapirFinalizeMsg>();
       msg->tid = txn.tid;
       msg->partition = p;
       msg->vote = Vote::kOk;
       for (NodeId replica : directory_->Replicas(p)) {
-        network()->Send(id(), replica, msg);
+        Send(replica, msg);
       }
     } else {
       part.decided = true;
@@ -286,7 +285,7 @@ void TapirClient::Decide(ActiveTxn& txn, bool commit) {
   txn.timer_gen++;
 
   for (const auto& [p, rw] : txn.keys) {
-    auto msg = sim::MakeMessage<TapirDecideMsg>();
+    auto msg = runtime::MakeMessage<TapirDecideMsg>();
     msg->tid = txn.tid;
     msg->partition = p;
     msg->commit = commit;
@@ -298,7 +297,7 @@ void TapirClient::Decide(ActiveTxn& txn, bool commit) {
       }
     }
     for (NodeId replica : directory_->Replicas(p)) {
-      network()->Send(id(), replica, msg);
+      Send(replica, msg);
     }
   }
 
@@ -348,7 +347,7 @@ void TapirClient::ArmFastPathTimer(const TxnId& tid) {
   auto it = txns_.find(tid);
   if (it == txns_.end()) return;
   const uint64_t gen = it->second.timer_gen;
-  simulator()->Schedule(options_.fast_path_timeout, [this, tid, gen]() {
+  Schedule(options_.fast_path_timeout, [this, tid, gen]() {
     if (!alive()) return;
     auto it = txns_.find(tid);
     if (it == txns_.end()) return;
@@ -365,12 +364,12 @@ void TapirClient::ArmFastPathTimer(const TxnId& tid) {
       if (ok >= FaultThresholdFor(p) + 1) {
         part.finalizing = true;
         slow_path_count_++;
-        auto msg = sim::MakeMessage<TapirFinalizeMsg>();
+        auto msg = runtime::MakeMessage<TapirFinalizeMsg>();
         msg->tid = txn.tid;
         msg->partition = p;
         msg->vote = Vote::kOk;
         for (NodeId replica : directory_->Replicas(p)) {
-          network()->Send(id(), replica, msg);
+          Send(replica, msg);
         }
       } else if (static_cast<int>(part.votes.size()) >=
                  FaultThresholdFor(p) + 1) {

@@ -11,8 +11,7 @@
 #include "carousel/options.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/endpoint.h"
 #include "tapir/messages.h"
 
 namespace carousel::tapir {
@@ -41,7 +40,7 @@ struct TapirOptions {
 /// blocked for this client until every replica acknowledged the decision
 /// (TAPIR forbids issuing a potentially conflicting transaction before the
 /// previous one is fully committed — paper §6.3).
-class TapirClient : public sim::Node {
+class TapirClient : public runtime::Endpoint {
  public:
   using ReadResults = std::map<Key, VersionedValue>;
   using ReadCallback = std::function<void(Status, const ReadResults&)>;

@@ -2,15 +2,16 @@
 
 #include <memory>
 
-#include "sim/arena.h"
+#include "runtime/arena.h"
 
 namespace carousel::tapir {
 
-TapirServer::TapirServer(const NodeInfo& info, sim::Simulator* sim,
+TapirServer::TapirServer(const NodeInfo& info,
                          const core::ServerCostModel& cost)
-    : sim::Node(info.id, info.dc), partition_(info.partition), cost_(cost) {
+    : runtime::Endpoint(info.id, info.dc),
+      partition_(info.partition),
+      cost_(cost) {
   set_cores(cost.cores);
-  (void)sim;
   dispatcher_.On<TapirReadMsg>([this](NodeId from, const TapirReadMsg& msg) {
     HandleRead(from, msg);
   });
@@ -54,11 +55,11 @@ SimTime TapirServer::ServiceCost(const sim::Message& msg) const {
 
 void TapirServer::HandleRead(NodeId from, const TapirReadMsg& msg) {
   (void)from;
-  auto reply = sim::MakeMessage<TapirReadReplyMsg>();
+  auto reply = runtime::MakeMessage<TapirReadReplyMsg>();
   reply->tid = msg.tid;
   reply->partition = partition_;
   for (const Key& k : msg.keys) reply->reads[k] = store_.Get(k);
-  network()->Send(id(), msg.client, std::move(reply));
+  Send(msg.client, std::move(reply));
 }
 
 Vote TapirServer::Validate(const TapirPrepareMsg& msg) const {
@@ -79,7 +80,7 @@ Vote TapirServer::Validate(const TapirPrepareMsg& msg) const {
 
 void TapirServer::HandlePrepare(NodeId from, const TapirPrepareMsg& msg) {
   (void)from;
-  auto reply = sim::MakeMessage<TapirPrepareReplyMsg>();
+  auto reply = runtime::MakeMessage<TapirPrepareReplyMsg>();
   reply->tid = msg.tid;
   reply->partition = partition_;
   reply->replica = id();
@@ -101,17 +102,17 @@ void TapirServer::HandlePrepare(NodeId from, const TapirPrepareMsg& msg) {
       prepared_.emplace(msg.tid, std::move(txn));
     }
   }
-  network()->Send(id(), msg.client, std::move(reply));
+  Send(msg.client, std::move(reply));
 }
 
 void TapirServer::HandleFinalize(NodeId from, const TapirFinalizeMsg& msg) {
   // IR slow path: persist the consensus result. A replica that had voted
   // differently adopts the finalized result.
-  auto reply = sim::MakeMessage<TapirFinalizeReplyMsg>();
+  auto reply = runtime::MakeMessage<TapirFinalizeReplyMsg>();
   reply->tid = msg.tid;
   reply->partition = partition_;
   reply->replica = id();
-  network()->Send(id(), from, std::move(reply));
+  Send(from, std::move(reply));
 }
 
 void TapirServer::RemovePrepared(const TxnId& tid) {
@@ -133,7 +134,7 @@ void TapirServer::RemovePrepared(const TxnId& tid) {
 }
 
 void TapirServer::HandleDecide(NodeId from, const TapirDecideMsg& msg) {
-  auto ack = sim::MakeMessage<TapirDecideAckMsg>();
+  auto ack = runtime::MakeMessage<TapirDecideAckMsg>();
   ack->tid = msg.tid;
   ack->partition = partition_;
   ack->replica = id();
@@ -146,7 +147,7 @@ void TapirServer::HandleDecide(NodeId from, const TapirDecideMsg& msg) {
     }
     decided_[msg.tid] = msg.commit;
   }
-  network()->Send(id(), from, std::move(ack));
+  Send(from, std::move(ack));
 }
 
 }  // namespace carousel::tapir

@@ -7,9 +7,8 @@
 #include "common/types.h"
 #include "kv/pending_list.h"
 #include "kv/versioned_store.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/dispatcher.h"
+#include "runtime/endpoint.h"
 #include "tapir/messages.h"
 
 namespace carousel::tapir {
@@ -23,10 +22,9 @@ namespace carousel::tapir {
 ///  * conflicts with tentatively prepared transactions vote ABSTAIN
 ///    (the fast path then fails and the client falls back to IR's slow
 ///    path or aborts).
-class TapirServer : public sim::Node {
+class TapirServer : public runtime::Endpoint {
  public:
-  TapirServer(const NodeInfo& info, sim::Simulator* sim,
-              const core::ServerCostModel& cost);
+  TapirServer(const NodeInfo& info, const core::ServerCostModel& cost);
 
   void HandleMessage(NodeId from, const sim::MessagePtr& msg) override;
   SimTime ServiceCost(const sim::Message& msg) const override;
@@ -35,7 +33,7 @@ class TapirServer : public sim::Node {
   size_t prepared_count() const { return prepared_.size(); }
   uint64_t committed_count() const { return committed_count_; }
   /// Message routing table (coverage tests).
-  const sim::Dispatcher& dispatcher() const { return dispatcher_; }
+  const runtime::Dispatcher& dispatcher() const { return dispatcher_; }
 
  private:
   struct PreparedTxn {
@@ -53,7 +51,7 @@ class TapirServer : public sim::Node {
 
   PartitionId partition_;
   core::ServerCostModel cost_;
-  sim::Dispatcher dispatcher_;
+  runtime::Dispatcher dispatcher_;
   kv::VersionedStore store_;
   std::unordered_map<TxnId, PreparedTxn, TxnIdHash> prepared_;
   /// Per-key prepared reader/writer counts for O(keys) conflict checks.

@@ -1,0 +1,46 @@
+#ifndef CAROUSEL_WIRE_WIRE_H_
+#define CAROUSEL_WIRE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/threaded.h"
+#include "sim/message.h"
+
+namespace carousel::wire {
+
+/// Binary codec for every registered message type (Raft, Carousel, TAPIR,
+/// the Raft log payloads they replicate, and the batch envelope).
+///
+/// The encoding is little-endian and size-exact: for every registered
+/// type, Encode() produces exactly Message::SizeBytes() payload bytes, so
+/// the bytes the threaded TCP transport puts on the wire are the bytes the
+/// simulator's bandwidth model has been charging all along. Fixed headers
+/// write their natural fields and zero-pad to the size the accounting
+/// declares; variable sections mirror the SizeOf* helpers field for field.
+///
+/// Not serialized: WanSpan contexts and AppendResponseMsg::wan_spans
+/// (accounting metadata, zero wire bytes by design — span attribution is a
+/// simulator-side instrument and does not cross a real socket).
+
+/// Serializes `msg`'s payload, framing excluded. Returns an empty vector
+/// if the type is not registered (the transport then drops the message).
+std::vector<uint8_t> Encode(const sim::Message& msg);
+
+/// Reconstructs a message of `type` from payload bytes. Returns nullptr
+/// for unregistered types or malformed (truncated) input.
+sim::MessagePtr Decode(int type, const uint8_t* data, size_t len);
+
+/// True if `type` has encode/decode entries.
+bool Encodable(int type);
+
+/// Every registered type tag, ascending (property tests iterate this).
+std::vector<int> RegisteredTypes();
+
+/// The codec hooks the threaded runtime's TCP transport consumes.
+runtime::WireCodec Codec();
+
+}  // namespace carousel::wire
+
+#endif  // CAROUSEL_WIRE_WIRE_H_

@@ -8,10 +8,10 @@
 #include <string>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "common/histogram.h"
 #include "common/types.h"
-#include "tapir/cluster.h"
+#include "harness/tapir_cluster.h"
 #include "workload/workload.h"
 
 namespace carousel::workload {

@@ -1,4 +1,4 @@
-// Batching correctness (sim/batcher.h, BatchEnvelopeMsg, delivery
+// Batching correctness (runtime/batcher.h, BatchEnvelopeMsg, delivery
 // coalescing): flush-boundary behavior around crashes, deterministic
 // replay with coalescing on, batched-vs-unbatched state equivalence, and
 // the traffic-counter reset that the Figure 7 accounting depends on.
@@ -9,13 +9,13 @@
 #include <string>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "common/topology.h"
-#include "sim/arena.h"
-#include "sim/batcher.h"
+#include "runtime/arena.h"
+#include "runtime/batcher.h"
 #include "sim/message.h"
 #include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/endpoint.h"
 #include "sim/simulator.h"
 #include "test_util.h"
 
@@ -29,15 +29,15 @@ struct ItemMsg final : sim::Message {
 };
 
 sim::MessagePtr Item(int payload) {
-  auto msg = sim::MakeMessage<ItemMsg>();
+  auto msg = runtime::MakeMessage<ItemMsg>();
   msg->payload = payload;
   return msg;
 }
 
 /// Records every delivery, unwrapping batch envelopes like a real server.
-class UnwrappingNode : public sim::Node {
+class UnwrappingNode : public runtime::Endpoint {
  public:
-  using sim::Node::Node;
+  using runtime::Endpoint::Endpoint;
 
   void HandleMessage(NodeId from, const sim::MessagePtr& msg) override {
     if (const auto* envelope = sim::TryAs<sim::BatchEnvelopeMsg>(*msg)) {
@@ -53,7 +53,7 @@ class UnwrappingNode : public sim::Node {
 };
 
 struct BatcherFixture {
-  explicit BatcherFixture(sim::MessageBatcher::Options opts = {}) {
+  explicit BatcherFixture(runtime::MessageBatcher::Options opts = {}) {
     topo = Topology::Uniform(2, 1.0);
     topo.PlacePartitions(2, 1);  // Nodes 0 (DC0) and 1 (DC1).
     sim = std::make_unique<sim::Simulator>(5);
@@ -63,14 +63,14 @@ struct BatcherFixture {
     receiver = std::make_unique<UnwrappingNode>(1, 1);
     net->Register(sender.get());
     net->Register(receiver.get());
-    batcher = std::make_unique<sim::MessageBatcher>(sender.get(), opts);
+    batcher = std::make_unique<runtime::MessageBatcher>(sender.get(), opts);
   }
 
   Topology topo;
   std::unique_ptr<sim::Simulator> sim;
   std::unique_ptr<sim::Network> net;
   std::unique_ptr<UnwrappingNode> sender, receiver;
-  std::unique_ptr<sim::MessageBatcher> batcher;
+  std::unique_ptr<runtime::MessageBatcher> batcher;
 };
 
 // ---------------------------------------------------------------------------
@@ -97,7 +97,7 @@ TEST(BatcherTest, LoneMessageShipsBareAfterWindow) {
 }
 
 TEST(BatcherTest, MaxItemsFlushesEarly) {
-  sim::MessageBatcher::Options opts;
+  runtime::MessageBatcher::Options opts;
   opts.flush_interval = 1'000'000;  // Would stall without the size cap.
   opts.max_items = 3;
   BatcherFixture f(opts);

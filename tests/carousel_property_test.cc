@@ -4,7 +4,7 @@
 #include <memory>
 #include <string>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "test_util.h"
 
 namespace carousel::test {

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "test_util.h"
 
 namespace carousel::test {

@@ -1,11 +1,11 @@
-#include "sim/dispatcher.h"
+#include "runtime/dispatcher.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "carousel/messages.h"
 #include "tapir/server.h"
 #include "test_util.h"
@@ -21,7 +21,7 @@ using core::Cluster;
 // ---------------------------------------------------------------------------
 
 TEST(DispatcherTest, RoutesTypedMessageToItsHandler) {
-  sim::Dispatcher d;
+  runtime::Dispatcher d;
   NodeId got_from = kInvalidNode;
   TxnId got_tid;
   d.On<core::ReadPrepareMsg>(
@@ -38,8 +38,37 @@ TEST(DispatcherTest, RoutesTypedMessageToItsHandler) {
   EXPECT_EQ(d.unhandled_count(), 0u);
 }
 
+// Double registration is a wiring bug that must fail hard in every build
+// mode (an assert would compile out under NDEBUG and silently drop the
+// second handler).
+TEST(DispatcherDeathTest, DuplicateTypedRegistrationAborts) {
+  runtime::Dispatcher d;
+  d.On<core::ReadPrepareMsg>([](NodeId, const core::ReadPrepareMsg&) {});
+  EXPECT_DEATH(
+      d.On<core::ReadPrepareMsg>([](NodeId, const core::ReadPrepareMsg&) {}),
+      "duplicate handler registration for message type 200");
+}
+
+TEST(DispatcherDeathTest, DuplicateRawRegistrationAborts) {
+  runtime::Dispatcher d;
+  d.OnRaw(sim::kRaftRequestVote, [](NodeId, const sim::MessagePtr&) {});
+  EXPECT_DEATH(
+      d.OnRaw(sim::kRaftRequestVote, [](NodeId, const sim::MessagePtr&) {}),
+      "duplicate handler registration for message type 100");
+}
+
+// Raw and typed registration share one handler table: a raw registration
+// for a type that already has a typed handler must abort too.
+TEST(DispatcherDeathTest, RawOverTypedRegistrationAborts) {
+  runtime::Dispatcher d;
+  d.On<core::HeartbeatMsg>([](NodeId, const core::HeartbeatMsg&) {});
+  EXPECT_DEATH(
+      d.OnRaw(sim::kCarouselHeartbeat, [](NodeId, const sim::MessagePtr&) {}),
+      "duplicate handler registration for message type 209");
+}
+
 TEST(DispatcherTest, UnregisteredTypeIsRejectedLoudly) {
-  sim::Dispatcher d;
+  runtime::Dispatcher d;
   d.On<core::ReadPrepareMsg>(
       [](NodeId, const core::ReadPrepareMsg&) { FAIL() << "wrong handler"; });
 
@@ -52,7 +81,7 @@ TEST(DispatcherTest, UnregisteredTypeIsRejectedLoudly) {
 }
 
 TEST(DispatcherTest, FallbackReceivesUnknownTypes) {
-  sim::Dispatcher d;
+  runtime::Dispatcher d;
   int fallback_hits = 0;
   int fallback_type = -1;
   d.set_fallback([&](NodeId /*from*/, const sim::MessagePtr& msg) {
@@ -67,7 +96,7 @@ TEST(DispatcherTest, FallbackReceivesUnknownTypes) {
 }
 
 TEST(DispatcherTest, OnRawForwardsUntyped) {
-  sim::Dispatcher d;
+  runtime::Dispatcher d;
   int hits = 0;
   d.OnRaw(sim::kCarouselHeartbeat,
           [&](NodeId, const sim::MessagePtr&) { hits++; });
@@ -133,8 +162,7 @@ TEST(DispatcherCoverageTest, TapirServerHandlesEveryInboundType) {
   Topology topo = Topology::PaperEc2();
   topo.PlacePartitions(1, 3);
   NodeInfo info = topo.nodes().front();
-  sim::Simulator sim(1);
-  tapir::TapirServer server(info, &sim, core::ServerCostModel{});
+  tapir::TapirServer server(info, core::ServerCostModel{});
 
   const std::vector<int> inbound = {sim::kTapirRead, sim::kTapirPrepare,
                                     sim::kTapirFinalize, sim::kTapirDecide};

@@ -2,7 +2,7 @@
 
 #include <map>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "test_util.h"
 
 namespace carousel::test {

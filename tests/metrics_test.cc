@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "test_util.h"
@@ -54,7 +54,10 @@ TEST(MetricsRegistryTest, HistogramRecordsIntoSnapshot) {
   MetricsRegistry reg(true);
   Histo h = reg.GetHistogram("latency");
   for (int i = 1; i <= 100; ++i) h.Record(i * 100);
-  const Histogram& snap = reg.Snapshot(0).histograms.at("latency");
+  // Keep the snapshot alive: binding through .at() on the temporary would
+  // leave `snap` dangling after the full expression.
+  const MetricsSnapshot snapshot = reg.Snapshot(0);
+  const Histogram& snap = snapshot.histograms.at("latency");
   EXPECT_EQ(snap.count(), 100);
   EXPECT_EQ(snap.min(), 100);
   EXPECT_EQ(snap.max(), 10000);

@@ -7,7 +7,7 @@
 #include "common/topology.h"
 #include "raft/raft_node.h"
 #include "sim/network.h"
-#include "sim/node.h"
+#include "runtime/endpoint.h"
 #include "sim/simulator.h"
 
 namespace carousel::raft {
@@ -26,14 +26,15 @@ sim::MessagePtr Payload(int value) {
 }
 
 /// Hosts one RaftNode on the simulated network and records applies.
-class RaftHost : public sim::Node {
+class RaftHost : public carousel::runtime::Endpoint {
  public:
   RaftHost(NodeId id, DcId dc, std::vector<NodeId> members,
            sim::Simulator* sim, RaftOptions options)
-      : sim::Node(id, dc) {
-    raft = std::make_unique<RaftNode>(0, id, std::move(members), sim, options);
+      : carousel::runtime::Endpoint(id, dc) {
+    raft = std::make_unique<RaftNode>(0, id, std::move(members), sim, sim,
+                                      sim->rng()->Fork(), options);
     raft->set_send_fn([this](NodeId to, sim::MessagePtr msg) {
-      network()->Send(this->id(), to, std::move(msg));
+      Send(to, std::move(msg));
     });
     raft->set_apply_fn([this](uint64_t index, const sim::MessagePtr& payload) {
       if (payload && payload->type() == 99) {

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "carousel/recon.h"
 #include "test_util.h"
 

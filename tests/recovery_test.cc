@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "test_util.h"
 
 namespace carousel::test {

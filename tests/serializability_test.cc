@@ -5,8 +5,8 @@
 #include <string>
 #include <vector>
 
-#include "carousel/cluster.h"
-#include "tapir/cluster.h"
+#include "harness/cluster.h"
+#include "harness/tapir_cluster.h"
 #include "test_util.h"
 
 namespace carousel::test {

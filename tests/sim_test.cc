@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "common/topology.h"
+#include "runtime/endpoint.h"
 #include "sim/network.h"
-#include "sim/node.h"
 #include "sim/simulator.h"
 
 namespace carousel::sim {
@@ -18,14 +18,13 @@ struct PingMsg final : Message {
 };
 
 /// A node that records every delivery (time, from, payload).
-class RecorderNode : public Node {
+class RecorderNode : public runtime::Endpoint {
  public:
   RecorderNode(NodeId id, DcId dc, SimTime cost = 0)
-      : Node(id, dc), cost_(cost) {}
+      : runtime::Endpoint(id, dc), cost_(cost) {}
 
   void HandleMessage(NodeId from, const MessagePtr& msg) override {
-    deliveries.push_back({simulator()->now(), from,
-                          As<PingMsg>(*msg).payload});
+    deliveries.push_back({now(), from, As<PingMsg>(*msg).payload});
   }
   SimTime ServiceCost(const Message&) const override { return cost_; }
 

@@ -2,7 +2,7 @@
 
 #include <memory>
 
-#include "tapir/cluster.h"
+#include "harness/tapir_cluster.h"
 #include "test_util.h"
 
 namespace carousel::tapir {

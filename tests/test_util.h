@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "common/topology.h"
 
 namespace carousel::test {

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "carousel/cluster.h"
+#include "harness/cluster.h"
 #include "obs/wanrt.h"
 #include "test_util.h"
 

@@ -1,0 +1,331 @@
+// carousel_rt — real-time experiment driver on the threaded runtime.
+//
+// Boots a full Carousel deployment on the threaded backend of the runtime
+// seam (one event-loop thread per node; optionally localhost TCP with the
+// wire codec) and drives it closed-loop with a workload mix, printing
+// committed/aborted counts and wall-clock latency percentiles. Unlike
+// carousel_sim this measures the implementation on real threads and
+// sockets, so numbers vary run to run with the machine. Examples:
+//
+//   carousel_rt --transport=inproc --txns=5000
+//   carousel_rt --transport=tcp --workload=ycsbt --dcs=3 --partitions=5
+//               --clients-per-dc=4 --json=BENCH_rt_smoke.json
+//
+// Flags:
+//   --transport=inproc|tcp   (default inproc)
+//   --system=carousel-basic|carousel-fast  (default carousel-fast)
+//   --dcs=N            (default 3)    --partitions=N  (default 3)
+//   --replication=N    (default 3)    --clients-per-dc=N (default 2)
+//   --workload=retwis|ycsbt (default retwis)  --keys=N (default 100000)
+//   --zipf=F           (default 0.75)
+//   --txns=N           committed-transaction target (default 2000)
+//   --timeout=S        give up after S wall seconds (default 120)
+//   --seed=N           (default 1)
+//   --json=PATH        also write a machine-readable summary
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "carousel/client.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/topology.h"
+#include "harness/rt_cluster.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace carousel;
+
+struct Args {
+  std::string transport = "inproc";
+  std::string system = "carousel-fast";
+  int dcs = 3;
+  int partitions = 3;
+  int replication = 3;
+  int clients_per_dc = 2;
+  std::string workload = "retwis";
+  uint64_t keys = 100'000;
+  double zipf = 0.75;
+  int txns = 2000;
+  double timeout_s = 120;
+  uint64_t seed = 1;
+  std::string json_path;
+};
+
+bool ParseArg(const std::string& arg, Args* out) {
+  auto value_of = [&](const char* name) -> const char* {
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+    return nullptr;
+  };
+  if (const char* v = value_of("--transport")) {
+    out->transport = v;
+  } else if (const char* v = value_of("--system")) {
+    out->system = v;
+  } else if (const char* v = value_of("--dcs")) {
+    out->dcs = std::atoi(v);
+  } else if (const char* v = value_of("--partitions")) {
+    out->partitions = std::atoi(v);
+  } else if (const char* v = value_of("--replication")) {
+    out->replication = std::atoi(v);
+  } else if (const char* v = value_of("--clients-per-dc")) {
+    out->clients_per_dc = std::atoi(v);
+  } else if (const char* v = value_of("--workload")) {
+    out->workload = v;
+  } else if (const char* v = value_of("--keys")) {
+    out->keys = std::strtoull(v, nullptr, 10);
+  } else if (const char* v = value_of("--zipf")) {
+    out->zipf = std::atof(v);
+  } else if (const char* v = value_of("--txns")) {
+    out->txns = std::atoi(v);
+  } else if (const char* v = value_of("--timeout")) {
+    out->timeout_s = std::atof(v);
+  } else if (const char* v = value_of("--seed")) {
+    out->seed = std::strtoull(v, nullptr, 10);
+  } else if (const char* v = value_of("--json")) {
+    out->json_path = v;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Counters shared across all client loop threads.
+struct Scoreboard {
+  std::atomic<int> committed{0};
+  std::atomic<int> aborted{0};
+  std::atomic<int> timed_out{0};
+  std::atomic<int> done_clients{0};
+};
+
+// A closed-loop driver pinned to one client's event loop: each completion
+// callback starts the next transaction, so everything after the kickoff
+// Post runs on the client's own thread (the latency histogram needs no
+// lock until the final merge, which happens after Stop()).
+struct Driver : std::enable_shared_from_this<Driver> {
+  Driver(harness::RtCluster* cluster, int index,
+         std::shared_ptr<Scoreboard> board, workload::Generator* generator,
+         int target, uint64_t seed)
+      : cluster(cluster),
+        index(index),
+        board(std::move(board)),
+        generator(generator),
+        target(target),
+        rng(seed) {}
+
+  harness::RtCluster* cluster;
+  int index;
+  std::shared_ptr<Scoreboard> board;
+  workload::Generator* generator;
+  int target;
+  Rng rng;
+  Histogram latency;
+  uint64_t seq = 0;
+
+  void Next() {
+    if (board->committed.load() >= target) {
+      board->done_clients.fetch_add(1);
+      return;
+    }
+    const workload::TxnSpec spec = generator->Next(&rng);
+    core::CarouselClient* client = cluster->client(index);
+    const TxnId tid = client->Begin();
+    const auto started = std::chrono::steady_clock::now();
+    auto self = shared_from_this();
+    auto finish = [self, started](Status status) {
+      const auto micros =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (status.ok()) {
+        self->latency.Record(micros);
+        self->board->committed.fetch_add(1);
+      } else if (status.code() == StatusCode::kTimedOut) {
+        self->board->timed_out.fetch_add(1);
+      } else {
+        self->board->aborted.fetch_add(1);
+      }
+      self->Next();
+    };
+    client->ReadAndPrepare(
+        tid, spec.reads, spec.writes,
+        [self, client, tid, writes = spec.writes, finish](
+            Status status, const core::CarouselClient::ReadResults&) {
+          if (writes.empty() || !status.ok()) {
+            finish(status);
+            return;
+          }
+          for (const Key& key : writes) {
+            client->Write(tid, key,
+                          "v" + std::to_string(self->index) + "-" +
+                              std::to_string(self->seq++));
+          }
+          client->Commit(tid, finish);
+        });
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(argv[i], &args)) {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n", argv[i]);
+      return 2;
+    }
+  }
+  const bool use_tcp = args.transport == "tcp";
+  if (!use_tcp && args.transport != "inproc") {
+    std::fprintf(stderr, "unknown --transport '%s'\n", args.transport.c_str());
+    return 2;
+  }
+
+  // Protocol timers are real micros on the threaded backend's monotonic
+  // clock; shrink the simulator-tuned defaults so failover and retries
+  // operate on interactive timescales.
+  core::CarouselOptions options;
+  options.fast_path = args.system == "carousel-fast";
+  options.local_reads = options.fast_path;
+  if (args.system != "carousel-fast" && args.system != "carousel-basic") {
+    std::fprintf(stderr, "unknown --system '%s'\n", args.system.c_str());
+    return 2;
+  }
+  options.raft.election_timeout_min = 300'000;
+  options.raft.election_timeout_max = 600'000;
+  options.raft.heartbeat_interval = 60'000;
+  options.heartbeat_interval = 200'000;
+  options.client_retry_timeout = 1'500'000;
+  options.coordinator_retry_interval = 1'500'000;
+  options.pending_gc_interval = 5'000'000;
+
+  Topology topo = Topology::Uniform(args.dcs, /*inter_dc_rtt_ms=*/1);
+  topo.PlacePartitions(args.partitions, args.replication);
+  for (DcId dc = 0; dc < args.dcs; ++dc) {
+    for (int i = 0; i < args.clients_per_dc; ++i) topo.AddClient(dc);
+  }
+
+  harness::RtClusterOptions rt_options;
+  rt_options.use_tcp = use_tcp;
+  rt_options.seed = args.seed;
+  harness::RtCluster cluster(std::move(topo), options, rt_options);
+
+  std::printf("transport=%s system=%s dcs=%d partitions=%dx%d clients=%d "
+              "workload=%s txns=%d seed=%llu\n",
+              args.transport.c_str(), args.system.c_str(), args.dcs,
+              args.partitions, args.replication,
+              args.dcs * args.clients_per_dc, args.workload.c_str(),
+              args.txns, static_cast<unsigned long long>(args.seed));
+
+  if (!cluster.Start()) {
+    std::fprintf(stderr, "cluster failed to start (transport=%s)\n",
+                 args.transport.c_str());
+    return 1;
+  }
+
+  workload::WorkloadOptions wopts;
+  wopts.num_keys = args.keys;
+  wopts.zipf_theta = args.zipf;
+  const int num_clients = static_cast<int>(cluster.num_clients());
+  auto board = std::make_shared<Scoreboard>();
+  // One generator per driver: each runs on its own loop thread.
+  std::vector<std::unique_ptr<workload::Generator>> generators;
+  std::vector<std::shared_ptr<Driver>> drivers;
+  Rng seeder(args.seed);
+  for (int i = 0; i < num_clients; ++i) {
+    generators.push_back(args.workload == "ycsbt"
+                             ? workload::MakeYcsbTGenerator(wopts)
+                             : workload::MakeRetwisGenerator(wopts));
+    drivers.push_back(std::make_shared<Driver>(&cluster, i, board,
+                                               generators.back().get(),
+                                               args.txns, seeder.NextU64()));
+  }
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < num_clients; ++i) {
+    auto driver = drivers[i];
+    cluster.RunOnClient(i, [driver]() { driver->Next(); });
+  }
+
+  const auto deadline =
+      bench_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(args.timeout_s));
+  while (board->done_clients.load() < num_clients &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  const bool finished = board->done_clients.load() == num_clients;
+  cluster.Stop();
+
+  Histogram latency;
+  for (auto& driver : drivers) latency.Merge(driver->latency);
+
+  const int committed = board->committed.load();
+  const int aborted = board->aborted.load();
+  const int timed_out = board->timed_out.load();
+  const double tps = wall_s > 0 ? committed / wall_s : 0;
+  if (!finished) {
+    std::fprintf(stderr,
+                 "timed out after %.0fs with %d/%d committed transactions\n",
+                 wall_s, committed, args.txns);
+  }
+  std::printf("\ncommitted %d (%.0f tps), aborted %d, timed out %d, "
+              "dropped messages %llu, wall %.2fs\n",
+              committed, tps, aborted, timed_out,
+              static_cast<unsigned long long>(cluster.dropped_messages()),
+              wall_s);
+  std::printf("latency: %s\n", latency.Summary().c_str());
+  std::printf("  p50=%lldus p90=%lldus p95=%lldus p99=%lldus\n",
+              static_cast<long long>(latency.Quantile(0.50)),
+              static_cast<long long>(latency.Quantile(0.90)),
+              static_cast<long long>(latency.Quantile(0.95)),
+              static_cast<long long>(latency.Quantile(0.99)));
+
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"rt_smoke\",\n"
+        "  \"transport\": \"%s\",\n"
+        "  \"system\": \"%s\",\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"committed\": %d,\n"
+        "  \"aborted\": %d,\n"
+        "  \"timed_out\": %d,\n"
+        "  \"dropped_messages\": %llu,\n"
+        "  \"wall_seconds\": %.3f,\n"
+        "  \"tps\": %.1f,\n"
+        "  \"p50_us\": %lld,\n"
+        "  \"p90_us\": %lld,\n"
+        "  \"p95_us\": %lld,\n"
+        "  \"p99_us\": %lld\n"
+        "}\n",
+        args.transport.c_str(), args.system.c_str(), args.workload.c_str(),
+        committed, aborted, timed_out,
+        static_cast<unsigned long long>(cluster.dropped_messages()), wall_s,
+        tps, static_cast<long long>(latency.Quantile(0.50)),
+        static_cast<long long>(latency.Quantile(0.90)),
+        static_cast<long long>(latency.Quantile(0.95)),
+        static_cast<long long>(latency.Quantile(0.99)));
+    std::fclose(f);
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return finished ? 0 : 1;
+}
