@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Six legs:
+# CI entry point. Eight legs:
 #   0. Runtime-seam check: the protocol stack (src/carousel, src/raft,
 #      src/tapir) must compile against the runtime interfaces only — no
 #      simulator includes besides the sim/message.h DTO header.
@@ -21,12 +21,21 @@
 #      Informational only — it never fails the run. Skipped when gcov is
 #      not on PATH or SKIP_COVERAGE=1.
 #   6. TSan leg: ThreadSanitizer build in its own tree runs the
-#      threaded-runtime suite (`-L threaded`) — the real-thread backend of
-#      the runtime seam under the race detector. Skipped when
-#      SKIP_TSAN=1 or the toolchain cannot link -fsanitize=thread.
+#      threaded-runtime suite (`-L threaded`, which includes the rt_chaos
+#      fault-injection tests) — the real-thread backend of the runtime
+#      seam under the race detector. Skipped when SKIP_TSAN=1 or the
+#      toolchain cannot link -fsanitize=thread.
+#   7. Real-time chaos leg: a bounded seed sweep of carousel_rt_chaos
+#      (kill + WAL restart, partitions, link faults on real threads),
+#      certified by the serializability checker. A failing seed writes its
+#      report (and keeps its WAL dir) for the artifact upload; replay with
+#        ./build/tools/carousel_rt_chaos --seed=<N>
 #
 # Usage: scripts/ci.sh [jobs]       (defaults to nproc)
 #   CHAOS_SEEDS=N                   sweep size for leg 2 (default 200)
+#   RT_CHAOS_SEEDS=N                sweep size for leg 7 (default 12; each
+#                                   seed holds a ~3.5 s wall-clock fault
+#                                   window, so the leg costs ~4 s a seed)
 #   BENCH_JSON_DIR=PATH             output dir for leg 4 JSONs
 #                                   (default build/bench-json)
 #   SKIP_BENCH_GATE=1               run leg 4 benches but skip the gate
@@ -41,6 +50,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-200}"
+RT_CHAOS_SEEDS="${RT_CHAOS_SEEDS:-12}"
 BENCH_JSON_DIR="${BENCH_JSON_DIR:-build/bench-json}"
 
 echo "== leg 0: runtime-seam check =="
@@ -112,9 +122,16 @@ elif ! echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null 2>/dev/
 else
   cmake -B build-tsan -S . -DCAROUSEL_WERROR=ON -DCAROUSEL_TSAN=ON \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-tsan -j "$JOBS" --target runtime_threaded_test wire_test
+  cmake --build build-tsan -j "$JOBS" \
+        --target runtime_threaded_test wire_test rt_chaos_test storage_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L threaded
 fi
+
+echo
+echo "== leg 7: real-time chaos (${RT_CHAOS_SEEDS}-seed sweep) =="
+mkdir -p build/rt-chaos-reports
+./build/tools/carousel_rt_chaos --seeds="$RT_CHAOS_SEEDS" \
+    --storage-root=build/rt-chaos-storage --report-dir=build/rt-chaos-reports
 
 echo
 echo "CI: all legs passed"

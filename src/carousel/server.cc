@@ -3,6 +3,7 @@
 #include <string>
 
 #include "raft/messages.h"
+#include "runtime/storage.h"
 
 namespace carousel::core {
 
@@ -41,11 +42,13 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
       directory_(directory),
       options_(options),
       group_members_(directory->Replicas(info.partition)),
+      storage_(env.storage),
       batcher_(this, options.batching.ToBatcherOptions()) {
   set_cores(options.cost.cores);
   raft_ = std::make_unique<raft::RaftNode>(partition_, id(), group_members_,
                                            env.clock, env.timers,
-                                           std::move(env.rng), options.raft);
+                                           std::move(env.rng), options.raft,
+                                           storage_);
 
   // Shared context: the roles' only window onto this host.
   ctx_.self = id();
@@ -142,6 +145,31 @@ CarouselServer::CarouselServer(const NodeInfo& info, const Directory* directory,
 CarouselServer::~CarouselServer() = default;
 
 void CarouselServer::Start() {
+  if (storage_ != nullptr) {
+    // Restore any prepare pins a previous life journaled — §4.3.3's
+    // supermajority recovery counts them, so they must outlive a SIGKILL
+    // just like votedFor. Seed BEFORE wiring the observers (restores must
+    // not re-journal), and wire the observers BEFORE raft_->Start (log
+    // replay below may legitimately add/remove pins, and those mutations
+    // must hit the journal; duplicate adds are idempotent upserts).
+    runtime::DurableNodeState durable;
+    if (storage_->Load(&durable)) {
+      for (const auto& [key, blob] : durable.pending) {
+        kv::PendingTxn txn;
+        if (kv::DecodePendingTxn(blob.data(), blob.size(), &txn)) {
+          (void)pending_.Add(std::move(txn));
+        }
+      }
+    }
+    pending_.SetObservers(
+        [this](const kv::PendingTxn& txn) {
+          storage_->PersistPendingAdd(txn.tid.ToString(),
+                                      kv::EncodePendingTxn(txn));
+        },
+        [this](const TxnId& tid) {
+          storage_->PersistPendingErase(tid.ToString());
+        });
+  }
   const bool bootstrap_leader =
       directory_->topology().node(id()).replica_index == 0;
   raft_->Start(bootstrap_leader);

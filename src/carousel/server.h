@@ -112,6 +112,8 @@ class CarouselServer : public runtime::Endpoint {
   CarouselOptions options_;
   std::vector<NodeId> group_members_;
   std::unique_ptr<raft::RaftNode> raft_;
+  /// Durable state (threaded backend); null under the simulator.
+  runtime::Storage* storage_ = nullptr;
 
   // ---- Substrate shared by the roles ----
   kv::VersionedStore store_;

@@ -1,0 +1,78 @@
+#ifndef CAROUSEL_CHECK_CHAOS_RT_H_
+#define CAROUSEL_CHECK_CHAOS_RT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "check/history.h"
+#include "check/serializability.h"
+
+namespace carousel::check {
+
+/// One real-time chaos run: from a single seed, sample a deployment, a
+/// workload mix and a timed fault schedule; run the full stack on the
+/// threaded runtime (real threads, optionally real sockets) under them;
+/// certify the resulting history with the same serializability checker
+/// the simulator harness uses. Shared by the carousel_rt_chaos CLI and
+/// the rt_chaos tests so a failing seed replays under the tool.
+///
+/// Unlike sim chaos, a seed here fixes only the *schedule* (deployment,
+/// workload plan, fault timeline) — thread interleavings stay real, so
+/// reruns of one seed explore different executions of the same scenario.
+struct RtChaosConfig {
+  uint64_t seed = 1;
+  /// Target number of transaction invocations. The workload runs closed
+  /// loop until it reaches this target AND the fault window has closed.
+  int txns = 150;
+  /// Inter-node messages over localhost TCP + wire codec instead of
+  /// in-process handoff.
+  bool use_tcp = false;
+  /// Root for per-seed durable state (WALs live in <root>/seed-<N>/).
+  /// The seed's directory is wiped before the run; after a clean run it
+  /// is wiped again, after a failing run it is kept as an artifact.
+  std::string storage_root = "/tmp/carousel-rt-chaos";
+  /// Keep the storage directory even when the run passes.
+  bool keep_storage = false;
+};
+
+struct RtChaosResult {
+  uint64_t seed = 0;
+  /// One-line summary of the sampled deployment and workload.
+  std::string setup;
+  /// The sampled fault timeline, one event per line.
+  std::string nemesis_schedule;
+  /// The transport failed to start (e.g. sockets unavailable in a
+  /// sandbox). Not a verdict — callers should skip, not fail.
+  bool start_failed = false;
+  size_t txns_invoked = 0;
+  /// Proof-of-fire counters: a schedule that never actually killed or
+  /// partitioned anything is not testing what it claims to.
+  size_t kills_fired = 0;
+  size_t restarts_fired = 0;
+  size_t partitions_fired = 0;
+  size_t link_faults_fired = 0;
+  uint64_t fault_dropped_messages = 0;
+  /// Raft log entries / prepare pins read back from WALs by restarts.
+  size_t recovered_log_entries = 0;
+  size_t recovered_pending = 0;
+  CheckResult check;
+  /// Kept for reporting: the full history and ground-truth write order.
+  HistoryRecorder history;
+  WriterChains chains;
+  /// Where this seed's WALs live(d), for failure artifacts.
+  std::string storage_dir;
+
+  bool ok() const { return !start_failed && check.ok(); }
+  /// Compact one-line summary for sweep output.
+  std::string Summary() const;
+  /// Full failure dump: setup, fault timeline, every violation with the
+  /// offending transactions' records. Self-contained bug report.
+  std::string Report() const;
+};
+
+/// Runs one seed end to end against the threaded backend.
+RtChaosResult RunRtChaosSeed(const RtChaosConfig& config);
+
+}  // namespace carousel::check
+
+#endif  // CAROUSEL_CHECK_CHAOS_RT_H_

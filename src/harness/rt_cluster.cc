@@ -13,17 +13,18 @@ RtCluster::RtCluster(Topology topology, core::CarouselOptions options,
                      RtClusterOptions rt_options)
     : topology_(std::move(topology)),
       options_(options),
-      metrics_(/*enabled=*/false) {
+      rt_options_(std::move(rt_options)),
+      metrics_(/*enabled=*/false),
+      rng_(rt_options_.seed) {
   directory_ = std::make_unique<core::Directory>(&topology_);
 
   runtime::ThreadedRuntimeOptions rt_opts;
-  rt_opts.max_inbound_queue = rt_options.max_inbound_queue;
-  rt_opts.use_tcp = rt_options.use_tcp;
-  if (rt_options.use_tcp) rt_opts.codec = wire::Codec();
+  rt_opts.max_inbound_queue = rt_options_.max_inbound_queue;
+  rt_opts.use_tcp = rt_options_.use_tcp;
+  if (rt_options_.use_tcp) rt_opts.codec = wire::Codec();
   rt_ = std::make_unique<runtime::ThreadedRuntime>(topology_.nodes().size(),
                                                    std::move(rt_opts));
 
-  carousel::Rng rng(rt_options.seed);
   ClientId next_client_id = 0;
   for (const NodeInfo& info : topology_.nodes()) {
     if (info.is_client) {
@@ -33,9 +34,18 @@ RtCluster::RtCluster(Topology topology, core::CarouselOptions options,
       client_ptrs_.push_back(client.get());
       clients_.push_back(std::move(client));
     } else {
+      runtime::WalStorage* storage = nullptr;
+      if (!rt_options_.storage_dir.empty()) {
+        runtime::WalStorageOptions wal_opts;
+        wal_opts.fsync = rt_options_.wal_fsync;
+        auto owned = std::make_unique<runtime::WalStorage>(
+            StorageDirFor(info.id), wire::Codec(), wal_opts);
+        storage = owned.get();
+        storage_.emplace(info.id, std::move(owned));
+      }
       auto server = std::make_unique<core::CarouselServer>(
-          info, directory_.get(), rt_->MakeEnv(info.id, rng.Fork()), options_,
-          /*traces=*/nullptr, &metrics_);
+          info, directory_.get(), rt_->MakeEnv(info.id, rng_.Fork(), storage),
+          options_, /*traces=*/nullptr, &metrics_);
       rt_->Register(server.get());
       servers_.emplace(info.id, std::move(server));
     }
@@ -66,6 +76,7 @@ void RtCluster::RunOnServer(NodeId id, runtime::EventFn fn) {
 }
 
 void RtCluster::AttachHistory(check::HistoryRecorder* history) {
+  history_ = history;
   for (core::CarouselClient* client : client_ptrs_) {
     client->set_history(history);
   }
@@ -75,21 +86,94 @@ void RtCluster::AttachHistory(check::HistoryRecorder* history) {
   }
 }
 
+std::string RtCluster::StorageDirFor(NodeId id) const {
+  return rt_options_.storage_dir + "/node-" + std::to_string(id);
+}
+
+bool RtCluster::KillServer(NodeId id) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (rt_options_.storage_dir.empty()) return false;
+  auto it = servers_.find(id);
+  if (it == servers_.end() || dead_.count(id) > 0) return false;
+  // Joining the loop thread is the kill: whatever the node was doing at
+  // this instant simply never finishes, and only what reached the WAL
+  // before this moment survives. TCP sockets stay open — frames arriving
+  // for the dead node drain into the drop counter, and the listener keeps
+  // its port for the restart.
+  rt_->StopNode(id);
+  servers_.erase(it);      // Volatile state dies with the object.
+  storage_.erase(id);      // Closes the WAL fd; files stay for recovery.
+  dead_.insert(id);
+  return true;
+}
+
+bool RtCluster::RestartServer(NodeId id) {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (dead_.count(id) == 0) return false;
+  runtime::WalStorageOptions wal_opts;
+  wal_opts.fsync = rt_options_.wal_fsync;
+  auto storage = std::make_unique<runtime::WalStorage>(
+      StorageDirFor(id), wire::Codec(), wal_opts);
+  recovered_log_entries_ += storage->state().log.size();
+  recovered_pending_ += storage->state().pending.size();
+
+  const NodeInfo& info = topology_.node(id);
+  auto server = std::make_unique<core::CarouselServer>(
+      info, directory_.get(), rt_->MakeEnv(id, rng_.Fork(), storage.get()),
+      options_, /*traces=*/nullptr, &metrics_);
+  if (history_ != nullptr) {
+    server->set_history(history_);
+    server->mutable_store().EnableWriterLog();
+  }
+  core::CarouselServer* s = server.get();
+  rt_->RestartNode(s);  // Relaunches the loop bound to the new object.
+  rt_->loop(id)->Post([s]() { s->Start(); });  // Recovers, then serves.
+  storage_[id] = std::move(storage);
+  servers_[id] = std::move(server);
+  dead_.erase(id);
+  restarts_++;
+  return true;
+}
+
+bool RtCluster::server_alive(NodeId id) const {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  return servers_.count(id) > 0 && dead_.count(id) == 0;
+}
+
+size_t RtCluster::restarts() const {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  return restarts_;
+}
+
+size_t RtCluster::recovered_log_entries() const {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  return recovered_log_entries_;
+}
+
+size_t RtCluster::recovered_pending() const {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  return recovered_pending_;
+}
+
 bool RtCluster::WaitUntilServing(int timeout_ms) {
   // Probe serving() on each server's own loop thread; the probe state is
   // shared_ptr-owned so a timed-out waiter can leave while late probes
   // still complete.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  const size_t n = servers_.size();
   while (std::chrono::steady_clock::now() < deadline) {
+    std::vector<std::pair<NodeId, core::CarouselServer*>> live;
+    {
+      std::lock_guard<std::mutex> lk(lifecycle_mu_);
+      for (auto& [id, server] : servers_) live.emplace_back(id, server.get());
+    }
+    const size_t n = live.size();
     struct Probe {
       std::atomic<size_t> done{0};
       std::atomic<size_t> serving{0};
     };
     auto probe = std::make_shared<Probe>();
-    for (auto& [id, server] : servers_) {
-      core::CarouselServer* s = server.get();
+    for (auto& [id, s] : live) {
       rt_->loop(id)->Post([probe, s]() {
         if (s->serving()) probe->serving.fetch_add(1);
         probe->done.fetch_add(1);

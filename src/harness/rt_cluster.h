@@ -2,6 +2,9 @@
 #define CAROUSEL_HARNESS_RT_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "carousel/client.h"
@@ -12,6 +15,7 @@
 #include "common/topology.h"
 #include "obs/metrics.h"
 #include "runtime/event_fn.h"
+#include "runtime/storage.h"
 #include "runtime/threaded.h"
 
 namespace carousel::harness {
@@ -26,6 +30,15 @@ struct RtClusterOptions {
   /// Seeds the per-node RNG forks (jittered timers etc.; the threaded
   /// backend is not deterministic regardless).
   uint64_t seed = 1;
+  /// Directory for per-server durable state (WAL + snapshot under
+  /// <storage_dir>/node-<id>). Empty = no durable state, and
+  /// KillServer/RestartServer are unavailable: a restarted node without a
+  /// WAL would re-bootstrap and fork history.
+  std::string storage_dir;
+  /// fsync WAL appends. Off by default for the chaos harness: its kill
+  /// model stops threads inside one process, so the page cache survives
+  /// every "crash" and fsync only adds latency.
+  bool wal_fsync = false;
 };
 
 /// A complete Carousel deployment on the threaded runtime: one event-loop
@@ -64,13 +77,33 @@ class RtCluster {
   size_t num_clients() const { return client_ptrs_.size(); }
   core::CarouselClient* client(int index) { return client_ptrs_.at(index); }
 
-  /// The server actor for node `id` (nullptr for client nodes). While the
-  /// cluster runs, touch its state only through RunOnServer; after Stop()
-  /// every loop thread has joined and direct reads are safe.
+  /// The server actor for node `id` (nullptr for client nodes and killed
+  /// servers). While the cluster runs, touch its state only through
+  /// RunOnServer; after Stop() every loop thread has joined and direct
+  /// reads are safe.
   core::CarouselServer* server(NodeId id) {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
     auto it = servers_.find(id);
     return it == servers_.end() ? nullptr : it->second.get();
   }
+
+  /// ---- Node lifecycle (requires RtClusterOptions::storage_dir) ----
+  /// SIGKILL equivalent: joins the node's loop thread mid-flight and
+  /// destroys the server object — volatile state (queues, timers, roles'
+  /// in-memory maps) is gone; only the WAL survives. Thread-safe; returns
+  /// false if `id` is not a live server or no storage is configured.
+  bool KillServer(NodeId id);
+  /// Builds a fresh server over the recovered WAL and restarts its loop.
+  /// Returns false if `id` is not currently dead.
+  bool RestartServer(NodeId id);
+  bool server_alive(NodeId id) const;
+
+  /// Lifetime counters for fault-schedule "did it actually fire" checks.
+  size_t restarts() const;
+  /// Raft log entries / pending prepare pins recovered from WALs across
+  /// all restarts.
+  size_t recovered_log_entries() const;
+  size_t recovered_pending() const;
 
   /// Runs `fn` on client `index`'s loop thread (fire and forget).
   void RunOnClient(int index, runtime::EventFn fn);
@@ -85,15 +118,32 @@ class RtCluster {
   /// Messages dropped across the deployment (full queues, dead sockets).
   uint64_t dropped_messages() const { return rt_->dropped_messages(); }
 
- private:
+  /// Blocks until every live server reports serving (leader known for its
+  /// partition) or the timeout passes. Called by Start; also useful after
+  /// a fault schedule heals, before extracting state.
   bool WaitUntilServing(int timeout_ms);
+
+ private:
+  std::string StorageDirFor(NodeId id) const;
 
   Topology topology_;
   core::CarouselOptions options_;
+  RtClusterOptions rt_options_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<core::Directory> directory_;
   std::unique_ptr<runtime::ThreadedRuntime> rt_;
+  carousel::Rng rng_;
+  check::HistoryRecorder* history_ = nullptr;
+  /// Guards servers_/storage_/dead_ and the counters: KillServer and
+  /// RestartServer run on the nemesis driver thread while the owner reads
+  /// accessors.
+  mutable std::mutex lifecycle_mu_;
   std::unordered_map<NodeId, std::unique_ptr<core::CarouselServer>> servers_;
+  std::unordered_map<NodeId, std::unique_ptr<runtime::WalStorage>> storage_;
+  std::set<NodeId> dead_;
+  size_t restarts_ = 0;
+  size_t recovered_log_entries_ = 0;
+  size_t recovered_pending_ = 0;
   std::vector<std::unique_ptr<core::CarouselClient>> clients_;
   std::vector<core::CarouselClient*> client_ptrs_;
   bool started_ = false;

@@ -1,6 +1,8 @@
 #ifndef CAROUSEL_KV_PENDING_LIST_H_
 #define CAROUSEL_KV_PENDING_LIST_H_
 
+#include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,13 +66,32 @@ class PendingList {
 
   size_t size() const { return txns_.size(); }
 
+  /// Mutation observers, fired after a successful Add and after an actual
+  /// removal. The durable backend journals prepare pins through these so
+  /// a restarted replica still answers §4.3.3's supermajority count; the
+  /// simulator (whose crashes preserve memory) leaves them unset.
+  using AddObserver = std::function<void(const PendingTxn&)>;
+  using RemoveObserver = std::function<void(const TxnId&)>;
+  void SetObservers(AddObserver on_add, RemoveObserver on_remove) {
+    on_add_ = std::move(on_add);
+    on_remove_ = std::move(on_remove);
+  }
+
  private:
   std::unordered_map<TxnId, PendingTxn, TxnIdHash> txns_;
   /// Key -> number of pending transactions reading / writing it, so the
   /// conflict check is O(|keys|) instead of O(|pending| * |keys|).
   std::unordered_map<Key, int> readers_;
   std::unordered_map<Key, int> writers_;
+  AddObserver on_add_;
+  RemoveObserver on_remove_;
 };
+
+/// Flat little-endian serialization of one pending entry, for the durable
+/// prepare-pin journal (runtime storage sees it as an opaque blob).
+std::vector<uint8_t> EncodePendingTxn(const PendingTxn& txn);
+/// Returns false on malformed input (the blob is then ignored).
+bool DecodePendingTxn(const uint8_t* data, size_t len, PendingTxn* out);
 
 }  // namespace carousel::kv
 

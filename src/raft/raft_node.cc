@@ -4,37 +4,63 @@
 #include <memory>
 
 #include "runtime/arena.h"
+#include "runtime/storage.h"
 
 namespace carousel::raft {
 
 size_t PendingTxnWireSize(const kv::PendingTxn& txn) {
   size_t sz = 24;  // tid + term
-  for (const auto& k : txn.read_keys) sz += k.size() + 4;
+  // The wire codec writes one version word per read *key* (not per
+  // read_versions entry — the map dedupes duplicate keys), so charge
+  // 4 (length) + key + 8 (version) per read key to match it.
+  for (const auto& k : txn.read_keys) sz += k.size() + 12;
   for (const auto& k : txn.write_keys) sz += k.size() + 4;
-  sz += txn.read_versions.size() * 8;
   return sz;
 }
 
 RaftNode::RaftNode(PartitionId group, NodeId self, std::vector<NodeId> members,
                    runtime::Clock* clock, runtime::TimerQueue* timers,
-                   carousel::Rng rng, RaftOptions options)
+                   carousel::Rng rng, RaftOptions options,
+                   runtime::Storage* storage)
     : group_(group),
       self_(self),
       members_(std::move(members)),
       clock_(clock),
       timers_(timers),
       options_(options),
-      rng_(std::move(rng)) {
+      rng_(std::move(rng)),
+      storage_(storage) {
   next_index_.assign(members_.size(), 1);
   match_index_.assign(members_.size(), 0);
 }
 
 void RaftNode::Start(bool bootstrap_as_leader) {
   running_ = true;
+  runtime::DurableNodeState durable;
+  if (storage_ != nullptr && storage_->Load(&durable) && !durable.empty()) {
+    // Restart of a node that lived before: restore the persistent state
+    // and replay the committed prefix through apply_fn so the hosting
+    // server rebuilds its decision/prepare state, then rejoin as a
+    // follower. bootstrap_as_leader is deliberately ignored — a restarted
+    // replica 0 grabbing term-1 leadership again would fork history.
+    recovered_ = true;
+    term_ = durable.term;
+    voted_for_ = durable.voted_for;
+    log_.clear();
+    log_.reserve(durable.log.size());
+    for (auto& entry : durable.log) {
+      log_.push_back(LogEntry{entry.term, entry.payload});
+    }
+    commit_index_ = std::min<uint64_t>(durable.commit_index, log_.size());
+    ApplyCommitted();
+    BecomeFollower(term_);
+    return;
+  }
   // Consistent bootstrap: the whole group starts in term 1 with replica 0
   // as leader, so no startup election (and no term skew visible to CPC's
   // up-to-date check) occurs.
   term_ = 1;
+  PersistHardState();
   if (bootstrap_as_leader) {
     BecomeLeader();
   } else {
@@ -69,6 +95,7 @@ Result<uint64_t> RaftNode::Propose(sim::MessagePtr payload) {
   }
   log_.push_back(LogEntry{term_, std::move(payload)});
   const uint64_t index = log_.size();
+  PersistEntry(index);
   proposals_++;
   match_index_[/*self slot*/ SelfSlot()] = index;
   // Micro-batching: an idle leader replicates immediately; proposals that
@@ -126,6 +153,7 @@ void RaftNode::BecomeFollower(uint64_t term) {
   if (term > term_) {
     term_ = term;
     voted_for_ = kInvalidNode;
+    PersistHardState();
   }
   role_ = RaftRole::kFollower;
   heartbeat_timer_gen_++;  // Stop heartbeats if we were leader.
@@ -137,6 +165,7 @@ void RaftNode::BecomeCandidate() {
   role_ = RaftRole::kCandidate;
   term_++;
   voted_for_ = self_;
+  PersistHardState();  // Our own ballot must be durable before campaigning.
   votes_received_ = 1;  // Own vote.
   vote_lists_.clear();
   leader_hint_ = kInvalidNode;
@@ -170,6 +199,7 @@ void RaftNode::BecomeLeader() {
   // Append a no-op so entries from earlier terms become committable and we
   // can detect when the log is fully replicated (leader init).
   log_.push_back(LogEntry{term_, runtime::MakeMessage<NoopPayload>()});
+  PersistEntry(log_.size());
   leader_init_index_ = log_.size();
   leader_init_done_ = false;
   match_index_[SelfSlot()] = log_.size();
@@ -247,6 +277,7 @@ void RaftNode::HandleRequestVote(NodeId from, const RequestVoteMsg& msg) {
   if (msg.term == term_ &&
       (voted_for_ == kInvalidNode || voted_for_ == msg.candidate) && log_ok) {
     voted_for_ = msg.candidate;
+    PersistHardState();  // The vote must be durable before the reply leaves.
     reply->granted = true;
     // Carousel extension: piggyback our pending-transaction list.
     if (vote_attachment_fn_) reply->pending_list = vote_attachment_fn_();
@@ -312,14 +343,17 @@ void RaftNode::HandleAppendEntries(NodeId from, const AppendEntriesMsg& msg) {
       if (EntryAt(index).term != entry.term) {
         log_.resize(index - 1);  // Delete conflicting suffix.
         log_.push_back(entry);
+        PersistEntry(index);  // Journaled re-append truncates the suffix too.
       }
     } else {
       log_.push_back(entry);
+      PersistEntry(index);
     }
   }
 
   if (msg.leader_commit > commit_index_) {
     commit_index_ = std::min<uint64_t>(msg.leader_commit, last_log_index());
+    PersistCommitIndex();
     ApplyCommitted();
   }
 
@@ -369,6 +403,7 @@ void RaftNode::AdvanceCommit() {
     }
     if (replicated >= quorum_size()) {
       commit_index_ = n;
+      PersistCommitIndex();
       ApplyCommitted();
       break;
     }
@@ -392,6 +427,21 @@ void RaftNode::MaybeFinishLeaderInit() {
   leader_init_done_ = true;
   if (leadership_fn_) leadership_fn_(term_, vote_lists_);
   vote_lists_.clear();
+}
+
+void RaftNode::PersistHardState() {
+  if (storage_ != nullptr) storage_->PersistHardState(term_, voted_for_);
+}
+
+void RaftNode::PersistEntry(uint64_t index) {
+  if (storage_ != nullptr) {
+    storage_->PersistLogEntry(index, EntryAt(index).term,
+                              EntryAt(index).payload);
+  }
+}
+
+void RaftNode::PersistCommitIndex() {
+  if (storage_ != nullptr) storage_->PersistCommitIndex(commit_index_);
 }
 
 int RaftNode::SlotOf(NodeId peer) const {

@@ -61,10 +61,16 @@ class RaftNode {
   using ElectedFn = std::function<void(uint64_t term)>;
 
   /// `rng` is moved in by value: each member owns an independent stream,
-  /// forked by the harness in a deterministic order.
+  /// forked by the harness in a deterministic order. `storage`, when
+  /// non-null, makes the persistent state (term, votedFor, log, commit
+  /// watermark) actually durable: every mutation is journaled before the
+  /// message it protects is sent, and Start() restores + replays instead
+  /// of bootstrapping when a previous life left state behind. Null keeps
+  /// the in-memory model (the simulator's process-pause crashes).
   RaftNode(PartitionId group, NodeId self, std::vector<NodeId> members,
            runtime::Clock* clock, runtime::TimerQueue* timers,
-           carousel::Rng rng, RaftOptions options);
+           carousel::Rng rng, RaftOptions options,
+           runtime::Storage* storage = nullptr);
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
@@ -84,8 +90,15 @@ class RaftNode {
 
   /// Starts timers. If `bootstrap_as_leader` the node assumes leadership
   /// of term 1 immediately (used at cluster startup to avoid an initial
-  /// election storm; all members must be started consistently).
+  /// election storm; all members must be started consistently). When
+  /// durable storage holds a previous life's state, the flag is ignored:
+  /// the node restores term/votedFor/log, replays the committed prefix
+  /// through apply_fn, and rejoins as a follower — claiming a stale term-1
+  /// leadership after a restart would fork history.
   void Start(bool bootstrap_as_leader);
+
+  /// True if Start() restored state from durable storage.
+  bool recovered() const { return recovered_; }
 
   /// Feeds a Raft protocol message from peer `from`.
   void HandleMessage(NodeId from, const sim::MessagePtr& msg);
@@ -136,6 +149,14 @@ class RaftNode {
   void HandleAppendEntries(NodeId from, const AppendEntriesMsg& msg);
   void HandleAppendResponse(NodeId from, const AppendResponseMsg& msg);
 
+  /// Journals (term_, voted_for_) when storage is attached; call after
+  /// every hard-state mutation, before the message it protects is sent.
+  void PersistHardState();
+  /// Journals log entry `index` (which implicitly truncates any persisted
+  /// suffix at >= index).
+  void PersistEntry(uint64_t index);
+  void PersistCommitIndex();
+
   uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
   /// Index of `peer` in members_ (for next_index_/match_index_ slots).
   int SlotOf(NodeId peer) const;
@@ -150,6 +171,8 @@ class RaftNode {
   runtime::TimerQueue* timers_;
   RaftOptions options_;
   carousel::Rng rng_;
+  runtime::Storage* storage_;
+  bool recovered_ = false;
 
   SendFn send_fn_;
   ApplyFn apply_fn_;

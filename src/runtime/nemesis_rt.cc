@@ -1,0 +1,217 @@
+#include "runtime/nemesis_rt.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace carousel::runtime {
+
+RtNemesis::RtNemesis(ThreadedRuntime* rt, Hooks hooks)
+    : rt_(rt), hooks_(std::move(hooks)) {}
+
+RtNemesis::~RtNemesis() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancel_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void RtNemesis::KillAt(SimTime at, NodeId node) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kKill;
+  e.node = node;
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::RestartAt(SimTime at, NodeId node) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kRestart;
+  e.node = node;
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::PartitionAt(SimTime at, std::vector<NodeId> side_a,
+                            std::vector<NodeId> side_b) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kPartition;
+  e.side_a = std::move(side_a);
+  e.side_b = std::move(side_b);
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::HealPartitionAt(SimTime at, std::vector<NodeId> side_a,
+                                std::vector<NodeId> side_b) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kHealPartition;
+  e.side_a = std::move(side_a);
+  e.side_b = std::move(side_b);
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::LinkFaultAt(SimTime at, NodeId a, NodeId b,
+                            ThreadedRuntime::LinkFault fault) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kLinkFault;
+  e.node = a;
+  e.peer = b;
+  e.fault = fault;
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::HealLinkAt(SimTime at, NodeId a, NodeId b) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kHealLink;
+  e.node = a;
+  e.peer = b;
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::HealAllAt(SimTime at) {
+  Event e;
+  e.at = at;
+  e.kind = Event::kHealAll;
+  events_.push_back(std::move(e));
+}
+
+void RtNemesis::Start() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  started_ = true;
+  thread_ = std::thread([this]() { RunSchedule(); });
+}
+
+void RtNemesis::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void RtNemesis::RunSchedule() {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Event& event : events_) {
+    const auto due = t0 + std::chrono::microseconds(event.at);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_until(lk, due, [this]() { return cancel_; });
+    if (cancel_) {
+      // Teardown mid-schedule: still revive anything we killed so the
+      // owner never joins a half-dead cluster.
+      lk.unlock();
+      for (NodeId node : down_) {
+        if (hooks_.restart) hooks_.restart(node);
+      }
+      down_.clear();
+      return;
+    }
+    lk.unlock();
+    Apply(event);
+  }
+}
+
+void RtNemesis::Apply(const Event& event) {
+  switch (event.kind) {
+    case Event::kKill: {
+      if (down_.count(event.node) > 0) return;
+      if (hooks_.kill && hooks_.kill(event.node)) {
+        down_.insert(event.node);
+        kills_fired_.fetch_add(1);
+        faults_injected_.fetch_add(1);
+      }
+      break;
+    }
+    case Event::kRestart: {
+      if (down_.count(event.node) == 0) return;
+      if (hooks_.restart && hooks_.restart(event.node)) {
+        down_.erase(event.node);
+        restarts_fired_.fetch_add(1);
+      }
+      break;
+    }
+    case Event::kPartition: {
+      ThreadedRuntime::LinkFault blocked;
+      blocked.blocked = true;
+      for (NodeId a : event.side_a) {
+        for (NodeId b : event.side_b) rt_->SetLinkFault(a, b, blocked);
+      }
+      partitions_fired_.fetch_add(1);
+      faults_injected_.fetch_add(1);
+      break;
+    }
+    case Event::kHealPartition: {
+      for (NodeId a : event.side_a) {
+        for (NodeId b : event.side_b) rt_->ClearLinkFault(a, b);
+      }
+      break;
+    }
+    case Event::kLinkFault: {
+      rt_->SetLinkFault(event.node, event.peer, event.fault);
+      link_faults_fired_.fetch_add(1);
+      faults_injected_.fetch_add(1);
+      break;
+    }
+    case Event::kHealLink: {
+      rt_->ClearLinkFault(event.node, event.peer);
+      break;
+    }
+    case Event::kHealAll: {
+      rt_->ClearAllLinkFaults();
+      for (NodeId node : down_) {
+        if (hooks_.restart && hooks_.restart(node)) {
+          restarts_fired_.fetch_add(1);
+        }
+      }
+      down_.clear();
+      break;
+    }
+  }
+}
+
+std::string RtNemesis::Describe() const {
+  std::ostringstream out;
+  auto list = [](const std::vector<NodeId>& nodes) {
+    std::string s = "{";
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(nodes[i]);
+    }
+    return s + "}";
+  };
+  for (const Event& e : events_) {
+    out << "  t=" << e.at / 1000 << "ms ";
+    switch (e.kind) {
+      case Event::kKill:
+        out << "kill node " << e.node;
+        break;
+      case Event::kRestart:
+        out << "restart node " << e.node;
+        break;
+      case Event::kPartition:
+        out << "partition " << list(e.side_a) << " | " << list(e.side_b);
+        break;
+      case Event::kHealPartition:
+        out << "heal partition " << list(e.side_a) << " | " << list(e.side_b);
+        break;
+      case Event::kLinkFault:
+        out << "link " << e.node << "<->" << e.peer
+            << " delay=" << e.fault.delay / 1000
+            << "ms drop=" << e.fault.drop_prob;
+        break;
+      case Event::kHealLink:
+        out << "heal link " << e.node << "<->" << e.peer;
+        break;
+      case Event::kHealAll:
+        out << "heal all (restart dead, clear faults)";
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace carousel::runtime

@@ -1,0 +1,122 @@
+#ifndef CAROUSEL_RUNTIME_NEMESIS_RT_H_
+#define CAROUSEL_RUNTIME_NEMESIS_RT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/threaded.h"
+
+namespace carousel::runtime {
+
+/// Fault driver for the threaded backend — the real-time sibling of
+/// sim::Nemesis. A schedule of timed events (node kill/restart, link
+/// partition/heal, per-link delay/drop) is declared up front, then a
+/// driver thread replays it against wall-clock deadlines while the
+/// workload runs. Transport faults go straight to ThreadedRuntime's link
+/// table; node lifecycle goes through caller-supplied hooks so the
+/// harness (which owns the server objects and their durable storage)
+/// controls what "SIGKILL" and "restart from WAL" mean.
+///
+/// Capability differences vs the simulator nemesis are inherent to the
+/// substrate: sim crashes pause a node and preserve its memory, RT kills
+/// destroy the process image and recovery comes from the WAL; sim
+/// schedules are deterministic to the microsecond, RT events fire at
+/// best-effort wall-clock times against a nondeterministic interleaving.
+class RtNemesis {
+ public:
+  struct Hooks {
+    /// SIGKILL-equivalent; returns false if the node was already dead.
+    std::function<bool(NodeId)> kill;
+    /// Restart from durable state; returns false if not restartable.
+    std::function<bool(NodeId)> restart;
+  };
+
+  RtNemesis(ThreadedRuntime* rt, Hooks hooks);
+  /// Joins the driver thread (applying nothing further once asked to
+  /// stop); never leaves a node dead that a HealAllAt would have revived.
+  ~RtNemesis();
+
+  RtNemesis(const RtNemesis&) = delete;
+  RtNemesis& operator=(const RtNemesis&) = delete;
+
+  /// ---- Schedule declaration (before Start) ----
+  /// All times are microseconds relative to Start().
+  void KillAt(SimTime at, NodeId node);
+  void RestartAt(SimTime at, NodeId node);
+  /// Blocks every link between `side_a` and `side_b`, both directions.
+  void PartitionAt(SimTime at, std::vector<NodeId> side_a,
+                   std::vector<NodeId> side_b);
+  void HealPartitionAt(SimTime at, std::vector<NodeId> side_a,
+                       std::vector<NodeId> side_b);
+  /// Installs a delay/drop policy on one link (both directions).
+  void LinkFaultAt(SimTime at, NodeId a, NodeId b,
+                   ThreadedRuntime::LinkFault fault);
+  void HealLinkAt(SimTime at, NodeId a, NodeId b);
+  /// Clears every link fault and restarts every node the schedule killed;
+  /// every schedule should end with one so the cluster can quiesce.
+  void HealAllAt(SimTime at);
+
+  /// Launches the driver thread; the schedule's clock starts now.
+  void Start();
+  /// Blocks until the whole schedule has been applied.
+  void Join();
+
+  /// Human-readable schedule, one event per line.
+  std::string Describe() const;
+
+  size_t faults_injected() const { return faults_injected_.load(); }
+  size_t kills_fired() const { return kills_fired_.load(); }
+  size_t restarts_fired() const { return restarts_fired_.load(); }
+  size_t partitions_fired() const { return partitions_fired_.load(); }
+  size_t link_faults_fired() const { return link_faults_fired_.load(); }
+
+ private:
+  struct Event {
+    enum Kind {
+      kKill,
+      kRestart,
+      kPartition,
+      kHealPartition,
+      kLinkFault,
+      kHealLink,
+      kHealAll,
+    };
+    SimTime at = 0;
+    Kind kind = kKill;
+    NodeId node = kInvalidNode;
+    NodeId peer = kInvalidNode;
+    std::vector<NodeId> side_a;
+    std::vector<NodeId> side_b;
+    ThreadedRuntime::LinkFault fault;
+  };
+
+  void RunSchedule();
+  void Apply(const Event& event);
+
+  ThreadedRuntime* rt_;
+  Hooks hooks_;
+  std::vector<Event> events_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancel_ = false;
+  bool started_ = false;
+  /// Nodes currently down (driver thread only, except after Join).
+  std::set<NodeId> down_;
+  std::atomic<size_t> faults_injected_{0};
+  std::atomic<size_t> kills_fired_{0};
+  std::atomic<size_t> restarts_fired_{0};
+  std::atomic<size_t> partitions_fired_{0};
+  std::atomic<size_t> link_faults_fired_{0};
+};
+
+}  // namespace carousel::runtime
+
+#endif  // CAROUSEL_RUNTIME_NEMESIS_RT_H_

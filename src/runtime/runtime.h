@@ -57,16 +57,21 @@ class Transport {
   virtual void Send(NodeId from, NodeId to, MessagePtr msg) = 0;
 };
 
+class Storage;  // runtime/storage.h — durable node state (threaded backend).
+
 /// Per-node executor handle: everything a protocol component needs from
 /// its hosting substrate at construction time, before the node is
 /// registered with a transport. The simulator hands out {sim, sim, fork};
 /// the threaded backend hands out {shared steady clock, the node's own
 /// timer queue, fork}. The Rng is moved in by value so each node owns an
-/// independent deterministic stream.
+/// independent deterministic stream. `storage`, when non-null, is the
+/// node's durable state layer (WAL + snapshot) — the simulator leaves it
+/// null and keeps its in-memory crash model.
 struct NodeEnv {
   Clock* clock = nullptr;
   TimerQueue* timers = nullptr;
   carousel::Rng rng;
+  Storage* storage = nullptr;
 };
 
 }  // namespace carousel::runtime

@@ -96,7 +96,9 @@ void EventLoop::Post(EventFn fn) {
 
 bool EventLoop::PostMessage(NodeId from, MessagePtr msg) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (inbound_.size() >= max_inbound_) {
+  if (stop_ || inbound_.size() >= max_inbound_) {
+    // A stopped (killed) node accepts no input; overflow is the bounded
+    // asynchronous-network model. Either way, a counted drop.
     dropped_++;
     return false;
   }
@@ -120,6 +122,26 @@ void EventLoop::Stop() {
     cv_.notify_one();
   }
   if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::Restart(Endpoint* endpoint) {
+  if (thread_.joinable()) thread_.join();  // Stop() normally already did.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Nothing volatile survives the kill: queued messages, posted tasks
+    // and armed timers of the previous life are gone.
+    inbound_.clear();
+    tasks_.clear();
+    timers_.clear();
+    stop_ = false;
+    endpoint_ = endpoint;
+  }
+  thread_ = std::thread([this]() { Run(); });
+}
+
+bool EventLoop::stopped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stop_;
 }
 
 uint64_t EventLoop::dropped_messages() const {
@@ -266,6 +288,42 @@ void ThreadedRuntime::Stop() {
 }
 
 void ThreadedRuntime::Send(NodeId from, NodeId to, MessagePtr msg) {
+  if (from != to && faults_active_.load(std::memory_order_relaxed)) {
+    SimTime delay = 0;
+    {
+      std::lock_guard<std::mutex> lk(fault_mu_);
+      auto it = faults_.find(LinkKey(from, to));
+      if (it != faults_.end()) {
+        const LinkFault& fault = it->second;
+        if (fault.blocked) {
+          fault_dropped_++;
+          return;
+        }
+        if (fault.drop_prob > 0.0 &&
+            std::uniform_real_distribution<double>(0.0, 1.0)(fault_rng_) <
+                fault.drop_prob) {
+          fault_dropped_++;
+          return;
+        }
+        delay = fault.delay;
+      }
+    }
+    if (delay > 0) {
+      // In TCP mode the delayed write must still happen on the sender's
+      // loop thread (frames on an edge never interleave); in-process the
+      // receiver's loop is the natural carrier. A stopped carrier loop
+      // discards the timer — a drop, as a dead link would.
+      EventLoop* carrier = loops_[options_.use_tcp ? from : to].get();
+      carrier->Schedule(delay, [this, from, to, m = std::move(msg)]() {
+        DeliverDirect(from, to, m);
+      });
+      return;
+    }
+  }
+  DeliverDirect(from, to, std::move(msg));
+}
+
+void ThreadedRuntime::DeliverDirect(NodeId from, NodeId to, MessagePtr msg) {
   if (!options_.use_tcp || from == to) {
     // In-process handoff: the receiver's loop takes a reference to the
     // same immutable message. Loopback always takes this path — a real
@@ -274,6 +332,41 @@ void ThreadedRuntime::Send(NodeId from, NodeId to, MessagePtr msg) {
     return;
   }
   SendTcp(from, to, *msg);
+}
+
+void ThreadedRuntime::SetLinkFault(NodeId a, NodeId b, const LinkFault& fault) {
+  if (a == b) return;
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  faults_[LinkKey(a, b)] = fault;
+  faults_[LinkKey(b, a)] = fault;
+  faults_active_.store(true, std::memory_order_relaxed);
+}
+
+void ThreadedRuntime::ClearLinkFault(NodeId a, NodeId b) {
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  faults_.erase(LinkKey(a, b));
+  faults_.erase(LinkKey(b, a));
+  if (faults_.empty()) faults_active_.store(false, std::memory_order_relaxed);
+}
+
+void ThreadedRuntime::ClearAllLinkFaults() {
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  faults_.clear();
+  faults_active_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t ThreadedRuntime::fault_dropped_messages() const {
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  return fault_dropped_;
+}
+
+void ThreadedRuntime::StopNode(NodeId id) { loops_[id]->Stop(); }
+
+void ThreadedRuntime::RestartNode(Endpoint* endpoint) {
+  const NodeId id = endpoint->id();
+  endpoint->BindRuntime(this, &clock_, loops_[id].get());
+  endpoints_[id] = endpoint;
+  loops_[id]->Restart(endpoint);
 }
 
 uint64_t ThreadedRuntime::dropped_messages() const {

@@ -1,13 +1,16 @@
 #ifndef CAROUSEL_RUNTIME_THREADED_H_
 #define CAROUSEL_RUNTIME_THREADED_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -60,8 +63,19 @@ class EventLoop final : public TimerQueue {
   /// Launches the loop thread delivering to `endpoint`.
   void Start(Endpoint* endpoint);
 
-  /// Stops and joins the loop thread; pending work is discarded.
+  /// Stops and joins the loop thread; pending work is discarded. While
+  /// stopped, PostMessage drops (counted) — a dead process accepts no
+  /// input — and posted tasks/timers accumulate only to be cleared by
+  /// Restart. Idempotent.
   void Stop();
+
+  /// Relaunches a stopped loop for `endpoint` (typically a fresh one
+  /// recovered from durable storage). All queued messages, tasks and
+  /// timers from the previous life are discarded first — the SIGKILL
+  /// model: nothing volatile survives.
+  void Restart(Endpoint* endpoint);
+
+  bool stopped() const;
 
   uint64_t dropped_messages() const;
 
@@ -134,9 +148,11 @@ class ThreadedRuntime final : public Transport {
   Clock* clock() { return &clock_; }
   EventLoop* loop(NodeId id) { return loops_[id].get(); }
 
-  /// Executor handle for constructing node `id`'s endpoint.
-  NodeEnv MakeEnv(NodeId id, carousel::Rng rng) {
-    return NodeEnv{&clock_, loops_[id].get(), std::move(rng)};
+  /// Executor handle for constructing node `id`'s endpoint. `storage`
+  /// (optional) attaches durable node state; the endpoint persists through
+  /// it and recovers from it after a kill/restart cycle.
+  NodeEnv MakeEnv(NodeId id, carousel::Rng rng, Storage* storage = nullptr) {
+    return NodeEnv{&clock_, loops_[id].get(), std::move(rng), storage};
   }
 
   /// Registers node `id`'s endpoint; must be called for every id before
@@ -155,8 +171,44 @@ class ThreadedRuntime final : public Transport {
   /// (from == to) is always a direct in-process handoff.
   void Send(NodeId from, NodeId to, MessagePtr msg) override;
 
+  /// ---- Fault injection (RT nemesis) ----
+  /// Per-link fault policy, applied at the send side of the transport —
+  /// before serialization in TCP mode, so a partitioned link carries no
+  /// frames at all. Normal-path cost when no fault is installed is one
+  /// relaxed atomic load.
+  struct LinkFault {
+    /// Drop everything (network partition).
+    bool blocked = false;
+    /// Drop each message independently with this probability.
+    double drop_prob = 0.0;
+    /// Delay each surviving message by this many microseconds.
+    SimTime delay = 0;
+  };
+
+  /// Installs `fault` on the (a, b) link in both directions, replacing any
+  /// previous fault on it. Loopback (a == b) is never faulted.
+  void SetLinkFault(NodeId a, NodeId b, const LinkFault& fault);
+  /// Removes the fault on (a, b), both directions.
+  void ClearLinkFault(NodeId a, NodeId b);
+  /// Removes every installed link fault (partition heal-all).
+  void ClearAllLinkFaults();
+  /// Messages dropped by blocked links and probabilistic loss — the proof
+  /// that an injected partition actually carried traffic away.
+  uint64_t fault_dropped_messages() const;
+
+  /// ---- Node kill/restart (RT nemesis) ----
+  /// SIGKILL-equivalent: joins node `id`'s loop thread and discards its
+  /// queued work; messages to it drop until RestartNode. The node's
+  /// listener socket stays open in TCP mode (its frames drain into the
+  /// drop counter), so peers keep their connections.
+  void StopNode(NodeId id);
+  /// Re-registers `endpoint` (a fresh object, typically recovered from
+  /// durable storage) as node endpoint->id() and restarts its loop.
+  void RestartNode(Endpoint* endpoint);
+  bool node_stopped(NodeId id) const { return loops_[id]->stopped(); }
+
   /// Messages dropped across all nodes (full queues, encode failures,
-  /// dead connections).
+  /// dead connections). Fault drops are counted separately.
   uint64_t dropped_messages() const;
 
  private:
@@ -165,6 +217,12 @@ class ThreadedRuntime final : public Transport {
   bool StartTcp();
   void SendTcp(NodeId from, NodeId to, const Message& msg);
   void ReadFrames(int fd, NodeId to);
+  /// The fault-free delivery path (in-process handoff or TCP frame).
+  void DeliverDirect(NodeId from, NodeId to, MessagePtr msg);
+  static uint64_t LinkKey(NodeId from, NodeId to) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32 |
+           static_cast<uint32_t>(to);
+  }
 
   ThreadedRuntimeOptions options_;
   SteadyClock clock_;
@@ -175,6 +233,14 @@ class ThreadedRuntime final : public Transport {
   std::unique_ptr<TcpState> tcp_;
   mutable std::mutex drop_mu_;
   uint64_t dropped_ = 0;
+
+  /// Fast-path guard: senders consult the fault table only when at least
+  /// one fault is installed.
+  std::atomic<bool> faults_active_{false};
+  mutable std::mutex fault_mu_;
+  std::unordered_map<uint64_t, LinkFault> faults_;
+  std::mt19937_64 fault_rng_{0x9e3779b97f4a7c15ull};
+  uint64_t fault_dropped_ = 0;
 };
 
 }  // namespace carousel::runtime

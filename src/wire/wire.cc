@@ -583,10 +583,11 @@ void DecodeBody(raft::RequestVoteMsg& m, Reader& r) {
   r.SkipTo(40);
 }
 
-// PendingTxnWireSize charges 24 + per-key (4 + klen) + 8 per read version.
-// Header (24): tid + i32 coordinator + u32 term + u16 read count +
-// u16 write count. Versions ride as one u64 per read key, in read_keys
-// order (the pending list always records a version for every read key).
+// PendingTxnWireSize charges 24 + per-write-key (4 + klen) + per-read-key
+// (4 + klen + 8). Header (24): tid + i32 coordinator + u32 term +
+// u16 read count + u16 write count. Versions ride as one u64 per read
+// key, in read_keys order — per read *key*, not per read_versions entry,
+// because the map dedupes duplicate keys.
 void PutPendingTxn(Writer& w, const kv::PendingTxn& t) {
   PutTxnId(w, t.tid);
   w.I32(t.coordinator);

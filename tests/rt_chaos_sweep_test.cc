@@ -1,0 +1,53 @@
+// Slow-tier real-time chaos sweeps: many seeds per transport, mirroring
+// what `carousel_rt_chaos` runs in CI but in-process so a failure carries
+// the full gtest report. The inproc sweep must always run; the TCP sweep
+// skips (not fails) where the sandbox forbids sockets.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/chaos_rt.h"
+
+namespace carousel::test {
+namespace {
+
+std::string SweepStorageRoot(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "carousel-rt-sweep-" + tag +
+                          "-" + std::to_string(::getpid());
+  (void)::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+void Sweep(uint64_t first, uint64_t count, bool use_tcp,
+           const std::string& tag) {
+  size_t faults = 0;
+  for (uint64_t seed = first; seed < first + count; ++seed) {
+    check::RtChaosConfig config;
+    config.seed = seed;
+    config.txns = 150;
+    config.use_tcp = use_tcp;
+    config.storage_root = SweepStorageRoot(tag);
+    const check::RtChaosResult result = check::RunRtChaosSeed(config);
+    if (result.start_failed) {
+      ASSERT_TRUE(use_tcp) << "in-process transport cannot fail to start";
+      GTEST_SKIP() << "TCP transport unavailable in this sandbox";
+    }
+    EXPECT_TRUE(result.ok()) << result.Report();
+    faults += result.kills_fired + result.partitions_fired +
+              result.link_faults_fired;
+  }
+  // The sweep as a whole must have injected real faults.
+  EXPECT_GT(faults, 0u);
+}
+
+TEST(RtChaosSweepTest, InprocSeedsCheckClean) {
+  Sweep(/*first=*/1, /*count=*/8, /*use_tcp=*/false, "inproc");
+}
+
+TEST(RtChaosSweepTest, TcpSeedsCheckClean) {
+  Sweep(/*first=*/1, /*count=*/4, /*use_tcp=*/true, "tcp");
+}
+
+}  // namespace
+}  // namespace carousel::test

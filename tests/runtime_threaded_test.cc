@@ -55,22 +55,25 @@ struct Scoreboard {
 struct Driver : std::enable_shared_from_this<Driver> {
   Driver(harness::RtCluster* cluster, int index,
          std::shared_ptr<Scoreboard> board,
-         const std::vector<std::vector<Key>>* pool, uint64_t seed)
+         const std::vector<std::vector<Key>>* pool, uint64_t seed,
+         int target = kTargetCommits)
       : cluster(cluster),
         index(index),
         board(std::move(board)),
         pool(pool),
-        rng(seed) {}
+        rng(seed),
+        target(target) {}
 
   harness::RtCluster* cluster;
   int index;
   std::shared_ptr<Scoreboard> board;
   const std::vector<std::vector<Key>>* pool;
   Rng rng;
+  int target;
   uint64_t seq = 0;
 
   void Next() {
-    if (board->committed.load() >= kTargetCommits) {
+    if (board->committed.load() >= target) {
       board->done_clients.fetch_add(1);
       return;
     }
@@ -231,6 +234,70 @@ TEST(ThreadedRuntimeSmoke, InProcessClusterCommitsAndSerializes) {
 
 TEST(ThreadedRuntimeSmoke, TcpClusterCommitsAndSerializes) {
   RunSmoke(/*use_tcp=*/true);
+}
+
+// Regression for the TCP listener port plan: every node binds port 0 and
+// lets the OS pick, and peers learn the real ports through the runtime's
+// address exchange — there is no fixed port range to collide on. Two full
+// TCP clusters must therefore coexist in one process. (A fixed-base port
+// scheme fails exactly this test: the second cluster's binds collide with
+// the first's.)
+TEST(ThreadedRuntimeSmoke, TwoTcpClustersCoexistOnOsAssignedPorts) {
+  constexpr int kSmallTarget = 60;
+  struct Deployment {
+    std::unique_ptr<harness::RtCluster> cluster;
+    std::shared_ptr<Scoreboard> board = std::make_shared<Scoreboard>();
+    std::vector<std::vector<Key>> pool;
+    std::vector<std::shared_ptr<Driver>> drivers;
+  };
+  Deployment deployments[2];
+
+  for (int d = 0; d < 2; ++d) {
+    Topology topo = Topology::Uniform(/*num_dcs=*/3, /*inter_dc_rtt_ms=*/1);
+    topo.PlacePartitions(kPartitions, /*replication_factor=*/3);
+    topo.AddClient(/*dc=*/0);
+    harness::RtClusterOptions rt_options;
+    rt_options.use_tcp = true;
+    rt_options.seed = 40 + d;
+    deployments[d].cluster = std::make_unique<harness::RtCluster>(
+        std::move(topo), FastRaftOptions(), rt_options);
+    // Both sets of listeners are bound and running before any workload:
+    // with a fixed port plan the second Start() would fail right here.
+    if (!deployments[d].cluster->Start(/*timeout_ms=*/20000)) {
+      GTEST_SKIP() << "TCP transport unavailable in this sandbox";
+    }
+  }
+
+  for (int d = 0; d < 2; ++d) {
+    Deployment& dep = deployments[d];
+    dep.pool = BuildKeyPools(dep.cluster->directory());
+    const int num_clients = static_cast<int>(dep.cluster->num_clients());
+    for (int i = 0; i < num_clients; ++i) {
+      dep.drivers.push_back(std::make_shared<Driver>(
+          dep.cluster.get(), i, dep.board, &dep.pool, /*seed=*/500 + 13 * d + i,
+          kSmallTarget));
+    }
+    for (int i = 0; i < num_clients; ++i) {
+      auto driver = dep.drivers[i];
+      dep.cluster->RunOnClient(i, [driver]() { driver->Next(); });
+    }
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  for (int d = 0; d < 2; ++d) {
+    Deployment& dep = deployments[d];
+    const int num_clients = static_cast<int>(dep.cluster->num_clients());
+    while (dep.board->done_clients.load() < num_clients &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(dep.board->done_clients.load(), num_clients)
+        << "cluster " << d << " stalled: committed="
+        << dep.board->committed.load();
+    EXPECT_GE(dep.board->committed.load(), kSmallTarget);
+  }
+  for (int d = 0; d < 2; ++d) deployments[d].cluster->Stop();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
 #include <vector>
 
 #include "carousel/messages.h"
@@ -451,6 +452,96 @@ TEST(WireTest, UnknownTypeIsRejected) {
   EXPECT_EQ(wire::Encode(PingProbe{}).size(), 0u);
   const uint8_t junk[16] = {};
   EXPECT_EQ(wire::Decode(9999, junk, sizeof(junk)), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: the decoders sit on the network boundary, so any byte sequence a
+// peer (or a bit-flipping link) can produce must either be rejected or
+// decode to a self-consistent message — never read out of bounds or crash.
+// The seeds are fixed so failures replay; the ASan CI leg is what gives
+// the out-of-bounds claims teeth.
+
+/// A decoder may accept a mutated buffer only if the result is
+/// self-consistent: it re-encodes at its own accounted size.
+void ExpectRejectedOrSelfConsistent(int type, const std::vector<uint8_t>& bytes,
+                                    const char* what) {
+  auto decoded = wire::Decode(type, bytes.data(), bytes.size());
+  if (decoded == nullptr) return;
+  EXPECT_EQ(decoded->type(), type) << what << " for type " << type;
+  const auto reencoded = wire::Encode(*decoded);
+  EXPECT_EQ(reencoded.size(), decoded->SizeBytes())
+      << what << " decoded type " << type
+      << " to a message that re-encodes at the wrong size";
+}
+
+TEST(WireFuzzTest, MutatedEncodingsNeverCrashTheDecoders) {
+  std::mt19937_64 rng(0xca70u);  // Fixed seed: failures must replay.
+  for (int type : wire::RegisteredTypes()) {
+    for (const auto& sample : Samples(type)) {
+      const std::vector<uint8_t> base = wire::Encode(*sample);
+      for (int round = 0; round < 250; ++round) {
+        std::vector<uint8_t> bytes = base;
+        const int mutations = 1 + static_cast<int>(rng() % 3);
+        for (int m = 0; m < mutations; ++m) {
+          switch (rng() % 4) {
+            case 0:  // Flip one bit somewhere.
+              if (!bytes.empty()) {
+                bytes[rng() % bytes.size()] ^=
+                    static_cast<uint8_t>(1u << (rng() % 8));
+              }
+              break;
+            case 1:  // Truncate at a random point.
+              bytes.resize(bytes.empty() ? 0 : rng() % bytes.size());
+              break;
+            case 2:  // Extend with random junk.
+              for (uint64_t n = 1 + rng() % 16; n > 0; --n) {
+                bytes.push_back(static_cast<uint8_t>(rng()));
+              }
+              break;
+            default:  // Saturate a 4-byte window: the length-field attack.
+              if (bytes.size() >= 4) {
+                const size_t at = rng() % (bytes.size() - 3);
+                for (size_t i = 0; i < 4; ++i) bytes[at + i] = 0xff;
+              }
+              break;
+          }
+        }
+        ExpectRejectedOrSelfConsistent(type, bytes, "mutation");
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, SplicedEncodingsNeverCrashTheDecoders) {
+  // A prefix of one type's encoding grafted onto a suffix of another's,
+  // decoded as either type: simulates framing bugs that hand a decoder
+  // the wrong (but individually well-formed) payload.
+  std::mt19937_64 rng(0x5e1fu);
+  const std::vector<int> types = wire::RegisteredTypes();
+  for (int round = 0; round < 2000; ++round) {
+    const int ta = types[rng() % types.size()];
+    const int tb = types[rng() % types.size()];
+    const auto a = wire::Encode(*Samples(ta)[1]);
+    const auto b = wire::Encode(*Samples(tb)[1]);
+    std::vector<uint8_t> spliced(a.begin(), a.begin() + rng() % (a.size() + 1));
+    spliced.insert(spliced.end(), b.begin() + rng() % (b.size() + 1), b.end());
+    ExpectRejectedOrSelfConsistent(ta, spliced, "splice");
+    ExpectRejectedOrSelfConsistent(tb, spliced, "splice");
+  }
+}
+
+TEST(WireFuzzTest, RandomBytesNeverCrashTheDecoders) {
+  std::mt19937_64 rng(0xf00du);
+  for (int type : wire::RegisteredTypes()) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{32},
+                       size_t{128}, size_t{1024}}) {
+      for (int round = 0; round < 40; ++round) {
+        std::vector<uint8_t> bytes(len);
+        for (auto& byte : bytes) byte = static_cast<uint8_t>(rng());
+        ExpectRejectedOrSelfConsistent(type, bytes, "random bytes");
+      }
+    }
+  }
 }
 
 }  // namespace

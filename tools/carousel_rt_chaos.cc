@@ -1,0 +1,153 @@
+// carousel_rt_chaos — seed-sweeping chaos harness for the threaded
+// (real-time) backend.
+//
+// Each seed samples a deployment, a workload mix, and a timed fault
+// schedule (SIGKILL-style node kill + WAL restart, DC partitions,
+// per-link delay/drop), runs the full Carousel stack on real threads —
+// optionally over localhost TCP — under it, and certifies the resulting
+// history with the direct-serialization-graph checker. Unlike
+// carousel_chaos, a seed pins only the *schedule*: thread interleavings
+// stay real, so re-running a seed explores new executions of the same
+// scenario. A failing seed keeps its WAL directory as an artifact.
+//
+// Examples:
+//   carousel_rt_chaos --seeds=50                  # CI sweep (inproc)
+//   carousel_rt_chaos --seeds=20 --transport=tcp  # sockets + wire codec
+//   carousel_rt_chaos --seed=1234 --verbose       # replay one schedule
+//
+// Flags:
+//   --seeds=N            sweep seeds seed-base .. seed-base+N-1 (default 10)
+//   --seed=N             run exactly one seed (full report)
+//   --seed-base=N        first seed of a sweep (default 1)
+//   --txns=N             transaction invocation target per seed (default 150)
+//   --transport=inproc|tcp   inter-node message substrate (default inproc)
+//   --storage-root=PATH  root for per-seed WAL dirs
+//                        (default /tmp/carousel-rt-chaos)
+//   --keep-storage       keep WAL dirs even for passing seeds
+//   --verbose            print a summary line for every seed, not only fails
+//   --report-dir=PATH    also write each failing seed's full report to
+//                        PATH/rt-seed-<N>.txt (for CI artifact upload)
+//
+// Exit status: 0 when every seed checked clean (transport-unavailable
+// seeds count as skips), 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "check/chaos_rt.h"
+
+namespace {
+
+bool ParseU64(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seeds = 10;
+  uint64_t seed_base = 1;
+  uint64_t single_seed = 0;
+  bool have_single_seed = false;
+  uint64_t txns = 150;
+  std::string transport = "inproc";
+  std::string storage_root = "/tmp/carousel-rt-chaos";
+  std::string report_dir;
+  bool keep_storage = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (ParseU64(arg, "--seeds", &seeds)) continue;
+    if (ParseU64(arg, "--seed-base", &seed_base)) continue;
+    if (ParseU64(arg, "--seed", &value)) {
+      single_seed = value;
+      have_single_seed = true;
+      continue;
+    }
+    if (ParseU64(arg, "--txns", &txns)) continue;
+    if (std::strncmp(arg, "--transport=", 12) == 0) {
+      transport = arg + 12;
+      continue;
+    }
+    if (std::strncmp(arg, "--storage-root=", 15) == 0) {
+      storage_root = arg + 15;
+      continue;
+    }
+    if (std::strncmp(arg, "--report-dir=", 13) == 0) {
+      report_dir = arg + 13;
+      continue;
+    }
+    if (std::strcmp(arg, "--keep-storage") == 0) {
+      keep_storage = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s (see header comment)\n", arg);
+    return 2;
+  }
+  if (transport != "inproc" && transport != "tcp") {
+    std::fprintf(stderr, "--transport must be inproc or tcp\n");
+    return 2;
+  }
+
+  const uint64_t first = have_single_seed ? single_seed : seed_base;
+  const uint64_t count = have_single_seed ? 1 : seeds;
+  uint64_t failures = 0;
+  uint64_t skips = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    carousel::check::RtChaosConfig config;
+    config.seed = first + i;
+    config.txns = static_cast<int>(txns);
+    config.use_tcp = transport == "tcp";
+    config.storage_root = storage_root;
+    config.keep_storage = keep_storage;
+    carousel::check::RtChaosResult result =
+        carousel::check::RunRtChaosSeed(config);
+    if (result.start_failed) {
+      // Sockets unavailable (sandbox); not a protocol verdict. Skipping
+      // the whole remaining sweep: the transport will not come back.
+      std::printf("%s\n", result.Summary().c_str());
+      skips += count - i;
+      break;
+    }
+    if (result.ok()) {
+      if (verbose || have_single_seed) {
+        std::printf("%s\n", result.Summary().c_str());
+      }
+      continue;
+    }
+    failures++;
+    const std::string replay =
+        "replay: carousel_rt_chaos --seed=" + std::to_string(config.seed) +
+        " --txns=" + std::to_string(txns) + " --transport=" + transport +
+        " --storage-root=" + storage_root + "\n";
+    std::printf("%s%s", result.Report().c_str(), replay.c_str());
+    if (!report_dir.empty()) {
+      // The directory must exist (CI creates it); a write failure only
+      // costs the artifact, never the exit status. The seed's WAL dir is
+      // kept on disk too (see Report for the path).
+      std::ofstream out(report_dir + "/rt-seed-" +
+                        std::to_string(config.seed) + ".txt");
+      if (out) out << result.Report() << replay;
+    }
+  }
+  std::printf(
+      "rt-chaos: %llu/%llu seed(s) failed, %llu skipped "
+      "(seeds %llu..%llu, txns=%llu, transport=%s)\n",
+      (unsigned long long)failures, (unsigned long long)count,
+      (unsigned long long)skips, (unsigned long long)first,
+      (unsigned long long)(first + count - 1), (unsigned long long)txns,
+      transport.c_str());
+  return failures == 0 ? 0 : 1;
+}
