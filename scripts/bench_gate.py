@@ -4,7 +4,7 @@ baselines.
 
 Usage:
     scripts/bench_gate.py --baseline-dir bench/baselines --result-dir DIR \
-        [--tolerance 0.10]
+        [--tolerance 0.10] [--only NAME]... [--exclude NAME]...
 
 For every BENCH_<name>.json in the baseline directory, the same file must
 exist in the result directory, and every (config, metric) in the baseline
@@ -22,6 +22,18 @@ WANRT ledger (causal cross-DC hop accounting). The simulation is
 deterministic, so these are held to exact equality regardless of
 --tolerance: any drift means the protocol's message flow changed, which
 must be an intentional, explained change.
+
+Baseline metrics named "floor_<metric>" and "ceil_<metric>" are one-sided
+gates on the result's plain "<metric>": the result must be >= the floor
+value / <= the ceiling value. They express requirements ("committed at
+least N", "zero transport drops") rather than a two-sided band, which is
+what the real-time transport leg needs — its wall-clock-dependent
+absolute numbers can only be gated from one side. A baseline file that
+uses only floor_/ceil_ metrics never gates wall-clock symmetric drift.
+
+--only NAME / --exclude NAME filter by baseline file name (the <name>
+part of BENCH_<name>.json; repeatable). CI legs use them to gate just the
+files their build produced.
 
 Exit status: 0 when all metrics are within tolerance, 1 on regression or
 missing data, 2 on usage errors.
@@ -52,13 +64,28 @@ def compare(name, baseline, result, tolerance, rows):
             failures += 1
             continue
         for metric, base_value in metrics.items():
-            if metric not in result[config]:
+            # One-sided gates: floor_/ceil_ baseline entries constrain the
+            # plain metric from below/above only.
+            bound = None
+            lookup = metric
+            for prefix in ("floor_", "ceil_"):
+                if metric.startswith(prefix):
+                    bound = prefix[:-1]
+                    lookup = metric[len(prefix):]
+                    break
+            if lookup not in result[config]:
                 rows.append((name, config, metric, f"{base_value:g}", "missing",
                              "FAIL"))
                 failures += 1
                 continue
-            new_value = result[config][metric]
-            if metric.startswith("wanrt_"):
+            new_value = result[config][lookup]
+            if bound == "floor":
+                ok = new_value >= base_value
+                delta = ">=" if ok else "below"
+            elif bound == "ceil":
+                ok = new_value <= base_value
+                delta = "<=" if ok else "above"
+            elif metric.startswith("wanrt_"):
                 # Deterministic protocol-path counts: exact match only.
                 ok = abs(new_value - base_value) < 1e-9
                 delta = "exact" if ok else "drift"
@@ -81,6 +108,12 @@ def main():
     parser.add_argument("--baseline-dir", required=True)
     parser.add_argument("--result-dir", required=True)
     parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="NAME",
+                        help="gate only BENCH_<NAME>.json (repeatable)")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="NAME",
+                        help="skip BENCH_<NAME>.json (repeatable)")
     args = parser.parse_args()
 
     if not os.path.isdir(args.baseline_dir):
@@ -88,8 +121,21 @@ def main():
         return 2
     baselines = sorted(f for f in os.listdir(args.baseline_dir)
                        if f.startswith("BENCH_") and f.endswith(".json"))
+
+    def short_name(fname):
+        return fname[len("BENCH_"):-len(".json")]
+
+    if args.only:
+        unknown = set(args.only) - {short_name(f) for f in baselines}
+        if unknown:
+            print(f"bench_gate: --only names without baselines: "
+                  f"{sorted(unknown)}")
+            return 2
+        baselines = [f for f in baselines if short_name(f) in args.only]
+    baselines = [f for f in baselines if short_name(f) not in args.exclude]
     if not baselines:
-        print(f"bench_gate: no BENCH_*.json baselines in {args.baseline_dir}")
+        print(f"bench_gate: no BENCH_*.json baselines in {args.baseline_dir}"
+              f" after filters")
         return 2
 
     rows = []

@@ -191,6 +191,11 @@ RtChaosResult RunRtChaosSeed(const RtChaosConfig& config) {
   core::CarouselOptions options;
   options.fast_path = rng.Bernoulli(0.75);
   options.local_reads = options.fast_path && rng.Bernoulli(0.5);
+  // Half the seeds run with egress batching so BatchEnvelopeMsg rides
+  // real sockets (TCP seeds) and real loop timers under faults, not just
+  // the simulator. The 50 us flush window exercises the scheduled-flush
+  // path; carousel_rt covers the flush-on-idle (interval 0) shape.
+  options.batching.enabled = rng.Bernoulli(0.5);
   options.raft.election_timeout_min = 150 * kMs;
   options.raft.election_timeout_max = 300 * kMs;
   options.raft.heartbeat_interval = 40 * kMs;
@@ -208,6 +213,7 @@ RtChaosResult RunRtChaosSeed(const RtChaosConfig& config) {
           << " keys/partition=" << keys_per_partition
           << " fast_path=" << options.fast_path
           << " local_reads=" << options.local_reads
+          << " batching=" << options.batching.enabled
           << " class=" << schedule_class
           << (config.use_tcp ? " transport=tcp" : " transport=inproc");
     result.setup = setup.str();

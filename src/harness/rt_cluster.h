@@ -118,6 +118,13 @@ class RtCluster {
   /// Messages dropped across the deployment (full queues, dead sockets).
   uint64_t dropped_messages() const { return rt_->dropped_messages(); }
 
+  /// Aggregated TCP transport counters: per-reason drop counts
+  /// (queue-full / connect-fail / decode-fail), the egress coalescing
+  /// factor, and bytes/syscall totals. All zero in in-process mode.
+  runtime::TransportStats transport_stats() const {
+    return rt_->transport_stats();
+  }
+
   /// Blocks until every live server reports serving (leader known for its
   /// partition) or the timeout passes. Called by Start; also useful after
   /// a fault schedule heals, before extracting state.

@@ -1,14 +1,8 @@
 #include "runtime/threaded.h"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstring>
 
 namespace carousel::runtime {
 
@@ -18,46 +12,6 @@ int64_t MonotonicNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-/// Writes all of `len` bytes; returns false on error/EOF.
-bool WriteAll(int fd, const uint8_t* data, size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<size_t>(n);
-    len -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Reads exactly `len` bytes; returns false on error/EOF.
-bool ReadAll(int fd, uint8_t* data, size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::recv(fd, data, len, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<size_t>(n);
-    len -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-void PutU32(uint8_t* p, uint32_t v) {
-  p[0] = static_cast<uint8_t>(v);
-  p[1] = static_cast<uint8_t>(v >> 8);
-  p[2] = static_cast<uint8_t>(v >> 16);
-  p[3] = static_cast<uint8_t>(v >> 24);
-}
-
-uint32_t GetU32(const uint8_t* p) {
-  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
 }
 
 }  // namespace
@@ -82,29 +36,52 @@ void EventLoop::Schedule(SimTime delay, EventFn fn) {
 }
 
 void EventLoop::ScheduleAt(SimTime t, EventFn fn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  timers_.push_back(Timer{t, next_timer_seq_++, std::move(fn)});
-  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    timers_.push_back(Timer{t, next_timer_seq_++, std::move(fn)});
+    std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+  }
   cv_.notify_one();
 }
 
 void EventLoop::Post(EventFn fn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  tasks_.push_back(std::move(fn));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(fn));
+  }
   cv_.notify_one();
 }
 
 bool EventLoop::PostMessage(NodeId from, MessagePtr msg) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (stop_ || inbound_.size() >= max_inbound_) {
-    // A stopped (killed) node accepts no input; overflow is the bounded
-    // asynchronous-network model. Either way, a counted drop.
-    dropped_++;
-    return false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_ || inbound_.size() >= max_inbound_) {
+      // A stopped (killed) node accepts no input; overflow is the bounded
+      // asynchronous-network model. Either way, a counted drop.
+      dropped_++;
+      return false;
+    }
+    inbound_.emplace_back(from, std::move(msg));
   }
-  inbound_.emplace_back(from, std::move(msg));
+  // Notify after unlock so the woken loop thread doesn't immediately
+  // block on mu_ held here.
   cv_.notify_one();
   return true;
+}
+
+void EventLoop::PostMessages(std::vector<std::pair<NodeId, MessagePtr>>& msgs) {
+  if (msgs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [from, msg] : msgs) {
+      if (stop_ || inbound_.size() >= max_inbound_) {
+        dropped_++;
+        continue;
+      }
+      inbound_.emplace_back(from, std::move(msg));
+    }
+  }
+  cv_.notify_one();
 }
 
 void EventLoop::Start(Endpoint* endpoint) {
@@ -193,23 +170,6 @@ void EventLoop::Run() {
   }
 }
 
-// ------------------------------------------------------------------ TCP --
-
-struct ThreadedRuntime::TcpState {
-  /// Listening socket + accept thread per node; the accept thread spawns
-  /// one reader thread per inbound connection.
-  std::vector<int> listen_fds;
-  std::vector<uint16_t> ports;
-  std::vector<std::thread> accept_threads;
-  std::mutex reader_mu;
-  std::vector<std::thread> reader_threads;
-  std::vector<int> reader_fds;
-  /// Outbound connections, [from][to]; opened lazily by the sender.
-  std::mutex conn_mu;
-  std::vector<std::vector<int>> conns;
-  std::atomic<bool> shutting_down{false};
-};
-
 // -------------------------------------------------------------- runtime --
 
 ThreadedRuntime::ThreadedRuntime(size_t num_nodes,
@@ -242,48 +202,12 @@ bool ThreadedRuntime::Start() {
 void ThreadedRuntime::Stop() {
   if (stopped_) return;
   stopped_ = true;
-  if (tcp_ != nullptr) {
-    {
-      std::lock_guard<std::mutex> lk(tcp_->conn_mu);
-      tcp_->shutting_down = true;
-      for (auto& row : tcp_->conns) {
-        for (int fd : row) {
-          if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-        }
-      }
-    }
-    for (int fd : tcp_->listen_fds) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-    }
-    {
-      std::lock_guard<std::mutex> lk(tcp_->reader_mu);
-      for (int fd : tcp_->reader_fds) ::shutdown(fd, SHUT_RDWR);
-    }
-    for (auto& t : tcp_->accept_threads) {
-      if (t.joinable()) t.join();
-    }
-    {
-      std::lock_guard<std::mutex> lk(tcp_->reader_mu);
-      for (auto& t : tcp_->reader_threads) {
-        if (t.joinable()) t.join();
-      }
-    }
-    for (int fd : tcp_->listen_fds) {
-      if (fd >= 0) ::close(fd);
-    }
-    {
-      std::lock_guard<std::mutex> lk(tcp_->conn_mu);
-      for (auto& row : tcp_->conns) {
-        for (int fd : row) {
-          if (fd >= 0) ::close(fd);
-        }
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lk(tcp_->reader_mu);
-      for (int fd : tcp_->reader_fds) ::close(fd);
-    }
+  // Transport first: once the nets are down no I/O thread can deliver
+  // into a loop, so the loops drain and join without new inbound work.
+  for (auto& net : nets_) {
+    if (net != nullptr) net->Stop();
   }
+  if (poller_ != nullptr) poller_->Stop();
   for (auto& loop : loops_) loop->Stop();
 }
 
@@ -331,7 +255,14 @@ void ThreadedRuntime::DeliverDirect(NodeId from, NodeId to, MessagePtr msg) {
     loops_[to]->PostMessage(from, std::move(msg));
     return;
   }
-  SendTcp(from, to, *msg);
+  if (nets_.empty()) {
+    // TCP requested but the transport never came up (StartTcp failed).
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Encode + enqueue on the sender's NodeNet; never touches a socket on
+  // this (the loop) thread. Drops are counted inside the net by reason.
+  nets_[from]->Send(to, *msg);
 }
 
 void ThreadedRuntime::SetLinkFault(NodeId a, NodeId b, const LinkFault& fault) {
@@ -370,142 +301,61 @@ void ThreadedRuntime::RestartNode(Endpoint* endpoint) {
 }
 
 uint64_t ThreadedRuntime::dropped_messages() const {
-  uint64_t total;
-  {
-    std::lock_guard<std::mutex> lk(drop_mu_);
-    total = dropped_;
-  }
+  uint64_t total = dropped_.load(std::memory_order_relaxed);
   for (const auto& loop : loops_) total += loop->dropped_messages();
+  TransportStats net;
+  for (const auto& n : nets_) {
+    if (n != nullptr) net += n->stats();
+  }
+  return total + net.dropped_total();
+}
+
+TransportStats ThreadedRuntime::transport_stats() const {
+  TransportStats total;
+  for (const auto& net : nets_) {
+    if (net != nullptr) total += net->stats();
+  }
   return total;
 }
 
 bool ThreadedRuntime::StartTcp() {
-  tcp_ = std::make_unique<TcpState>();
+  poller_ = std::make_unique<NetPoller>();
+  if (!poller_->Init()) {
+    poller_.reset();
+    return false;
+  }
   const size_t n = loops_.size();
-  tcp_->listen_fds.assign(n, -1);
-  tcp_->ports.assign(n, 0);
-  tcp_->conns.assign(n, std::vector<int>(n, -1));
-
-  // Bind all listeners first so every node's port is known before any
-  // loop thread (and hence any send) starts.
+  nets_.reserve(n);
+  // Bind every node's listener first so all ports are known before the
+  // I/O thread (and hence any connect) starts.
   for (size_t i = 0; i < n; ++i) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return false;
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0;
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        ::listen(fd, 64) != 0) {
-      ::close(fd);
-      return false;
-    }
-    socklen_t len = sizeof(addr);
-    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-      ::close(fd);
-      return false;
-    }
-    tcp_->listen_fds[i] = fd;
-    tcp_->ports[i] = ntohs(addr.sin_port);
-  }
-
-  for (size_t i = 0; i < n; ++i) {
-    const int listen_fd = tcp_->listen_fds[i];
     const NodeId owner = static_cast<NodeId>(i);
-    tcp_->accept_threads.emplace_back([this, listen_fd, owner]() {
-      for (;;) {
-        const int conn = ::accept(listen_fd, nullptr, nullptr);
-        if (conn < 0) {
-          if (errno == EINTR) continue;
-          return;  // Listener shut down.
-        }
-        std::lock_guard<std::mutex> lk(tcp_->reader_mu);
-        if (tcp_->shutting_down) {
-          ::close(conn);
-          return;
-        }
-        tcp_->reader_fds.push_back(conn);
-        tcp_->reader_threads.emplace_back(
-            [this, conn, owner]() { ReadFrames(conn, owner); });
-      }
-    });
+    // The deliver hook runs on the I/O thread once per drain pass and
+    // hands everything decoded for this node to its event loop in one
+    // bounded, non-blocking bulk enqueue that counts its own drops.
+    auto deliver = [this,
+                    owner](std::vector<std::pair<NodeId, MessagePtr>>& msgs) {
+      loops_[owner]->PostMessages(msgs);
+    };
+    nets_.push_back(std::make_unique<NodeNet>(owner, n, poller_.get(),
+                                              options_.codec,
+                                              std::move(deliver),
+                                              options_.net));
+    if (!nets_.back()->Bind()) {
+      nets_.clear();
+      poller_.reset();
+      return false;
+    }
   }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t peer = 0; peer < n; ++peer) {
+      nets_[i]->SetPeerPort(static_cast<NodeId>(peer), nets_[peer]->port());
+    }
+  }
+  // Attach runs inline (the poller thread isn't up yet); Start it last.
+  for (auto& net : nets_) net->Start();
+  poller_->Start();
   return true;
-}
-
-void ThreadedRuntime::SendTcp(NodeId from, NodeId to, const Message& msg) {
-  // Frame: [u32 len][u32 type][i32 from][payload], len counting
-  // everything after itself. The payload is the codec's encoding, whose
-  // size the wire tests pin to Message::SizeBytes() — the same accounting
-  // the simulator's bandwidth model charges.
-  std::vector<uint8_t> payload = options_.codec.encode(msg);
-  std::vector<uint8_t> frame(12 + payload.size());
-  PutU32(frame.data(), static_cast<uint32_t>(8 + payload.size()));
-  PutU32(frame.data() + 4, static_cast<uint32_t>(msg.type()));
-  PutU32(frame.data() + 8, static_cast<uint32_t>(from));
-  std::memcpy(frame.data() + 12, payload.data(), payload.size());
-
-  int fd;
-  {
-    std::lock_guard<std::mutex> lk(tcp_->conn_mu);
-    if (tcp_->shutting_down) return;
-    fd = tcp_->conns[from][to];
-    if (fd < 0) {
-      fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (fd < 0) {
-        std::lock_guard<std::mutex> dlk(drop_mu_);
-        dropped_++;
-        return;
-      }
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(tcp_->ports[to]);
-      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0) {
-        ::close(fd);
-        std::lock_guard<std::mutex> dlk(drop_mu_);
-        dropped_++;
-        return;
-      }
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      tcp_->conns[from][to] = fd;
-    }
-  }
-  // All sends on a (from, to) edge originate on from's loop thread, so
-  // frames never interleave and writes need no lock.
-  if (!WriteAll(fd, frame.data(), frame.size())) {
-    std::lock_guard<std::mutex> dlk(drop_mu_);
-    dropped_++;
-  }
-}
-
-void ThreadedRuntime::ReadFrames(int fd, NodeId to) {
-  // Each node has its own listening socket, so this reader drains frames
-  // destined for exactly one node: the listener's owner.
-  for (;;) {
-    uint8_t header[12];
-    if (!ReadAll(fd, header, sizeof(header))) return;
-    const uint32_t len = GetU32(header);
-    if (len < 8 || len > (64u << 20)) return;  // Malformed stream.
-    const uint32_t type = GetU32(header + 4);
-    const NodeId from = static_cast<NodeId>(GetU32(header + 8));
-    std::vector<uint8_t> payload(len - 8);
-    if (!payload.empty() && !ReadAll(fd, payload.data(), payload.size())) {
-      return;
-    }
-    MessagePtr msg = options_.codec.decode(static_cast<int>(type),
-                                           payload.data(), payload.size());
-    if (msg == nullptr || static_cast<size_t>(from) >= loops_.size()) {
-      std::lock_guard<std::mutex> dlk(drop_mu_);
-      dropped_++;
-      continue;
-    }
-    loops_[to]->PostMessage(from, std::move(msg));
-  }
 }
 
 }  // namespace carousel::runtime

@@ -16,6 +16,7 @@
 
 #include "common/types.h"
 #include "runtime/endpoint.h"
+#include "runtime/net.h"
 #include "runtime/runtime.h"
 
 namespace carousel::runtime {
@@ -59,6 +60,13 @@ class EventLoop final : public TimerQueue {
   /// counts a drop) when the bounded queue is full — the asynchronous
   /// network model; protocols mask it with retries. Thread-safe.
   bool PostMessage(NodeId from, MessagePtr msg);
+
+  /// Bulk PostMessage: one lock and one wakeup for the whole batch (the
+  /// TCP I/O thread delivers everything it decoded in a drain pass this
+  /// way). Moves the messages out of `msgs` but leaves the vector intact
+  /// for reuse. Messages past the queue bound are dropped and counted
+  /// individually. Thread-safe.
+  void PostMessages(std::vector<std::pair<NodeId, MessagePtr>>& msgs);
 
   /// Launches the loop thread delivering to `endpoint`.
   void Start(Endpoint* endpoint);
@@ -109,25 +117,17 @@ class EventLoop final : public TimerQueue {
   std::thread thread_;
 };
 
-/// Encode/decode hooks for the TCP transport, injected so the runtime
-/// library doesn't depend on the wire codec (which depends on every
-/// protocol library). wire::Codec() produces one.
-struct WireCodec {
-  /// Serializes the message payload (excluding framing).
-  std::function<std::vector<uint8_t>(const Message&)> encode;
-  /// Reconstructs a message of `type` from payload bytes; returns nullptr
-  /// on malformed input (the frame is dropped).
-  std::function<MessagePtr(int type, const uint8_t* data, size_t len)> decode;
-};
-
 struct ThreadedRuntimeOptions {
   /// Bound on each node's inbound message queue; overflow drops.
   size_t max_inbound_queue = 65536;
   /// When true, inter-node messages travel over localhost TCP sockets
-  /// (serialized with `codec`); when false they are handed across loops
-  /// in-process as shared pointers.
+  /// (serialized with `codec`, carried by per-node NodeNet I/O threads);
+  /// when false they are handed across loops in-process as shared
+  /// pointers. WireCodec lives in runtime/net.h; wire::Codec() makes one.
   bool use_tcp = false;
   WireCodec codec;
+  /// Transport tuning (egress bound, coalescing cap, buffer pool sizes).
+  NetOptions net;
 };
 
 /// Backend #2 of the runtime seam: one event-loop thread per node on a
@@ -207,16 +207,18 @@ class ThreadedRuntime final : public Transport {
   void RestartNode(Endpoint* endpoint);
   bool node_stopped(NodeId id) const { return loops_[id]->stopped(); }
 
-  /// Messages dropped across all nodes (full queues, encode failures,
-  /// dead connections). Fault drops are counted separately.
+  /// Messages dropped across all nodes: full inbound queues plus every
+  /// transport drop (queue-full, connect-fail, decode-fail). Fault drops
+  /// are counted separately.
   uint64_t dropped_messages() const;
 
- private:
-  struct TcpState;
+  /// Aggregated TCP transport counters across all nodes (all zero in
+  /// in-process mode). Per-reason drop counts and the egress coalescing
+  /// factor (frames per sendmsg syscall) live here.
+  TransportStats transport_stats() const;
 
+ private:
   bool StartTcp();
-  void SendTcp(NodeId from, NodeId to, const Message& msg);
-  void ReadFrames(int fd, NodeId to);
   /// The fault-free delivery path (in-process handoff or TCP frame).
   void DeliverDirect(NodeId from, NodeId to, MessagePtr msg);
   static uint64_t LinkKey(NodeId from, NodeId to) {
@@ -230,9 +232,17 @@ class ThreadedRuntime final : public Transport {
   std::vector<Endpoint*> endpoints_;
   bool started_ = false;
   bool stopped_ = false;
-  std::unique_ptr<TcpState> tcp_;
-  mutable std::mutex drop_mu_;
-  uint64_t dropped_ = 0;
+  /// Shared epoll I/O thread carrying every node's sockets (null in
+  /// in-process mode). Declared before nets_ so the nets detach from a
+  /// live poller on destruction.
+  std::unique_ptr<NetPoller> poller_;
+  /// One TCP endpoint per node (empty in in-process mode); each owns its
+  /// listener and peer connections, driven by poller_.
+  std::vector<std::unique_ptr<NodeNet>> nets_;
+  /// Runtime-level drops (e.g. TCP sends before the transport is up).
+  /// Per-site transport drops live in each NodeNet's stats; this is an
+  /// atomic so drop sites never serialize on a shared mutex.
+  std::atomic<uint64_t> dropped_{0};
 
   /// Fast-path guard: senders consult the fault table only when at least
   /// one fault is installed.

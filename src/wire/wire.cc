@@ -1,5 +1,6 @@
 #include "wire/wire.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <map>
@@ -27,16 +28,9 @@ class Writer {
   explicit Writer(std::vector<uint8_t>* out) : out_(out), start_(out->size()) {}
 
   void U8(uint8_t v) { out_->push_back(v); }
-  void U16(uint16_t v) {
-    out_->push_back(static_cast<uint8_t>(v));
-    out_->push_back(static_cast<uint8_t>(v >> 8));
-  }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-  void U64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
   void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
   void Raw(const std::string& s) {
     out_->insert(out_->end(), s.begin(), s.end());
@@ -52,6 +46,21 @@ class Writer {
   size_t written() const { return out_->size() - start_; }
 
  private:
+  /// One growth check and one memcpy per field instead of a bounds-checked
+  /// push_back per byte — the encode side of the TCP frame hot path.
+  template <typename T>
+  void AppendLe(T v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    T le = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+      le |= static_cast<T>(static_cast<uint8_t>(v >> (8 * i)))
+            << (8 * (sizeof(T) - 1 - i));
+    v = le;
+#endif
+    const uint8_t* b = reinterpret_cast<const uint8_t*>(&v);
+    out_->insert(out_->end(), b, b + sizeof(T));
+  }
+
   std::vector<uint8_t>* out_;
   size_t start_;
 };
@@ -63,24 +72,9 @@ class Reader {
   Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
 
   uint8_t U8() { return Take(1) ? data_[pos_ - 1] : 0; }
-  uint16_t U16() {
-    if (!Take(2)) return 0;
-    uint16_t v = static_cast<uint16_t>(data_[pos_ - 2]) |
-                 static_cast<uint16_t>(data_[pos_ - 1]) << 8;
-    return v;
-  }
-  uint32_t U32() {
-    if (!Take(4)) return 0;
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ - 4 + i]) << (8 * i);
-    return v;
-  }
-  uint64_t U64() {
-    if (!Take(8)) return 0;
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ - 8 + i]) << (8 * i);
-    return v;
-  }
+  uint16_t U16() { return TakeLe<uint16_t>(); }
+  uint32_t U32() { return TakeLe<uint32_t>(); }
+  uint64_t U64() { return TakeLe<uint64_t>(); }
   int32_t I32() { return static_cast<int32_t>(U32()); }
   std::string Raw(size_t n) {
     if (!Take(n)) return {};
@@ -110,6 +104,23 @@ class Reader {
     }
     pos_ += n;
     return true;
+  }
+
+  /// One bounds check and one unaligned load per field — the decode side
+  /// of the TCP frame hot path.
+  template <typename T>
+  T TakeLe() {
+    if (!Take(sizeof(T))) return 0;
+    T v;
+    std::memcpy(&v, data_ + pos_ - sizeof(T), sizeof(T));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    T le = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+      le |= static_cast<T>(static_cast<uint8_t>(v >> (8 * i)))
+            << (8 * (sizeof(T) - 1 - i));
+    v = le;
+#endif
+    return v;
   }
 
   const uint8_t* data_;
@@ -935,20 +946,41 @@ const std::map<int, Entry>& Registry() {
   return registry;
 }
 
+/// Dense type-indexed view of Registry() for the per-frame hot path: an
+/// array index instead of a red-black tree walk per encode/decode. Types
+/// are small ints (sim/message.h tops out at kTapirDecideAck); unknown or
+/// out-of-range types return null.
+const Entry* FindEntry(int type) {
+  static const std::vector<Entry> flat = [] {
+    size_t max_type = 0;
+    for (const auto& [t, e] : Registry()) {
+      max_type = std::max(max_type, static_cast<size_t>(t));
+    }
+    std::vector<Entry> v(max_type + 1, Entry{nullptr, nullptr});
+    for (const auto& [t, e] : Registry()) v[t] = e;
+    return v;
+  }();
+  if (type < 0 || static_cast<size_t>(type) >= flat.size() ||
+      flat[type].encode == nullptr) {
+    return nullptr;
+  }
+  return &flat[type];
+}
+
 std::vector<uint8_t> EncodeInternal(const sim::Message& msg) {
   std::vector<uint8_t> out;
-  auto it = Registry().find(msg.type());
-  if (it == Registry().end()) return out;
+  const Entry* e = FindEntry(msg.type());
+  if (e == nullptr) return out;
   Writer w(&out);
-  it->second.encode(msg, w);
+  e->encode(msg, w);
   return out;
 }
 
 sim::MessagePtr DecodeInternal(int type, const uint8_t* data, size_t len) {
-  auto it = Registry().find(type);
-  if (it == Registry().end()) return nullptr;
+  const Entry* e = FindEntry(type);
+  if (e == nullptr) return nullptr;
   Reader r(data, len);
-  return it->second.decode(r);
+  return e->decode(r);
 }
 
 }  // namespace
@@ -972,6 +1004,17 @@ std::vector<int> RegisteredTypes() {
 runtime::WireCodec Codec() {
   runtime::WireCodec codec;
   codec.encode = [](const sim::Message& msg) { return EncodeInternal(msg); };
+  // The transport's hot path: append into its pooled frame buffer so the
+  // encode allocates nothing once the pool is warm. Unregistered types
+  // append zero bytes — the receiver's decode rejects the frame, matching
+  // the plain-encode path's empty payload.
+  codec.encode_append = [](const sim::Message& msg,
+                           std::vector<uint8_t>* out) {
+    const Entry* e = FindEntry(msg.type());
+    if (e == nullptr) return;
+    Writer w(out);
+    e->encode(msg, w);
+  };
   codec.decode = [](int type, const uint8_t* data, size_t len) {
     return DecodeInternal(type, data, len);
   };

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "runtime/threaded.h"
+#include "runtime/net.h"
 #include "sim/message.h"
 
 namespace carousel::wire {

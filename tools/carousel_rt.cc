@@ -19,9 +19,20 @@
 //   --workload=retwis|ycsbt (default retwis)  --keys=N (default 100000)
 //   --zipf=F           (default 0.75)
 //   --txns=N           committed-transaction target (default 2000)
+//   --pipeline=K       concurrent transaction chains per client
+//                      (default 1 = closed loop; >1 keeps K txns in
+//                      flight per client, the load shape that exercises
+//                      transport egress coalescing)
 //   --timeout=S        give up after S wall seconds (default 120)
 //   --seed=N           (default 1)
+//   --batching         coalesce server->server messages into
+//                      BatchEnvelopeMsg frames (the sim's egress batcher,
+//                      here riding real sockets)
 //   --json=PATH        also write a machine-readable summary
+//                      (bench-gate "configs" format; config name is
+//                      "<transport>-batched" / "<transport>-unbatched")
+
+#include <sys/resource.h>
 
 #include <atomic>
 #include <chrono>
@@ -55,8 +66,10 @@ struct Args {
   uint64_t keys = 100'000;
   double zipf = 0.75;
   int txns = 2000;
+  int pipeline = 1;
   double timeout_s = 120;
   uint64_t seed = 1;
+  bool batching = false;
   std::string json_path;
 };
 
@@ -86,12 +99,16 @@ bool ParseArg(const std::string& arg, Args* out) {
     out->zipf = std::atof(v);
   } else if (const char* v = value_of("--txns")) {
     out->txns = std::atoi(v);
+  } else if (const char* v = value_of("--pipeline")) {
+    out->pipeline = std::atoi(v);
   } else if (const char* v = value_of("--timeout")) {
     out->timeout_s = std::atof(v);
   } else if (const char* v = value_of("--seed")) {
     out->seed = std::strtoull(v, nullptr, 10);
   } else if (const char* v = value_of("--json")) {
     out->json_path = v;
+  } else if (arg == "--batching") {
+    out->batching = true;
   } else {
     return false;
   }
@@ -199,6 +216,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --system '%s'\n", args.system.c_str());
     return 2;
   }
+  options.batching.enabled = args.batching;
+  // On the threaded backend Schedule(0) means "after the current drain
+  // pass, before sleeping": everything the pass's handlers sent to one
+  // destination leaves as one envelope, with no armed-timer latency. The
+  // 50 us simulator default would put a real timer sleep on every hop.
+  options.batching.flush_interval = 0;
   options.raft.election_timeout_min = 300'000;
   options.raft.election_timeout_max = 600'000;
   options.raft.heartbeat_interval = 60'000;
@@ -249,16 +272,22 @@ int main(int argc, char** argv) {
                                                args.txns, seeder.NextU64()));
   }
 
+  // Each chain is an independent closed loop on its client's thread;
+  // pipeline > 1 keeps that many transactions in flight per client.
+  const int pipeline = args.pipeline < 1 ? 1 : args.pipeline;
+  const int total_chains = num_clients * pipeline;
   const auto bench_start = std::chrono::steady_clock::now();
   for (int i = 0; i < num_clients; ++i) {
     auto driver = drivers[i];
-    cluster.RunOnClient(i, [driver]() { driver->Next(); });
+    cluster.RunOnClient(i, [driver, pipeline]() {
+      for (int k = 0; k < pipeline; ++k) driver->Next();
+    });
   }
 
   const auto deadline =
       bench_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(args.timeout_s));
-  while (board->done_clients.load() < num_clients &&
+  while (board->done_clients.load() < total_chains &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -266,8 +295,16 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     bench_start)
           .count();
-  const bool finished = board->done_clients.load() == num_clients;
+  const bool finished = board->done_clients.load() == total_chains;
+  const runtime::TransportStats net = cluster.transport_stats();
   cluster.Stop();
+
+  if (std::getenv("CAROUSEL_NET_DEBUG") != nullptr) {
+    rusage ru{};
+    ::getrusage(RUSAGE_SELF, &ru);
+    std::fprintf(stderr, "rusage: nvcsw=%ld nivcsw=%ld\n", ru.ru_nvcsw,
+                 ru.ru_nivcsw);
+  }
 
   Histogram latency;
   for (auto& driver : drivers) latency.Merge(driver->latency);
@@ -292,6 +329,23 @@ int main(int argc, char** argv) {
               static_cast<long long>(latency.Quantile(0.90)),
               static_cast<long long>(latency.Quantile(0.95)),
               static_cast<long long>(latency.Quantile(0.99)));
+  if (use_tcp) {
+    std::printf("transport: frames sent %llu (%.2f per sendmsg, %llu "
+                "syscalls, %llu eagain), received %llu, %.1f MB, "
+                "reconnects %llu\n",
+                static_cast<unsigned long long>(net.frames_sent),
+                net.frames_per_syscall(),
+                static_cast<unsigned long long>(net.send_syscalls),
+                static_cast<unsigned long long>(net.send_eagain),
+                static_cast<unsigned long long>(net.frames_received),
+                static_cast<double>(net.bytes_sent) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(net.reconnects));
+    std::printf("transport drops: queue-full %llu, connect-fail %llu, "
+                "decode-fail %llu\n",
+                static_cast<unsigned long long>(net.drops_queue_full),
+                static_cast<unsigned long long>(net.drops_connect_fail),
+                static_cast<unsigned long long>(net.drops_decode_fail));
+  }
 
   if (!args.json_path.empty()) {
     std::FILE* f = std::fopen(args.json_path.c_str(), "w");
@@ -299,6 +353,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
       return 1;
     }
+    // bench_gate.py "configs" format so machine-robust counters (commit
+    // counts, transport drops, coalescing factor) can be gated against
+    // bench/baselines/ while wall-clock metrics stay informational.
+    const std::string config_name =
+        args.transport + (args.batching ? "-batched" : "-unbatched");
     std::fprintf(
         f,
         "{\n"
@@ -306,21 +365,40 @@ int main(int argc, char** argv) {
         "  \"transport\": \"%s\",\n"
         "  \"system\": \"%s\",\n"
         "  \"workload\": \"%s\",\n"
-        "  \"committed\": %d,\n"
-        "  \"aborted\": %d,\n"
-        "  \"timed_out\": %d,\n"
-        "  \"dropped_messages\": %llu,\n"
-        "  \"wall_seconds\": %.3f,\n"
-        "  \"tps\": %.1f,\n"
-        "  \"p50_us\": %lld,\n"
-        "  \"p90_us\": %lld,\n"
-        "  \"p95_us\": %lld,\n"
-        "  \"p99_us\": %lld\n"
+        "  \"configs\": [\n"
+        "    {\n"
+        "      \"name\": \"%s\",\n"
+        "      \"metrics\": {\n"
+        "        \"committed\": %d,\n"
+        "        \"aborted\": %d,\n"
+        "        \"timed_out\": %d,\n"
+        "        \"dropped_messages\": %llu,\n"
+        "        \"dropped_transport\": %llu,\n"
+        "        \"drops_queue_full\": %llu,\n"
+        "        \"drops_connect_fail\": %llu,\n"
+        "        \"drops_decode_fail\": %llu,\n"
+        "        \"frames_sent\": %llu,\n"
+        "        \"frames_per_syscall\": %.3f,\n"
+        "        \"wall_seconds\": %.3f,\n"
+        "        \"tps\": %.1f,\n"
+        "        \"p50_us\": %lld,\n"
+        "        \"p90_us\": %lld,\n"
+        "        \"p95_us\": %lld,\n"
+        "        \"p99_us\": %lld\n"
+        "      }\n"
+        "    }\n"
+        "  ]\n"
         "}\n",
         args.transport.c_str(), args.system.c_str(), args.workload.c_str(),
-        committed, aborted, timed_out,
-        static_cast<unsigned long long>(cluster.dropped_messages()), wall_s,
-        tps, static_cast<long long>(latency.Quantile(0.50)),
+        config_name.c_str(), committed, aborted, timed_out,
+        static_cast<unsigned long long>(cluster.dropped_messages()),
+        static_cast<unsigned long long>(net.dropped_total()),
+        static_cast<unsigned long long>(net.drops_queue_full),
+        static_cast<unsigned long long>(net.drops_connect_fail),
+        static_cast<unsigned long long>(net.drops_decode_fail),
+        static_cast<unsigned long long>(net.frames_sent),
+        net.frames_per_syscall(), wall_s, tps,
+        static_cast<long long>(latency.Quantile(0.50)),
         static_cast<long long>(latency.Quantile(0.90)),
         static_cast<long long>(latency.Quantile(0.95)),
         static_cast<long long>(latency.Quantile(0.99)));
