@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Nine legs, runnable together (one sequential local run)
+# CI entry point. Ten legs, runnable together (one sequential local run)
 # or individually (`scripts/ci.sh leg <n> [<n>...]`) so the GitHub Actions
 # matrix can fan them out across parallel jobs sharing one ccache:
 #   0. Runtime-seam check: the protocol stack (src/carousel, src/raft,
@@ -40,6 +40,14 @@
 #      counter == 0, and frames-per-sendmsg >= 2 on the pipelined batched
 #      config (the egress coalescing the epoll writer exists for).
 #      Wall-clock and absolute tps are uploaded but never gated.
+#   9. Exploration leg: the systematic interleaving explorer
+#      (carousel_explore) exhaustively sweeps delivery orderings of the
+#      canonical 2-txn configuration under a depth bound, plus a
+#      crash-point sweep and a delay-bounded sequential (stale-local-read
+#      regime) sweep, certifying every terminal state with the DSG
+#      checker. A violating schedule lands in build/explore-reports as a
+#      replayable JSON trace; replay with
+#        ./build/tools/carousel_explore --replay=<trace>
 #
 # Usage: scripts/ci.sh [jobs]           run all legs sequentially
 #        scripts/ci.sh leg <n> [<n>...] run the named legs only
@@ -58,6 +66,13 @@
 #   SKIP_COVERAGE=1                 skip leg 5 (the coverage build is the
 #                                   slowest leg; local runs rarely need it)
 #   SKIP_TSAN=1                     skip leg 6
+#   EXPLORE_TXNS=N                  transactions for leg 9 (default 2)
+#   EXPLORE_DEPTH=N                 prefix-depth bound for leg 9's main
+#                                   sweep (default 7: ~12k schedules)
+#   EXPLORE_CRASH_DEPTH=N           depth for the crash-point sweep
+#                                   (default 5)
+#   EXPLORE_DELAY_BOUND=N           delay bound for the sequential sweep
+#                                   (default 2); nightly raises these
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,6 +80,10 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-200}"
 RT_CHAOS_SEEDS="${RT_CHAOS_SEEDS:-12}"
+EXPLORE_TXNS="${EXPLORE_TXNS:-2}"
+EXPLORE_DEPTH="${EXPLORE_DEPTH:-7}"
+EXPLORE_CRASH_DEPTH="${EXPLORE_CRASH_DEPTH:-5}"
+EXPLORE_DELAY_BOUND="${EXPLORE_DELAY_BOUND:-2}"
 BENCH_JSON_DIR="${BENCH_JSON_DIR:-build/bench-json}"
 
 # The main RelWithDebInfo tree several legs share. Idempotent: a second
@@ -186,7 +205,30 @@ leg8() {
   fi
 }
 
-ALL_LEGS=(0 1 2 3 4 5 6 7 8)
+leg9() {
+  echo "== leg 9: systematic exploration (bounded interleaving sweep) =="
+  build_main
+  mkdir -p build/explore-reports
+  # The canonical tier-1 configuration (2 conflicting txns, 1 partition x
+  # 3 DCs): an exhaustive depth-bounded sweep plus a crash-point sweep at
+  # the prepare/decision persistence boundaries, every terminal state
+  # certified by the DSG checker. A violation dumps a replayable trace
+  # into build/explore-reports (CI uploads it); replay locally with
+  #   ./build/tools/carousel_explore --replay=build/explore-reports/violation-1.json
+  ./build/tools/carousel_explore --txns="$EXPLORE_TXNS" \
+      --max-depth="$EXPLORE_DEPTH" --report-dir=build/explore-reports
+  ./build/tools/carousel_explore --txns="$EXPLORE_TXNS" \
+      --max-depth="$EXPLORE_CRASH_DEPTH" --crash-points=1 \
+      --report-dir=build/explore-reports
+  # Delay-bounded sequential regime (stale-local-read window): deviations
+  # anywhere in the run, so bugs past any feasible prefix depth stay
+  # reachable.
+  ./build/tools/carousel_explore --sequential --local-reads \
+      --txns="$EXPLORE_TXNS" --delay-bound="$EXPLORE_DELAY_BOUND" \
+      --report-dir=build/explore-reports
+}
+
+ALL_LEGS=(0 1 2 3 4 5 6 7 8 9)
 
 if [[ "${1:-}" == "leg" ]]; then
   shift

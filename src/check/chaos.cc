@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "check/explore.h"
 #include "harness/cluster.h"
 #include "common/rng.h"
 #include "common/topology.h"
@@ -48,12 +49,6 @@ void IssueTxn(core::Cluster* cluster, const PlannedTxn& plan) {
         for (const auto& [k, v] : writes) client->Write(tid, k, v);
         client->Commit(tid, [](Status) {});
       });
-}
-
-bool IsPrefix(const std::vector<TxnId>& prefix,
-              const std::vector<TxnId>& full) {
-  if (prefix.size() > full.size()) return false;
-  return std::equal(prefix.begin(), prefix.end(), full.begin());
 }
 
 }  // namespace
@@ -245,35 +240,7 @@ ChaosResult RunChaosSeed(const ChaosConfig& config) {
   }
 
   // ---- Extract ground truth and cross-check replicas ----
-  for (PartitionId p = 0; p < partitions; ++p) {
-    // Longest chain across alive replicas is the truth; every other alive
-    // replica must hold a prefix of it (they all apply the same Raft log).
-    std::map<Key, std::vector<const std::vector<TxnId>*>> per_key;
-    for (NodeId id : cluster.topology().Replicas(p)) {
-      core::CarouselServer* server = cluster.server(id);
-      if (!server->alive()) continue;
-      for (const auto& [key, chain] : server->store().writer_log()) {
-        per_key[key].push_back(&chain);
-      }
-    }
-    for (auto& [key, candidates] : per_key) {
-      const std::vector<TxnId>* longest = candidates.front();
-      for (const auto* c : candidates) {
-        if (c->size() > longest->size()) longest = c;
-      }
-      for (const auto* c : candidates) {
-        if (!IsPrefix(*c, *longest)) {
-          result.check.violations.push_back(Violation{
-              "replica-divergence",
-              "replicas of partition " + std::to_string(p) +
-                  " disagree on the write order of '" + key + "'",
-              {}});
-          break;
-        }
-      }
-      result.chains[key] = *longest;
-    }
-  }
+  result.chains = ExtractWriterChains(&cluster, &result.check.violations);
 
   // ---- Certify ----
   CheckResult check = CheckSerializability(result.history, result.chains);

@@ -1,0 +1,193 @@
+#ifndef CAROUSEL_CHECK_EXPLORE_H_
+#define CAROUSEL_CHECK_EXPLORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "check/serializability.h"
+#include "common/types.h"
+
+namespace carousel::core {
+class Cluster;
+}  // namespace carousel::core
+
+namespace carousel::check {
+
+/// Systematic state-space exploration of the commit protocol: the real
+/// stack runs on the sim backend in controlled-scheduling mode, and an
+/// iterative-deepening DFS enumerates message-delivery orderings (plus
+/// optional crash points), certifying every terminal state with the DSG
+/// serializability checker. Where the chaos harness samples interleavings
+/// from a seed, the explorer enumerates them exhaustively on small
+/// configurations — the regime every prior protocol bug actually lived in.
+///
+/// Scheduling policy (see DESIGN.md §14):
+///  - Harness-internal events (workload injection) run eagerly.
+///  - The branchable choices are message deliveries, restricted to the
+///    earliest pending delivery per (from, to) edge — fifo_pairs order is
+///    a transport guarantee, not adversary freedom.
+///  - Deliveries to crashed nodes are dropped eagerly (no branch).
+///  - Timers fire only at delivery-quiescence, earliest first (a forced
+///    choice): a protocol timer racing a deliverable message is modeled by
+///    delaying the delivery past the quiescent point instead.
+///  - A sleep-set partial-order reduction prunes re-orderings of commuting
+///    deliveries (different destination node => commute; node state is
+///    disjoint and the checker is history-order-insensitive).
+///  - With crash points enabled, delivering a message whose type is in
+///    `crash_point_types` to a server arms a one-step crash choice for
+///    that server (a crash at the prepare/decision persistence boundary);
+///    crashed nodes may recover at quiescence.
+struct ExploreConfig {
+  uint64_t seed = 1;
+
+  /// ---- Deployment (kept tiny: exploration is exponential) ----
+  int num_dcs = 3;
+  int partitions = 1;
+  int replication = 3;
+  int clients_per_dc = 1;
+  int rtt_ms = 20;
+
+  /// ---- Workload: `txns` transactions, all issued at t0, client
+  /// round-robin; every txn reads all `keys` keys and writes two of them
+  /// (txn i writes key[i % keys] and key[(i+1) % keys]) — maximally
+  /// conflicting by construction. ----
+  int txns = 2;
+  int keys = 2;
+  /// When true, txn i+1 is issued from txn i's completion callback instead
+  /// of all txns starting at t0: conflicts then come only from replication
+  /// lag (a later txn racing the previous one's trailing writebacks), the
+  /// regime that exposes stale local reads (§4.2).
+  bool sequential = false;
+
+  /// ---- Protocol options under test ----
+  bool fast_path = true;
+  bool local_reads = false;
+  /// Flag-gated protocol bugs (CarouselOptions), for checker self-tests.
+  bool inject_bug_fast_path = false;
+  bool inject_bug_stale_read = false;
+
+  /// ---- Exploration bounds ----
+  /// Branch points past this depth take the default (first) choice.
+  int max_depth = 40;
+  /// Cap on alternatives explored per branch point (0 = all).
+  int branch_bound = 0;
+  /// Stop after this many distinct completed schedules (0 = run until the
+  /// bounded DFS exhausts).
+  uint64_t max_schedules = 0;
+  /// Controlled steps per run before truncating to the drain phase (a
+  /// guard against runaway schedules; truncated runs are still certified).
+  int max_steps = 4000;
+  /// Iterative deepening: explore depth bounds step, 2*step, ... up to
+  /// max_depth, counting only schedules whose deepest non-default choice
+  /// is new to the window (0 = a single DFS at max_depth).
+  int iterative_step = 0;
+  /// CHESS-style delay bounding (supersedes max_depth/iterative_step when
+  /// > 0): every branch point in the run may deviate from the default
+  /// earliest-event choice, but at most `delay_bound` branch points per
+  /// schedule actually do. Prefix-depth DFS can only reorder the first
+  /// max_depth branch points — a bug whose triggering reordering sits late
+  /// in the run (e.g. a stale local read racing the previous transaction's
+  /// trailing writeback) hides behind an exponential prefix; delay
+  /// bounding reaches it at polynomial cost in the bound.
+  int delay_bound = 0;
+  /// Sleep-set partial-order reduction (off = plain bounded DFS).
+  bool sleep_sets = true;
+  bool stop_on_violation = true;
+
+  /// ---- Crash injection ----
+  int max_crashes = 0;
+  /// Message types whose delivery to a server arms a crash choice; empty
+  /// means the default prepare/decision persistence set (RaftAppendEntries,
+  /// CarouselCoordPrepare, CarouselPrepareDecision).
+  std::vector<int> crash_point_types;
+};
+
+/// One controlled scheduling decision, as recorded in a replayable trace.
+/// Deliveries are identified by their (from, node) edge — per-edge FIFO
+/// means at most one delivery per edge is enabled at a time, so the edge
+/// plus the step position pins the event without raw event seqs (which are
+/// an implementation detail that may shift under unrelated changes).
+struct TraceStep {
+  enum class Kind : uint8_t { kDeliver = 0, kTimer = 1, kCrash = 2, kRecover = 3 };
+  Kind kind = Kind::kDeliver;
+  NodeId node = kInvalidNode;  ///< Destination / timer owner / crash target.
+  NodeId from = kInvalidNode;  ///< Delivery source (kDeliver only).
+  int msg_type = 0;            ///< Delivery MessageType (kDeliver only).
+};
+
+/// A replayable schedule: the run configuration plus every controlled
+/// decision, serialized as JSON for corpus pinning and CI artifacts.
+struct ScheduleTrace {
+  ExploreConfig config;
+  std::vector<TraceStep> steps;
+  /// One-line violation summary when this trace certifies dirty.
+  std::string violation;
+
+  std::string ToJson() const;
+  static bool FromJson(const std::string& json, ScheduleTrace* out,
+                       std::string* error);
+};
+
+/// Outcome of executing one schedule end to end (controlled phase, then a
+/// drain that recovers crashed nodes and settles, then certification).
+struct RunOutcome {
+  /// Sleep sets closed every enabled delivery: the schedule is equivalent
+  /// to an already-explored one and was not certified.
+  bool pruned = false;
+  /// Hit max_steps before every transaction decided.
+  bool truncated = false;
+  CheckResult check;
+  HistoryRecorder history;
+  WriterChains chains;
+  std::vector<TraceStep> steps;
+  /// One-line violation summary (empty when the run certified clean).
+  std::string violation;
+
+  bool ok() const { return check.ok(); }
+};
+
+struct ExploreResult {
+  ExploreConfig config;
+  /// Distinct completed-and-certified schedules (the acceptance metric).
+  uint64_t schedules = 0;
+  /// Total executions, including sleep-set-pruned runs and the duplicated
+  /// shallow re-runs of iterative deepening.
+  uint64_t runs = 0;
+  uint64_t pruned = 0;
+  uint64_t truncated = 0;
+  /// The bounded DFS ran out of alternatives (vs. stopping on
+  /// max_schedules or a violation).
+  bool exhausted = false;
+  bool violation_found = false;
+  ScheduleTrace violation_trace;
+  /// Full checker report of the violating run.
+  std::string violation_report;
+  /// Outcome totals across counted schedules.
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t indeterminate = 0;
+
+  bool ok() const { return !violation_found; }
+  std::string Summary() const;
+};
+
+/// Runs the bounded exploration. Deterministic: same config, same result.
+ExploreResult Explore(const ExploreConfig& config);
+
+/// Re-executes a dumped schedule step-for-step under the trace's embedded
+/// config. On a scheduling divergence (a recorded step is not enabled at
+/// its position) fills *error and returns the partial outcome.
+RunOutcome ReplayTrace(const ScheduleTrace& trace, std::string* error);
+
+/// Extracts each key's ground-truth writer chain (the longest chain across
+/// alive replicas) and appends a replica-divergence violation when an
+/// alive replica's chain is not a prefix of it. Shared by the chaos
+/// harness and the explorer.
+WriterChains ExtractWriterChains(core::Cluster* cluster,
+                                 std::vector<Violation>* violations);
+
+}  // namespace carousel::check
+
+#endif  // CAROUSEL_CHECK_EXPLORE_H_

@@ -5,7 +5,7 @@ namespace carousel::core {
 Cluster::Cluster(Topology topology, CarouselOptions options,
                  sim::NetworkOptions net_options, uint64_t seed)
     : topology_(std::move(topology)),
-      sim_(seed),
+      sim_(seed, net_options.controlled_scheduling),
       metrics_(options.metrics.enabled),
       wanrt_(&topology_, options.metrics.enabled) {
   directory_ = std::make_unique<Directory>(&topology_);
@@ -46,7 +46,12 @@ Cluster::Cluster(Topology topology, CarouselOptions options,
 Cluster::~Cluster() = default;
 
 void Cluster::Start() {
-  for (auto& [id, server] : servers_) server->Start();
+  for (auto& [id, server] : servers_) {
+    // Timers armed directly from Start (heartbeats, election watchdogs)
+    // must carry their owner's label for controlled scheduling.
+    sim::Simulator::ScopedNode ctx(&sim_, id);
+    server->Start();
+  }
   // Settle until every bootstrap leader has committed its initial no-op
   // (up to one WAN roundtrip) and is serving, so measurements start from
   // a steady state.

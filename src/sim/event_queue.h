@@ -16,6 +16,24 @@ namespace carousel::sim {
 /// exact overrides rather than converting wrappers.
 using EventFn = runtime::EventFn;
 
+/// Why a pending event exists, attached at scheduling time. The controlled
+/// scheduler (check/explore) branches on deliveries and needs to know which
+/// node each event acts on; normal (time, seq)-ordered runs never read it.
+struct EventLabel {
+  enum class Kind : uint8_t {
+    kInternal = 0,  ///< Harness-internal (workload injection, settle code).
+    kTimer = 1,     ///< A node's protocol timer (election, retry, GC...).
+    kDelivery = 2,  ///< A network delivery (or its CPU-cost completion).
+  };
+  Kind kind = Kind::kInternal;
+  /// The node the event acts on: delivery destination or timer owner.
+  NodeId node = kInvalidNode;
+  /// Delivery source (kDelivery only).
+  NodeId from = kInvalidNode;
+  /// MessageType of a delivery; 0 for coalesced delivery buckets.
+  int msg_type = 0;
+};
+
 /// The simulator's pending-event set, ordered by (time, seq): a calendar
 /// queue instead of one global binary heap. Discrete-event workloads are
 /// heavily near-future biased — message deliveries and CPU completions land
@@ -35,6 +53,7 @@ class EventQueue {
     SimTime time = 0;
     uint64_t seq = 0;
     EventFn fn;
+    EventLabel label;
   };
 
   /// 2048 buckets of 32 us cover a ~65 ms horizon: WAN one-way latencies

@@ -73,9 +73,12 @@ void Network::Send(NodeId from, NodeId to, MessagePtr msg) {
 void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
                                MessagePtr msg, uint64_t token) {
   if (!options_.coalesce_deliveries) {
-    sim_->ScheduleAt(arrival, [this, from, to, token, msg = std::move(msg)]() {
-      Deliver(from, to, std::move(msg), token);
-    });
+    const EventLabel label{EventLabel::Kind::kDelivery, to, from,
+                           static_cast<int>(msg->type())};
+    sim_->ScheduleLabeledAt(
+        arrival, label, [this, from, to, token, msg = std::move(msg)]() {
+          Deliver(from, to, std::move(msg), token);
+        });
     return;
   }
   // Bucket per (edge, tick): the first message of a tick schedules the
@@ -87,18 +90,22 @@ void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
     deliveries_coalesced_++;
     return;
   }
-  sim_->ScheduleAt(arrival, [this, from, to, arrival]() {
-    auto edge_it = pending_coalesced_.find({from, to});
-    if (edge_it == pending_coalesced_.end()) return;
-    auto tick_it = edge_it->second.find(arrival);
-    if (tick_it == edge_it->second.end()) return;
-    auto msgs = std::move(tick_it->second);
-    edge_it->second.erase(tick_it);
-    if (edge_it->second.empty()) pending_coalesced_.erase(edge_it);
-    for (auto& [m, tok] : msgs) {
-      Deliver(from, to, std::move(m), tok);
-    }
-  });
+  // msg_type 0: a bucket event delivers a mixed batch, and controlled
+  // scheduling (which branches on per-message types) rejects coalescing.
+  sim_->ScheduleLabeledAt(
+      arrival, EventLabel{EventLabel::Kind::kDelivery, to, from, 0},
+      [this, from, to, arrival]() {
+        auto edge_it = pending_coalesced_.find({from, to});
+        if (edge_it == pending_coalesced_.end()) return;
+        auto tick_it = edge_it->second.find(arrival);
+        if (tick_it == edge_it->second.end()) return;
+        auto msgs = std::move(tick_it->second);
+        edge_it->second.erase(tick_it);
+        if (edge_it->second.empty()) pending_coalesced_.erase(edge_it);
+        for (auto& [m, tok] : msgs) {
+          Deliver(from, to, std::move(m), tok);
+        }
+      });
 }
 
 void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
@@ -134,7 +141,12 @@ void Network::Deliver(NodeId from, NodeId to, MessagePtr msg, uint64_t token) {
   const SimTime start = std::max(sim_->now(), cores[best]);
   const SimTime done = start + cost;
   cores[best] = done;
-  sim_->ScheduleAt(done, [this, from, to, token, msg = std::move(msg)]() {
+  // The completion keeps the delivery label: to the controlled scheduler a
+  // queued-for-CPU message is still "a delivery to `to`".
+  const EventLabel label{EventLabel::Kind::kDelivery, to, from,
+                         static_cast<int>(msg->type())};
+  sim_->ScheduleLabeledAt(done, label, [this, from, to, token,
+                                        msg = std::move(msg)]() {
     runtime::Endpoint* r = nodes_[to];
     if (!r->alive()) {  // Crashed while queued.
       if (observer_ != nullptr && token != 0) observer_->OnDrop(token);

@@ -42,6 +42,14 @@ struct NetworkOptions {
   /// except for same-tick interleaving with other nodes' events, so it is
   /// flag-gated (off = historical event-per-message behavior).
   bool coalesce_deliveries = false;
+  /// When true the owning harness builds its Simulator in controlled-
+  /// scheduling mode (check/explore): the pending-event set is exposed to
+  /// an external scheduler via ReadyEvents()/RunSeq() instead of running
+  /// in (time, seq) order. Carried here (like coalesce_deliveries) so
+  /// core::Cluster wires the simulator and network consistently from one
+  /// options struct. Incompatible with coalesce_deliveries — a coalesced
+  /// bucket hides individual messages from the scheduler.
+  bool controlled_scheduling = false;
 };
 
 /// Per-node traffic counters for Figure 7 bandwidth accounting.

@@ -1,18 +1,56 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 namespace carousel::sim {
 
-bool Simulator::RunOne() {
-  if (queue_.empty()) return false;
-  EventQueue::Event ev = queue_.PopMin();
-  now_ = ev.time;
+void Simulator::RunEvent(EventQueue::Event ev) {
+  // Monotone clock: in normal mode events arrive in time order so this is
+  // plain assignment; in controlled mode an out-of-order pick must never
+  // move time backwards.
+  if (ev.time > now_) now_ = ev.time;
   events_processed_++;
+  const NodeId prev = context_node_;
+  context_node_ = ev.label.node;
   ev.fn();
+  context_node_ = prev;
+}
+
+bool Simulator::RunOne() {
+  if (!controlled_mode_) {
+    if (queue_.empty()) return false;
+    RunEvent(queue_.PopMin());
+    return true;
+  }
+  if (pending_.empty()) return false;
+  // Ascending-seq iteration with a strict < keeps the pick at the
+  // (time, seq) minimum, matching normal-mode order exactly.
+  auto best = pending_.begin();
+  for (auto it = std::next(best); it != pending_.end(); ++it) {
+    if (it->second.time < best->second.time) best = it;
+  }
+  EventQueue::Event ev = std::move(best->second);
+  pending_.erase(best);
+  RunEvent(std::move(ev));
+  return true;
+}
+
+bool Simulator::PeekNextTime(SimTime* t) {
+  if (!controlled_mode_) {
+    if (queue_.empty()) return false;
+    *t = queue_.PeekTime();
+    return true;
+  }
+  if (pending_.empty()) return false;
+  SimTime min = pending_.begin()->second.time;
+  for (const auto& [seq, ev] : pending_) min = std::min(min, ev.time);
+  *t = min;
   return true;
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.PeekTime() <= t) {
+  SimTime next = 0;
+  while (PeekNextTime(&next) && next <= t) {
     RunOne();
   }
   if (now_ < t) now_ = t;
@@ -21,6 +59,28 @@ void Simulator::RunUntil(SimTime t) {
 void Simulator::RunToCompletion() {
   while (RunOne()) {
   }
+}
+
+std::vector<Simulator::ReadyEvent> Simulator::ReadyEvents() const {
+  std::vector<ReadyEvent> out;
+  out.reserve(pending_.size());
+  for (const auto& [seq, ev] : pending_) {
+    out.push_back(ReadyEvent{seq, ev.time, ev.label});
+  }
+  std::sort(out.begin(), out.end(), [](const ReadyEvent& a, const ReadyEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+bool Simulator::RunSeq(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return false;
+  EventQueue::Event ev = std::move(it->second);
+  pending_.erase(it);
+  RunEvent(std::move(ev));
+  return true;
 }
 
 }  // namespace carousel::sim

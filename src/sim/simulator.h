@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -20,9 +22,23 @@ namespace carousel::sim {
 /// The simulator is backend #1 of the runtime seam: it IS the Clock and
 /// the (shared, virtual-time) TimerQueue that every node in a simulated
 /// deployment binds to.
+///
+/// Two scheduling modes:
+///  - Normal (default): events run in strict (time, seq) order — the
+///    classic discrete-event loop.
+///  - Controlled: the pending set is held in a flat store and exposed via
+///    ReadyEvents()/RunSeq() so an external scheduler (check/explore) can
+///    pick ANY pending event to run next. The virtual clock then advances
+///    monotonically to max(now, event time): running an event "early"
+///    relative to (time, seq) order is equivalent to every skipped event
+///    having been delayed past it, which the asynchronous-network model of
+///    the paper (§3.1) permits. RunOne/RunUntil still pick the (time, seq)
+///    minimum, so harness code that settles with RunFor behaves exactly as
+///    in normal mode.
 class Simulator final : public runtime::Clock, public runtime::TimerQueue {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1, bool controlled = false)
+      : controlled_mode_(controlled), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -30,16 +46,36 @@ class Simulator final : public runtime::Clock, public runtime::TimerQueue {
   /// Current virtual time in microseconds.
   SimTime now() const override { return now_; }
 
+  bool controlled() const { return controlled_mode_; }
+
   /// Schedules `fn` to run `delay` microseconds from now (clamped to >= 0).
   /// Events with equal times run in scheduling order.
   void Schedule(SimTime delay, EventFn fn) override {
     ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
   }
 
-  /// Schedules `fn` at absolute time `t` (clamped to >= now).
+  /// Schedules `fn` at absolute time `t` (clamped to >= now). The event is
+  /// labeled a timer of the current node context (see ScopedNode) when one
+  /// is set, else internal — this is the path every Endpoint timer takes.
   void ScheduleAt(SimTime t, EventFn fn) override {
+    EventLabel label;
+    if (context_node_ != kInvalidNode) {
+      label.kind = EventLabel::Kind::kTimer;
+      label.node = context_node_;
+    }
+    ScheduleLabeledAt(t, label, std::move(fn));
+  }
+
+  /// Schedules with an explicit label: the network labels deliveries, the
+  /// explorer labels workload injections.
+  void ScheduleLabeledAt(SimTime t, EventLabel label, EventFn fn) {
     if (t < now_) t = now_;
-    queue_.Push(EventQueue::Event{t, next_seq_++, std::move(fn)});
+    EventQueue::Event ev{t, next_seq_++, std::move(fn), label};
+    if (controlled_mode_) {
+      pending_.emplace(ev.seq, std::move(ev));
+    } else {
+      queue_.Push(std::move(ev));
+    }
   }
 
   /// Runs the earliest event; returns false if the queue is empty.
@@ -55,6 +91,43 @@ class Simulator final : public runtime::Clock, public runtime::TimerQueue {
   /// Runs until the event queue is empty.
   void RunToCompletion();
 
+  /// ---- Controlled scheduling (check/explore) ----
+
+  /// A pending event as exposed to an external scheduler.
+  struct ReadyEvent {
+    uint64_t seq = 0;
+    SimTime time = 0;
+    EventLabel label;
+  };
+
+  /// Snapshot of every pending event, ordered by (time, seq). Controlled
+  /// mode only (empty otherwise).
+  std::vector<ReadyEvent> ReadyEvents() const;
+
+  /// Runs the pending event with sequence number `seq` (controlled mode).
+  /// Returns false if no such event is pending.
+  bool RunSeq(uint64_t seq);
+
+  /// RAII node-context marker: while alive, plain ScheduleAt calls are
+  /// labeled as timers of `node`. Endpoint handlers get the context
+  /// automatically (RunOne/RunSeq set it from the executed event's label);
+  /// harness code that calls into a node directly (Cluster::Start, the
+  /// explorer's workload injection) wraps the call in one of these.
+  class ScopedNode {
+   public:
+    ScopedNode(Simulator* sim, NodeId node)
+        : sim_(sim), prev_(sim->context_node_) {
+      sim_->context_node_ = node;
+    }
+    ~ScopedNode() { sim_->context_node_ = prev_; }
+    ScopedNode(const ScopedNode&) = delete;
+    ScopedNode& operator=(const ScopedNode&) = delete;
+
+   private:
+    Simulator* sim_;
+    NodeId prev_;
+  };
+
   /// Simulator-global RNG; components should Fork() their own streams.
   carousel::Rng* rng() { return &rng_; }
 
@@ -62,10 +135,26 @@ class Simulator final : public runtime::Clock, public runtime::TimerQueue {
   uint64_t events_processed() const { return events_processed_; }
 
  private:
+  friend class ScopedNode;
+
+  /// Advances the clock (monotonically), sets the node context from the
+  /// event's label, and runs it. Shared by RunOne and RunSeq.
+  void RunEvent(EventQueue::Event ev);
+
+  /// Earliest pending (time, seq) event in either mode; nullptr-style via
+  /// the bool return. O(pending) in controlled mode (pending sets there
+  /// are tens of events).
+  bool PeekNextTime(SimTime* t);
+
+  bool controlled_mode_ = false;
+  NodeId context_node_ = kInvalidNode;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   EventQueue queue_;
+  /// Controlled-mode pending store, keyed by seq (map iteration order =
+  /// scheduling order, which ties min-time scans deterministically).
+  std::map<uint64_t, EventQueue::Event> pending_;
   carousel::Rng rng_;
 };
 

@@ -1,0 +1,151 @@
+// Directed unit tests for the sim-layer Nemesis: the schedulable fault
+// injector must be idempotent (double-crash fires once), must only undo
+// faults it injected itself, and must describe its plan in time order so
+// failing chaos seeds print a faithful fault schedule.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/topology.h"
+#include "runtime/endpoint.h"
+#include "sim/message.h"
+#include "sim/nemesis.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace carousel::sim {
+namespace {
+
+struct PingMsg final : Message {
+  int payload = 0;
+  int type() const override { return kPing; }
+  size_t SizeBytes() const override { return 100; }
+};
+
+class RecorderNode : public runtime::Endpoint {
+ public:
+  RecorderNode(NodeId id, DcId dc) : runtime::Endpoint(id, dc) {}
+  void HandleMessage(NodeId from, const MessagePtr& msg) override {
+    received.push_back(As<PingMsg>(*msg).payload);
+    (void)from;
+  }
+  SimTime ServiceCost(const Message&) const override { return 0; }
+  std::vector<int> received;
+};
+
+MessagePtr Ping(int payload) {
+  auto msg = std::make_shared<PingMsg>();
+  msg->payload = payload;
+  return msg;
+}
+
+/// Three single-node DCs (nodes 0, 1, 2) with a 10ms uniform RTT.
+struct NemesisFixture {
+  NemesisFixture() {
+    topo = Topology::Uniform(3, /*inter_dc_rtt_ms=*/10);
+    topo.PlacePartitions(/*partitions=*/3, /*replication_factor=*/1);
+    sim = std::make_unique<Simulator>(7);
+    net = std::make_unique<Network>(sim.get(), &topo,
+                                    NetworkOptions{.jitter_fraction = 0.0});
+    for (NodeId id = 0; id < 3; ++id) {
+      nodes.push_back(std::make_unique<RecorderNode>(id, topo.node(id).dc));
+      net->Register(nodes.back().get());
+    }
+    nemesis = std::make_unique<Nemesis>(net.get());
+  }
+
+  /// Sends a ping 0->1 at `at` and returns whether it arrived by the end
+  /// of the run-so-far.
+  void SendAt(SimTime at, NodeId from, NodeId to, int payload) {
+    sim->ScheduleAt(at, [this, from, to, payload] {
+      net->Send(from, to, Ping(payload));
+    });
+  }
+
+  Topology topo;
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<RecorderNode>> nodes;
+  std::unique_ptr<Nemesis> nemesis;
+};
+
+TEST(NemesisTest, CrashFiresOnceAndDropsTraffic) {
+  NemesisFixture f;
+  f.nemesis->CrashAt(100, 1);
+  f.nemesis->CrashAt(200, 1);  // Already down: must not double-count.
+  f.SendAt(300, 0, 1, 42);
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.nemesis->faults_injected(), 1u);
+  EXPECT_FALSE(f.net->IsAlive(1));
+  EXPECT_TRUE(f.nodes[1]->received.empty());
+}
+
+TEST(NemesisTest, RecoverRestoresOnlyWhatItCrashed) {
+  NemesisFixture f;
+  // Node 2 goes down outside the nemesis; the nemesis must not "recover"
+  // a node it never crashed.
+  f.sim->ScheduleAt(50, [&f] { f.net->Crash(2); });
+  f.nemesis->CrashAt(100, 1);
+  f.nemesis->RecoverAt(400, 1);
+  f.nemesis->RecoverAt(400, 2);  // Not ours: no-op.
+  f.SendAt(500, 0, 1, 7);
+  f.SendAt(500, 0, 2, 8);
+  f.sim->RunToCompletion();
+  EXPECT_TRUE(f.net->IsAlive(1));
+  EXPECT_FALSE(f.net->IsAlive(2));
+  EXPECT_EQ(f.nodes[1]->received, (std::vector<int>{7}));
+  EXPECT_TRUE(f.nodes[2]->received.empty());
+}
+
+TEST(NemesisTest, PartitionBlocksBothDirectionsUntilHealed) {
+  NemesisFixture f;
+  f.nemesis->PartitionAt(100, {0}, {1, 2});
+  // Re-partitioning an already-blocked pair must not double-count.
+  f.nemesis->PartitionAt(150, {0}, {1});
+  f.SendAt(200, 0, 1, 1);   // Dropped: across the cut.
+  f.SendAt(200, 2, 0, 2);   // Dropped: cuts are bidirectional.
+  f.SendAt(200, 1, 2, 3);   // Delivered: same side.
+  f.nemesis->HealPartitionAt(300, {0}, {1, 2});
+  f.SendAt(400, 0, 1, 4);   // Delivered: healed.
+  f.sim->RunToCompletion();
+  EXPECT_EQ(f.nemesis->faults_injected(), 2u);  // Pairs {0,1} and {0,2}.
+  EXPECT_TRUE(f.nodes[0]->received.empty());
+  EXPECT_EQ(f.nodes[1]->received, (std::vector<int>{4}));
+  EXPECT_EQ(f.nodes[2]->received, (std::vector<int>{3}));
+}
+
+TEST(NemesisTest, HealAllUndoesEveryOutstandingFault) {
+  NemesisFixture f;
+  f.nemesis->CrashAt(100, 1);
+  f.nemesis->PartitionAt(100, {0}, {2});
+  f.nemesis->HealAllAt(300);
+  f.SendAt(400, 0, 1, 10);
+  f.SendAt(400, 0, 2, 11);
+  f.sim->RunToCompletion();
+  EXPECT_TRUE(f.net->IsAlive(1));
+  EXPECT_EQ(f.nodes[1]->received, (std::vector<int>{10}));
+  EXPECT_EQ(f.nodes[2]->received, (std::vector<int>{11}));
+}
+
+TEST(NemesisTest, DescribeListsPlanInTimeOrder) {
+  NemesisFixture f;
+  // Scheduled out of order; Describe must sort by fire time.
+  f.nemesis->HealAllAt(900);
+  f.nemesis->CrashAt(100, 1);
+  f.nemesis->PartitionAt(500, {0}, {2});
+  const std::string plan = f.nemesis->Describe();
+  const size_t crash = plan.find("crash node 1");
+  const size_t part = plan.find("partition {0} | {2}");
+  const size_t heal = plan.find("heal all");
+  ASSERT_NE(crash, std::string::npos) << plan;
+  ASSERT_NE(part, std::string::npos) << plan;
+  ASSERT_NE(heal, std::string::npos) << plan;
+  EXPECT_LT(crash, part) << plan;
+  EXPECT_LT(part, heal) << plan;
+}
+
+}  // namespace
+}  // namespace carousel::sim

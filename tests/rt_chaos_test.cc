@@ -146,13 +146,8 @@ struct LoopDriver : std::enable_shared_from_this<LoopDriver> {
 
 bool WaitForCommits(const std::atomic<int>& committed, int target,
                     int timeout_s) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
-  while (committed.load() < target &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  return committed.load() >= target;
+  return PollUntil([&] { return committed.load() >= target; },
+                   std::chrono::seconds(timeout_s));
 }
 
 bool IsPrefix(const std::vector<TxnId>& prefix, const std::vector<TxnId>& of) {
@@ -217,13 +212,12 @@ TEST(RtChaosTest, KilledReplicaRecoversFromWalAndRejoins) {
   ASSERT_TRUE(WaitForCommits(committed, after_restart + 20, 120));
 
   stop.store(true);
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(120);
-  while (!done.load() && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  ASSERT_TRUE(done.load());
-  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE(
+      PollUntil([&] { return done.load(); }, std::chrono::seconds(120)));
+  // Settle: in-flight writebacks land when cluster traffic stops moving.
+  PollUntilQuiescent([&] { return cluster.posted_messages(); },
+                     std::chrono::milliseconds(200),
+                     std::chrono::seconds(30));
   cluster.Stop();
 
   // The restarted server really went through WAL recovery.

@@ -173,22 +173,22 @@ void RunSmoke(bool use_tcp) {
   }
 
   // Closed loop: each driver stops once the shared commit target is met.
-  // The deadline is generous because TSan slows the run by an order of
+  // The timeout is generous because TSan slows the run by an order of
   // magnitude.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(300);
-  while (board->done_clients.load() < num_clients &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  PollUntil(
+      [&] { return board->done_clients.load() >= num_clients; },
+      std::chrono::seconds(300));
   ASSERT_EQ(board->done_clients.load(), num_clients)
       << "drivers stalled: committed=" << board->committed.load()
       << " aborted=" << board->aborted.load()
       << " dropped=" << cluster.dropped_messages();
 
-  // Let in-flight writebacks and coordinator decisions settle, then join
-  // every thread — after Stop() the server state is plain memory.
-  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  // Let in-flight writebacks and coordinator decisions settle (message
+  // traffic stops moving once they land), then join every thread — after
+  // Stop() the server state is plain memory.
+  PollUntilQuiescent([&] { return cluster.posted_messages(); },
+                     std::chrono::milliseconds(200),
+                     std::chrono::seconds(30));
   cluster.Stop();
 
   EXPECT_GE(board->committed.load(), 1000);
@@ -283,15 +283,12 @@ TEST(ThreadedRuntimeSmoke, TwoTcpClustersCoexistOnOsAssignedPorts) {
     }
   }
 
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(120);
   for (int d = 0; d < 2; ++d) {
     Deployment& dep = deployments[d];
     const int num_clients = static_cast<int>(dep.cluster->num_clients());
-    while (dep.board->done_clients.load() < num_clients &&
-           std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
+    PollUntil(
+        [&] { return dep.board->done_clients.load() >= num_clients; },
+        std::chrono::seconds(120));
     EXPECT_EQ(dep.board->done_clients.load(), num_clients)
         << "cluster " << d << " stalled: committed="
         << dep.board->committed.load();

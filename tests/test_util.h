@@ -1,15 +1,63 @@
 #ifndef CAROUSEL_TESTS_TEST_UTIL_H_
 #define CAROUSEL_TESTS_TEST_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/cluster.h"
 #include "common/topology.h"
 
 namespace carousel::test {
+
+/// Polls `cond` until it holds or `timeout` elapses; returns its final
+/// value. The condition-driven replacement for fixed sleeps and
+/// hand-rolled deadline loops in real-time tests: the wait ends the
+/// moment the condition holds, and a slow sanitizer run just polls
+/// longer instead of flaking.
+inline bool PollUntil(const std::function<bool()>& cond,
+                      std::chrono::milliseconds timeout,
+                      std::chrono::milliseconds interval =
+                          std::chrono::milliseconds(5)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() >= deadline) return cond();
+    std::this_thread::sleep_for(interval);
+  }
+  return true;
+}
+
+/// Polls a monotone counter until it stays unchanged for `stable_for`
+/// (or `timeout` elapses; returns false then). Quiescence detection for
+/// settle phases with no single completion predicate — e.g. waiting out
+/// a real-time cluster's trailing writebacks before Stop(): sample the
+/// cluster-wide posted_messages() and return once traffic stops moving.
+inline bool PollUntilQuiescent(const std::function<uint64_t()>& sample,
+                               std::chrono::milliseconds stable_for,
+                               std::chrono::milliseconds timeout,
+                               std::chrono::milliseconds interval =
+                                   std::chrono::milliseconds(20)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  uint64_t last = sample();
+  auto stable_since = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(interval);
+    const uint64_t cur = sample();
+    const auto now = std::chrono::steady_clock::now();
+    if (cur != last) {
+      last = cur;
+      stable_since = now;
+    } else if (now - stable_since >= stable_for) {
+      return true;
+    }
+  }
+  return false;
+}
 
 /// A small deployment: `num_dcs` DCs at a uniform RTT, `partitions`
 /// partitions with `replication` replicas, and `clients_per_dc` clients in

@@ -1,0 +1,220 @@
+// carousel_explore — systematic interleaving exploration of the commit
+// protocol.
+//
+// Runs the real protocol stack on the sim backend under controlled
+// scheduling and enumerates message-delivery orderings (plus optional
+// crash points at prepare/decision persistence boundaries) via bounded DFS
+// with a sleep-set partial-order reduction. Every terminal state is
+// certified by the DSG serializability checker; a violating schedule is
+// dumped as a replayable JSON trace.
+//
+// Examples:
+//   carousel_explore --txns=2 --max-depth=40            # canonical sweep
+//   carousel_explore --inject-bug=fast-path --report-dir=out  # self-test
+//   carousel_explore --replay=out/violation-1.json      # step-for-step replay
+//
+// Flags:
+//   --explore            run an exploration (the default mode)
+//   --replay=PATH        re-execute a dumped trace instead of exploring
+//   --txns=N             concurrent conflicting transactions (default 2)
+//   --keys=N             keys in the conflict set (default 2)
+//   --dcs=N              datacenters (default 3)
+//   --partitions=N       partitions (default 1)
+//   --clients-per-dc=N   clients per DC (default 1)
+//   --seed=N             deployment seed (default 1)
+//   --max-depth=N        branch points that may diverge (default 40)
+//   --branch-bound=N     alternatives explored per branch point (0 = all)
+//   --max-schedules=N    stop after N distinct schedules (0 = exhaust)
+//   --max-steps=N        controlled steps per run before truncation
+//   --iterative-step=N   iterative-deepening window (0 = single DFS)
+//   --delay-bound=N      CHESS-style bound: at most N branch points per
+//                        schedule deviate from the default order, at any
+//                        position in the run (supersedes --max-depth)
+//   --sequential         chain txns (i+1 issued from i's completion) so
+//                        conflicts come from replication lag, not
+//                        concurrency — the stale-local-read regime
+//   --crash-points=N     max crashes injected per schedule (default 0)
+//   --no-sleep-sets      disable the partial-order reduction
+//   --no-stop-on-violation   keep exploring after the first violation
+//   --local-reads        enable local-replica reads (default off)
+//   --no-fast-path       disable the CPC fast path (default on)
+//   --inject-bug=fast-path|stale-read   enable a flag-gated protocol bug
+//   --report-dir=PATH    write violating traces to PATH/violation-<n>.json
+//                        (directory must exist; CI uploads it)
+//
+// Exit status: 0 when every schedule certified clean (or a replay
+// reproduced its recorded verdict), 1 on a violation / replay divergence,
+// 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/explore.h"
+
+namespace {
+
+bool ParseU64(const char* arg, const char* name, uint64_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+int Replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace: %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  carousel::check::ScheduleTrace trace;
+  std::string error;
+  if (!carousel::check::ScheduleTrace::FromJson(buf.str(), &trace, &error)) {
+    std::fprintf(stderr, "bad trace %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("replaying %s (%zu steps%s%s)\n", path.c_str(),
+              trace.steps.size(), trace.violation.empty() ? "" : ", expects ",
+              trace.violation.c_str());
+  carousel::check::RunOutcome out =
+      carousel::check::ReplayTrace(trace, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "replay DIVERGED: %s\n", error.c_str());
+    return 1;
+  }
+  if (trace.violation.empty()) {
+    std::printf("replay: %s\n", out.ok() ? "clean (as recorded)"
+                                         : out.violation.c_str());
+    return out.ok() ? 0 : 1;
+  }
+  if (!out.ok()) {
+    std::printf("replay reproduced the violation: %s\n%s",
+                out.violation.c_str(), out.check.Report(out.history).c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "replay did NOT reproduce the recorded violation (%s)\n",
+               trace.violation.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  carousel::check::ExploreConfig config;
+  std::string replay_path;
+  std::string report_dir;
+  std::string bug;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t value = 0;
+    if (std::strcmp(arg, "--explore") == 0) continue;
+    if (std::strncmp(arg, "--replay=", 9) == 0) {
+      replay_path = arg + 9;
+      continue;
+    }
+    if (ParseU64(arg, "--txns", &value)) { config.txns = (int)value; continue; }
+    if (ParseU64(arg, "--keys", &value)) { config.keys = (int)value; continue; }
+    if (ParseU64(arg, "--dcs", &value)) { config.num_dcs = (int)value; continue; }
+    if (ParseU64(arg, "--partitions", &value)) {
+      config.partitions = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--clients-per-dc", &value)) {
+      config.clients_per_dc = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--seed", &config.seed)) continue;
+    if (ParseU64(arg, "--max-depth", &value)) {
+      config.max_depth = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--branch-bound", &value)) {
+      config.branch_bound = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--max-schedules", &config.max_schedules)) continue;
+    if (ParseU64(arg, "--max-steps", &value)) {
+      config.max_steps = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--iterative-step", &value)) {
+      config.iterative_step = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--delay-bound", &value)) {
+      config.delay_bound = (int)value;
+      continue;
+    }
+    if (ParseU64(arg, "--crash-points", &value)) {
+      config.max_crashes = (int)value;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-sleep-sets") == 0) {
+      config.sleep_sets = false;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-stop-on-violation") == 0) {
+      config.stop_on_violation = false;
+      continue;
+    }
+    if (std::strcmp(arg, "--sequential") == 0) {
+      config.sequential = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--local-reads") == 0) {
+      config.local_reads = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-fast-path") == 0) {
+      config.fast_path = false;
+      continue;
+    }
+    if (std::strncmp(arg, "--inject-bug=", 13) == 0) {
+      bug = arg + 13;
+      continue;
+    }
+    if (std::strncmp(arg, "--report-dir=", 13) == 0) {
+      report_dir = arg + 13;
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s (see header comment)\n", arg);
+    return 2;
+  }
+  if (!bug.empty() && bug != "fast-path" && bug != "stale-read") {
+    std::fprintf(stderr, "--inject-bug must be fast-path or stale-read\n");
+    return 2;
+  }
+  config.inject_bug_fast_path = bug == "fast-path";
+  config.inject_bug_stale_read = bug == "stale-read";
+
+  if (!replay_path.empty()) return Replay(replay_path);
+
+  carousel::check::ExploreResult result = carousel::check::Explore(config);
+  std::printf("%s\n", result.Summary().c_str());
+  if (!result.violation_found) return 0;
+
+  std::printf("%s", result.violation_report.c_str());
+  const std::string trace_json = result.violation_trace.ToJson();
+  if (!report_dir.empty()) {
+    // The directory must exist (CI creates it); a write failure only
+    // costs the artifact, never the exit status.
+    const std::string path = report_dir + "/violation-1.json";
+    std::ofstream out(path);
+    if (out) {
+      out << trace_json;
+      std::printf("trace written to %s (replay with --replay=%s)\n",
+                  path.c_str(), path.c_str());
+    }
+  } else {
+    std::printf("violating trace (replay with --replay=<file>):\n%s",
+                trace_json.c_str());
+  }
+  return 1;
+}
